@@ -1,0 +1,47 @@
+//! Distributed-cache benchmarks: put/get throughput and the codec cost of
+//! the payloads that cross it (policy snapshots, gradients, trajectories).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stellaris_cache::{Cache, Codec, LatencyModel};
+use stellaris_nn::Tensor;
+
+fn bench_put_get(c: &mut Criterion) {
+    let cache = Cache::new(16, LatencyModel::off());
+    let payload = Bytes::from(vec![0u8; 64 * 1024]);
+    c.bench_function("cache_put_get_64kb", |bench| {
+        bench.iter(|| {
+            cache.put("k", payload.clone());
+            black_box(cache.get("k"))
+        })
+    });
+}
+
+fn bench_tensor_codec(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    // Roughly one Table II MuJoCo layer's worth of weights.
+    let t = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    c.bench_function("codec_tensor_encode_256x256", |bench| {
+        bench.iter(|| black_box(t.to_bytes()))
+    });
+    let bytes = t.to_bytes();
+    c.bench_function("codec_tensor_decode_256x256", |bench| {
+        bench.iter(|| black_box(Tensor::from_bytes(&bytes).unwrap()))
+    });
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let cache = Cache::new(16, LatencyModel::off());
+    c.bench_function("cache_incr", |bench| {
+        bench.iter(|| black_box(cache.incr("clock")))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_put_get, bench_tensor_codec, bench_counter
+);
+criterion_main!(benches);

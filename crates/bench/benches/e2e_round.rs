@@ -1,0 +1,41 @@
+//! End-to-end benchmark: one full Stellaris training round (actors +
+//! loader + learners + parameter function) at test scale, plus the learner
+//! gradient step in isolation — the two numbers that bound Fig. 14.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stellaris_core::{train, TrainConfig};
+use stellaris_envs::{make_env, EnvConfig, EnvId};
+use stellaris_rl::{fill_gae, ppo_gradients, PolicyNet, PolicySpec, PpoConfig, RolloutWorker};
+
+fn bench_full_round(c: &mut Criterion) {
+    c.bench_function("e2e_stellaris_round_pointmass", |bench| {
+        bench.iter(|| {
+            let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 1);
+            cfg.rounds = 1;
+            black_box(train(&cfg))
+        })
+    });
+}
+
+fn bench_learner_gradient(c: &mut Criterion) {
+    let mut env = make_env(EnvId::Hopper, EnvConfig::default());
+    env.reset(0);
+    let mut spec = PolicySpec::for_env(env.as_ref());
+    spec.hidden = 64;
+    let policy = PolicyNet::new(spec, 0);
+    let mut worker = RolloutWorker::new(env, 1);
+    let mut batch = worker.collect(&policy, 128);
+    fill_gae(&mut batch, 0.99, 0.95);
+    batch.normalize_advantages();
+    let cfg = PpoConfig::scaled();
+    c.bench_function("learner_ppo_gradient_hopper_b128", |bench| {
+        bench.iter(|| black_box(ppo_gradients(&policy, &batch, &cfg, Some(1.0))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_round, bench_learner_gradient
+);
+criterion_main!(benches);

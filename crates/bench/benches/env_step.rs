@@ -1,0 +1,41 @@
+//! Environment-substrate benchmarks: physics stepping and arcade frame
+//! rendering throughput (the actor-side cost driver).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stellaris_envs::{make_env, Action, ActionSpace, EnvConfig, EnvId};
+
+fn step_throughput(c: &mut Criterion, id: EnvId) {
+    let mut env = make_env(id, EnvConfig::default());
+    env.reset(0);
+    let action = match env.action_space() {
+        ActionSpace::Continuous { dim, .. } => Action::Continuous(vec![0.1; dim]),
+        ActionSpace::Discrete(_) => Action::Discrete(1),
+    };
+    let mut steps = 0u64;
+    c.bench_function(&format!("env_step_{}", id.name().to_lowercase()), |bench| {
+        bench.iter(|| {
+            let s = env.step(black_box(&action));
+            steps += 1;
+            if s.done {
+                env.reset(steps);
+            }
+            black_box(s.reward)
+        })
+    });
+}
+
+fn bench_envs(c: &mut Criterion) {
+    for id in [EnvId::Hopper, EnvId::Walker2d, EnvId::Humanoid] {
+        step_throughput(c, id);
+    }
+    for id in [EnvId::SpaceInvaders, EnvId::Qbert, EnvId::Gravitar] {
+        step_throughput(c, id);
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_envs
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the neural-network substrate: GEMM, Table II
+//! forward/backward passes, and the distribution math on the learner hot
+//! path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stellaris_nn::{bind_params, Activation, Cnn, Graph, Mlp, ParamSet, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let a = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    c.bench_function("matmul_256x256", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_mlp_forward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    // Table II MuJoCo trunk: 2 x 256 Tanh.
+    let mlp = Mlp::new(&[11, 256, 256, 3], Activation::Tanh, 0.01, &mut rng);
+    let x = Tensor::randn(&[128, 11], 1.0, &mut rng);
+    c.bench_function("mlp_table2_forward_plain_b128", |bench| {
+        bench.iter(|| black_box(mlp.forward_plain(&x)))
+    });
+}
+
+fn bench_mlp_backward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mlp = Mlp::new(&[11, 256, 256, 3], Activation::Tanh, 0.01, &mut rng);
+    let x = Tensor::randn(&[128, 11], 1.0, &mut rng);
+    c.bench_function("mlp_table2_forward_backward_b128", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            let vars = bind_params(&g, &mlp.params());
+            let y = mlp.forward(&g, xv, &vars);
+            let loss = g.mean_all(g.square(y));
+            black_box(g.backward(loss, &vars))
+        })
+    });
+}
+
+fn bench_cnn_forward(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    // 42x42 arcade frames (laptop-scale default), 3-frame stack.
+    let cnn = Cnn::table2([3, 42, 42], 6, 0.01, &mut rng);
+    let x = Tensor::randn(&[16, 3 * 42 * 42], 1.0, &mut rng);
+    c.bench_function("cnn_table2_forward_plain_b16", |bench| {
+        bench.iter(|| black_box(cnn.forward_plain(&x)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_mlp_forward, bench_mlp_backward, bench_cnn_forward
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Serverless-platform benchmarks: warm invocation overhead and cost-model
+//! arithmetic (the per-invocation machinery around every learner call).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use stellaris_serverless::{
+    bill_serverless, Cluster, FunctionKind, OverheadMode, Platform, StartupProfile,
+};
+
+fn bench_warm_invoke(c: &mut Criterion) {
+    let p = Platform::new(8, 8, StartupProfile::default(), OverheadMode::Record);
+    p.prewarm(FunctionKind::Learner, 8);
+    c.bench_function("platform_warm_invoke", |bench| {
+        bench.iter(|| {
+            let (out, _) = p.invoke(FunctionKind::Learner, || black_box(1 + 1));
+            black_box(out)
+        })
+    });
+}
+
+fn bench_billing(c: &mut Criterion) {
+    let p = Platform::new(4, 4, StartupProfile::default(), OverheadMode::Record);
+    for _ in 0..1000 {
+        p.invoke(FunctionKind::Learner, || std::hint::black_box(0u8));
+    }
+    let cluster = Cluster::regular();
+    let records = p.records();
+    c.bench_function("bill_serverless_1000_records", |bench| {
+        bench.iter(|| black_box(bill_serverless(&cluster, &records)))
+    });
+    let _ = Duration::ZERO;
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_warm_invoke, bench_billing
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Hierarchical data-passing benchmarks: the cost gap between the three
+//! §V-B tiers (shared memory vs RPC vs cache) for a gradient-sized payload.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stellaris_cache::Cache;
+use stellaris_core::{Placement, Router};
+use stellaris_nn::Tensor;
+
+fn payload() -> Arc<Tensor> {
+    // Roughly one hidden layer of gradients.
+    Arc::new(Tensor::full(&[256, 256], 0.001))
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let router = Router::new(Arc::new(Cache::in_memory()));
+    let t = payload();
+    c.bench_function("transport_shared_memory", |b| {
+        b.iter(|| {
+            let (_, d) = router.send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 0 },
+                false,
+                "k",
+            );
+            black_box(d.get().numel())
+        })
+    });
+    c.bench_function("transport_rpc", |b| {
+        b.iter(|| {
+            let (_, d) = router.send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 1 },
+                false,
+                "k",
+            );
+            black_box(d.get().numel())
+        })
+    });
+    c.bench_function("transport_cache", |b| {
+        b.iter(|| {
+            let (_, d) = router.send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 0 },
+                true,
+                "k",
+            );
+            black_box(d.get().numel())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tiers
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 10: Stellaris improves MinionsRL in time efficiency (MinionsRL's
+//! dynamically scaled serverless actors kept, its synchronous single
+//! learner replaced by asynchronous serverless learner functions).
+
+use stellaris_bench::{banner, run_pairwise, ExpOpts};
+use stellaris_core::frameworks;
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 10", "Stellaris improves MinionsRL tasks in time efficiency");
+    let envs = opts.envs_or(&EnvId::PAPER_SET);
+    run_pairwise(
+        "fig10",
+        &envs,
+        &[
+            ("MinionsRL+Stellaris", &frameworks::minions_rl_stellaris),
+            ("MinionsRL", &frameworks::minions_rl),
+        ],
+        &opts,
+    );
+    println!("\nExpected shape (paper): up to 1.6x higher final reward.");
+}

@@ -1,0 +1,24 @@
+//! Fig. 12: the HPC-cluster experiment — Stellaris vs PAR-RL (Argonne's
+//! synchronous data-parallel RL workload) on the 16-GPU / 960-core cluster
+//! profile, Hopper and Qbert only (as in the paper, "due to budget limits").
+
+use stellaris_bench::{banner, run_pairwise, ExpOpts};
+use stellaris_core::frameworks;
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 12", "Stellaris vs PAR-RL on the HPC cluster (Hopper, Qbert)");
+    let envs = opts.envs_or(&[EnvId::Hopper, EnvId::Qbert]);
+    run_pairwise(
+        "fig12",
+        &envs,
+        &[
+            ("Stellaris (HPC)", &frameworks::stellaris_hpc),
+            ("PAR-RL", &frameworks::par_rl),
+        ],
+        &opts,
+    );
+    println!("\nExpected shape (paper): 2.4x (Hopper) and 1.1x (Qbert) higher final");
+    println!("reward, with 19% / 34% lower training cost.");
+}

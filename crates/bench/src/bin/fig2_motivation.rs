@@ -1,0 +1,28 @@
+//! Fig. 2: the motivation experiment — asynchronous learning and serverless
+//! computing jointly improve training performance (a) and cost (b).
+//!
+//! Three variants of PPO on Hopper: full Stellaris, Stellaris without
+//! asynchronous learning (synchronous learners), and Stellaris without
+//! serverless computing (reserved VMs).
+
+use stellaris_bench::{banner, run_pairwise, ExpOpts};
+use stellaris_core::frameworks;
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 2", "async learning + serverless jointly improve reward and cost");
+    let envs = opts.envs_or(&[EnvId::Hopper]);
+    run_pairwise(
+        "fig2",
+        &envs,
+        &[
+            ("Stellaris", &frameworks::stellaris),
+            ("w/o async learning", &frameworks::stellaris_no_async),
+            ("w/o serverless", &frameworks::stellaris_no_serverless),
+        ],
+        &opts,
+    );
+    println!("\nExpected shape (paper): the full system reaches the highest reward");
+    println!("and the lowest cost; dropping either component hurts one axis.");
+}

@@ -1,0 +1,47 @@
+//! Fig. 3(a): dynamic learner orchestration characterisation — total
+//! learning time and GPU utilisation over a learners x actors grid
+//! (PPO, Hopper). More learners cut learning time at high actor counts but
+//! waste GPU at low counts, motivating dynamic learner allocation.
+
+use stellaris_bench::{banner, write_csv, ExpOpts};
+use stellaris_core::{frameworks, train};
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 3a", "learning time & GPU utilisation vs learners x actors");
+    // Paper grid: learners {2,4,6,8} x actors {8,16,24,32}; scaled down by
+    // default so the sweep stays in CPU budget.
+    let (learners, actors) = if opts.paper_scale {
+        (vec![2usize, 4, 6, 8], vec![8usize, 16, 24, 32])
+    } else {
+        (vec![1usize, 2, 4], vec![2usize, 4, 8])
+    };
+    let mut csv = String::from("learners,actors,learning_time_s,gpu_utilization\n");
+    println!(
+        "  {:>8} {:>7} {:>17} {:>16}",
+        "learners", "actors", "learning-time(s)", "gpu-utilization"
+    );
+    for &l in &learners {
+        for &a in &actors {
+            let mut cfg = frameworks::stellaris(EnvId::Hopper, 1);
+            cfg = opts.apply(cfg);
+            cfg.max_learners = l;
+            cfg.n_actors = a;
+            cfg.rounds = opts.rounds.unwrap_or(3);
+            cfg.round_timesteps = a * cfg.actor_steps;
+            let res = train(&cfg);
+            println!(
+                "  {l:>8} {a:>7} {:>17.2} {:>16.3}",
+                res.timers.gradient_s, res.gpu_utilization
+            );
+            csv.push_str(&format!(
+                "{l},{a},{:.3},{:.4}\n",
+                res.timers.gradient_s, res.gpu_utilization
+            ));
+        }
+    }
+    write_csv("fig3a_orchestration.csv", &csv);
+    println!("\nExpected shape (paper): learning time falls with more learners at");
+    println!("large actor counts; GPU utilisation falls with more learners at small counts.");
+}

@@ -1,0 +1,34 @@
+//! Fig. 3(c): KL divergence between successive policies under synchronous
+//! vs asynchronous learners (PPO, Hopper). Asynchronous learners make
+//! wilder policy updates — the instability Stellaris' truncation targets.
+
+use stellaris_bench::{banner, print_series, write_csv, ExpOpts};
+use stellaris_core::{frameworks, train, AggregationRule, LearnerMode};
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 3c", "policy-update KL: synchronous vs asynchronous learners");
+    let mut csv = String::from("mode,round,kl\n");
+    for (label, async_mode) in [("async", true), ("sync", false)] {
+        let mut cfg = opts.apply(frameworks::stellaris(EnvId::Hopper, 1));
+        cfg.truncation_rho = None; // raw behaviour, before the fix
+        cfg.learner_mode = if async_mode {
+            LearnerMode::Async { rule: AggregationRule::PureAsync }
+        } else {
+            LearnerMode::Sync { n: cfg.max_learners }
+        };
+        cfg.rounds = opts.rounds.unwrap_or(6);
+        let res = train(&cfg);
+        let kls: Vec<f64> = res.rows.iter().map(|r| r.policy_kl as f64).collect();
+        print_series(&format!("{label} KL"), kls.iter().copied());
+        let mean: f64 = kls.iter().sum::<f64>() / kls.len().max(1) as f64;
+        println!("  {label}: mean KL {mean:.4}");
+        for (i, k) in kls.iter().enumerate() {
+            csv.push_str(&format!("{label},{i},{k:.6}\n"));
+        }
+    }
+    write_csv("fig3c_policy_kl.csv", &csv);
+    println!("\nExpected shape (paper): asynchronous learners show significantly");
+    println!("larger KL between successive policies than synchronous learners.");
+}

@@ -1,0 +1,24 @@
+//! Fig. 6: Stellaris accelerates PPO training across the six benchmark
+//! environments (episodic reward through training, vanilla PPO vs
+//! PPO+Stellaris).
+
+use stellaris_bench::{banner, run_pairwise, ExpOpts};
+use stellaris_core::frameworks;
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 6", "Stellaris accelerates PPO (reward curves, 6 environments)");
+    let envs = opts.envs_or(&EnvId::PAPER_SET);
+    run_pairwise(
+        "fig6",
+        &envs,
+        &[
+            ("PPO+Stellaris", &frameworks::ppo_stellaris),
+            ("PPO", &frameworks::ppo_vanilla),
+        ],
+        &opts,
+    );
+    println!("\nExpected shape (paper): Stellaris improves PPO's final reward by");
+    println!("up to 2.2x, with the largest gains on the MuJoCo tasks.");
+}

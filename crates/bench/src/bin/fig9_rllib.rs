@@ -1,0 +1,23 @@
+//! Fig. 9: Stellaris improves Ray RLlib-style training in time efficiency
+//! (PPO under RLlib's synchronous learner group vs the same group replaced
+//! with Stellaris' asynchronous serverless learners).
+
+use stellaris_bench::{banner, run_pairwise, ExpOpts};
+use stellaris_core::frameworks;
+use stellaris_envs::EnvId;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    banner("Fig. 9", "Stellaris improves RLlib tasks in time efficiency");
+    let envs = opts.envs_or(&EnvId::PAPER_SET);
+    run_pairwise(
+        "fig9",
+        &envs,
+        &[
+            ("RLlib+Stellaris", &frameworks::rllib_stellaris),
+            ("RLlib", &frameworks::rllib),
+        ],
+        &opts,
+    );
+    println!("\nExpected shape (paper): up to 1.3x higher final reward.");
+}

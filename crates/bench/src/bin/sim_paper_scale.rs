@@ -1,0 +1,138 @@
+//! Paper-scale companion experiment: the discrete-event simulator replays
+//! the full §VIII-A configurations (128 actors x 1024 steps x 50 rounds on
+//! the regular testbed; the 16-GPU HPC profile) in virtual time, producing
+//! the cost, utilisation and staleness numbers that the laptop-scale
+//! harnesses cannot reach. Complements Figs. 2(b), 3(a), 3(b) and 8.
+
+use stellaris_bench::{banner, write_csv};
+use stellaris_core::AggregationRule;
+use stellaris_simcluster::{simulate, SimBilling, SimConfig, TimingProfile};
+
+fn main() {
+    banner("Paper-scale simulation", "virtual-time replay of the §VIII-A configurations");
+
+    // ----- Fig. 2(b)/8 economics at full scale ------------------------------
+    println!("\n(1) Cost of 50 rounds of MuJoCo-class training, regular testbed");
+    println!(
+        "  {:<34} {:>11} {:>11} {:>10} {:>9}",
+        "system", "virt-time(s)", "total($)", "learner($)", "util"
+    );
+    let mut csv = String::from("system,virtual_time_s,total_usd,learner_usd,gpu_utilization,mean_staleness\n");
+    let mut baseline_cost = None;
+    for (name, cfg) in [
+        ("Stellaris (async serverless)", SimConfig::stellaris_paper_mujoco()),
+        (
+            "w/o async (sync serverless)",
+            SimConfig {
+                rule: AggregationRule::FullSync { n: 8 },
+                sync_barrier: true,
+                ..SimConfig::stellaris_paper_mujoco()
+            },
+        ),
+        (
+            "w/o serverless (async serverful)",
+            SimConfig {
+                billing: SimBilling::Serverful,
+                ..SimConfig::stellaris_paper_mujoco()
+            },
+        ),
+        ("serverful sync (vanilla PPO)", SimConfig::sync_serverful_paper_mujoco()),
+    ] {
+        let r = simulate(&cfg);
+        println!(
+            "  {:<34} {:>11.1} {:>11.4} {:>10.4} {:>8.1}%",
+            name,
+            r.virtual_time_s,
+            r.cost.total(),
+            r.cost.learner_usd,
+            r.gpu_utilization * 100.0
+        );
+        csv.push_str(&format!(
+            "{name},{:.2},{:.5},{:.5},{:.4},{:.3}\n",
+            r.virtual_time_s,
+            r.cost.total(),
+            r.cost.learner_usd,
+            r.gpu_utilization,
+            r.mean_staleness()
+        ));
+        if name.starts_with("serverful sync") {
+            baseline_cost = Some(r.cost.total());
+        } else if name.starts_with("Stellaris") {
+            baseline_cost = baseline_cost.or(Some(r.cost.total()));
+        }
+    }
+    if let Some(base) = baseline_cost {
+        let st = simulate(&SimConfig::stellaris_paper_mujoco());
+        println!(
+            "  => Stellaris saves {:.0}% vs the serverful synchronous baseline",
+            (1.0 - st.cost.total() / simulate(&SimConfig::sync_serverful_paper_mujoco()).cost.total())
+                * 100.0
+        );
+        let _ = base;
+    }
+
+    // ----- Fig. 3(a): learners x actors grid ---------------------------------
+    println!("\n(2) Learning time & GPU utilisation vs learners x actors (paper grid)");
+    println!("  {:>8} {:>7} {:>15} {:>15}", "learners", "actors", "learn-time(s)", "utilisation");
+    let mut csv3a = String::from("learners,actors,virtual_time_s,gpu_utilization\n");
+    for learners in [2usize, 4, 6, 8] {
+        for actors in [8usize, 16, 24, 32] {
+            // Fig. 3a characterises *existing* multi-learner schemes, which
+            // are synchronous (§II-D) — hence the sync barrier here.
+            let cfg = SimConfig {
+                max_learners: learners,
+                n_actors: actors,
+                round_timesteps: actors * 1024,
+                rounds: 5,
+                minibatch: 256,
+                timing: TimingProfile::atari_v100(),
+                rule: AggregationRule::FullSync { n: learners },
+                sync_barrier: true,
+                ..SimConfig::stellaris_paper_mujoco()
+            };
+            let r = simulate(&cfg);
+            println!(
+                "  {learners:>8} {actors:>7} {:>15.1} {:>14.1}%",
+                r.virtual_time_s,
+                r.gpu_utilization * 100.0
+            );
+            csv3a.push_str(&format!(
+                "{learners},{actors},{:.2},{:.4}\n",
+                r.virtual_time_s, r.gpu_utilization
+            ));
+        }
+    }
+
+    // ----- Fig. 3(b): staleness vs learner count -----------------------------
+    println!("\n(3) Mean staleness under pure asynchrony vs learner count (paper: grows)");
+    println!("  {:>8} {:>16}", "learners", "mean staleness");
+    let mut csv3b = String::from("learners,mean_staleness\n");
+    for learners in [2usize, 4, 8] {
+        let cfg = SimConfig {
+            max_learners: learners,
+            rule: AggregationRule::PureAsync,
+            rounds: 5,
+            ..SimConfig::stellaris_paper_mujoco()
+        };
+        let r = simulate(&cfg);
+        println!("  {learners:>8} {:>16.2}", r.mean_staleness());
+        csv3b.push_str(&format!("{learners},{:.3}\n", r.mean_staleness()));
+    }
+
+    // ----- Fig. 12 scale: HPC cluster ---------------------------------------
+    println!("\n(4) HPC testbed (16 V100s, 960 cores), Atari-class workload");
+    let st = simulate(&SimConfig { rounds: 10, ..SimConfig::stellaris_hpc_atari() });
+    let pr = simulate(&SimConfig { rounds: 10, ..SimConfig::parrl_hpc_atari() });
+    println!(
+        "  Stellaris(HPC): {:.0}s virtual, ${:.2}; PAR-RL-style: {:.0}s, ${:.2} (saving {:.0}%)",
+        st.virtual_time_s,
+        st.cost.total(),
+        pr.virtual_time_s,
+        pr.cost.total(),
+        (1.0 - st.cost.total() / pr.cost.total()) * 100.0
+    );
+
+    write_csv("sim_paper_scale_costs.csv", &csv);
+    write_csv("sim_paper_scale_fig3a.csv", &csv3a);
+    write_csv("sim_paper_scale_fig3b.csv", &csv3b);
+}

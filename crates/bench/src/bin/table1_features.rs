@@ -1,0 +1,23 @@
+//! Table I: the framework feature matrix, printed from the code-level
+//! capability flags in `stellaris_core::frameworks::table1`.
+
+use stellaris_core::frameworks::table1;
+
+fn main() {
+    println!("Table I: Summary of DRL training frameworks");
+    println!(
+        "{:<12} {:>15} {:>15} {:>16} {:>11}",
+        "Framework", "Async.Learners", "Scalable Actors", "On-&Off-policy", "Serverless"
+    );
+    let mark = |b: bool| if b { "yes" } else { "no" };
+    for row in table1() {
+        println!(
+            "{:<12} {:>15} {:>15} {:>16} {:>11}",
+            row.name,
+            mark(row.async_learners),
+            mark(row.scalable_actors),
+            mark(row.on_and_off_policy),
+            mark(row.serverless),
+        );
+    }
+}

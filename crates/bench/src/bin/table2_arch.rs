@@ -1,0 +1,49 @@
+//! Table II: the neural-network architectures used in training, printed
+//! from the actual constructed networks.
+
+use stellaris_envs::{make_env, EnvConfig, EnvId};
+use stellaris_nn::ParamSet;
+use stellaris_rl::{Backbone, PolicyNet, PolicySpec};
+
+fn main() {
+    println!("Table II: Neural network architecture used in DRL training\n");
+    for (label, id, cfg) in [
+        ("MuJoCo (Hopper)", EnvId::Hopper, EnvConfig::default()),
+        ("Atari (SpaceInvaders, paper 84x84)", EnvId::SpaceInvaders, EnvConfig::paper()),
+    ] {
+        let mut env = make_env(id, cfg);
+        env.reset(0);
+        let spec = PolicySpec::for_env(env.as_ref());
+        let policy = PolicyNet::new(spec, 0);
+        println!("{label}:");
+        match &policy.actor {
+            Backbone::Mlp(m) => {
+                for (i, layer) in m.layers.iter().enumerate() {
+                    println!(
+                        "  fully-connected {:>4} -> {:<4} ({})",
+                        layer.w.shape()[0],
+                        layer.w.shape()[1],
+                        if i + 1 < m.layers.len() { "Tanh" } else { "linear head" }
+                    );
+                }
+            }
+            Backbone::Cnn(c) => {
+                for conv in &c.convs {
+                    let s = conv.w.shape();
+                    println!(
+                        "  conv {:>3} filters {}x{} stride {} (ReLU)",
+                        s[0], s[2], s[3], conv.stride
+                    );
+                }
+                println!(
+                    "  dense {} -> {} (ReLU; the paper's final 256@kxk conv collapsing the map)",
+                    c.fc.w.shape()[0],
+                    c.fc.w.shape()[1]
+                );
+                println!("  head  {} -> {}", c.head.w.shape()[0], c.head.w.shape()[1]);
+            }
+        }
+        println!("  trainable scalars: {}\n", policy.num_scalars());
+    }
+    println!("Critic networks share the same architecture with a scalar head.");
+}

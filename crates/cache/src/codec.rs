@@ -1,0 +1,354 @@
+//! A compact binary codec for the payloads that flow through the cache.
+//!
+//! The original system serialises trajectories, gradients and policy weights
+//! with Python's pickle (§VII). Here every cached payload implements
+//! [`Codec`], a small hand-rolled format (little-endian, length-prefixed)
+//! chosen so that encoding a gradient message is a couple of `memcpy`s — the
+//! cache is on the training hot path and the paper's Fig. 14 budgets its
+//! overhead below 5 % of a round.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stellaris_nn::Tensor;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the value was complete.
+    Truncated,
+    /// A tag or length field held an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer truncated"),
+            CodecError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Binary-serialisable value.
+pub trait Codec: Sized {
+    /// Appends the encoded value to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decodes a value, advancing `buf` past it.
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes from a complete buffer, requiring full consumption.
+    fn from_bytes(mut b: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut b)?;
+        if !b.is_empty() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+fn need(buf: &&[u8], n: usize) -> Result<(), CodecError> {
+    if buf.len() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! impl_codec_num {
+    ($ty:ty, $put:ident, $get:ident, $size:expr) => {
+        impl Codec for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                need(buf, $size)?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_codec_num!(u8, put_u8, get_u8, 1);
+impl_codec_num!(u32, put_u32_le, get_u32_le, 4);
+impl_codec_num!(u64, put_u64_le, get_u64_le, 8);
+impl_codec_num!(i64, put_i64_le, get_i64_le, 8);
+impl_codec_num!(f32, put_f32_le, get_f32_le, 4);
+impl_codec_num!(f64, put_f64_le, get_f64_le, 8);
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool tag")),
+        }
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        need(buf, 8)?;
+        let v = buf.get_u64_le();
+        usize::try_from(v).map_err(|_| CodecError::Corrupt("usize overflow"))
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len)?;
+        let s = std::str::from_utf8(&buf[..len])
+            .map_err(|_| CodecError::Corrupt("utf8"))?
+            .to_owned();
+        buf.advance(len);
+        Ok(s)
+    }
+}
+
+impl Codec for Vec<f32> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.reserve(self.len() * 4);
+        for &v in self {
+            buf.put_f32_le(v);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len * 4)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(buf.get_f32_le());
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for Vec<u64> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for &v in self {
+            buf.put_u64_le(v);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len * 8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(buf.get_u64_le());
+        }
+        Ok(out)
+    }
+}
+
+impl Codec for Vec<usize> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for &v in self {
+            buf.put_u64_le(v as u64);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let raw = Vec::<u64>::decode(buf)?;
+        raw.into_iter()
+            .map(|v| usize::try_from(v).map_err(|_| CodecError::Corrupt("usize overflow")))
+            .collect()
+    }
+}
+
+impl Codec for Tensor {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.shape().len() as u32).encode(buf);
+        for &d in self.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        buf.reserve(self.numel() * 4);
+        for &v in self.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let rank = u32::decode(buf)? as usize;
+        if rank > 8 {
+            return Err(CodecError::Corrupt("tensor rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(u32::decode(buf)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        need(buf, numel * 4)?;
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        Ok(Tensor::from_vec(data, &shape))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(CodecError::Corrupt("option tag")),
+        }
+    }
+}
+
+/// Encodes a slice of any `Codec` values with a length prefix.
+pub fn encode_seq<T: Codec>(items: &[T], buf: &mut BytesMut) {
+    (items.len() as u32).encode(buf);
+    for item in items {
+        item.encode(buf);
+    }
+}
+
+/// Decodes a length-prefixed sequence.
+pub fn decode_seq<T: Codec>(buf: &mut &[u8]) -> Result<Vec<T>, CodecError> {
+    let len = u32::decode(buf)? as usize;
+    if len > 1 << 28 {
+        return Err(CodecError::Corrupt("sequence length"));
+    }
+    let mut out = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        out.push(T::decode(buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = BytesMut::new();
+        42u32.encode(&mut buf);
+        7u64.encode(&mut buf);
+        (-3i64).encode(&mut buf);
+        1.5f32.encode(&mut buf);
+        true.encode(&mut buf);
+        "hello".to_string().encode(&mut buf);
+        let mut b: &[u8] = &buf;
+        assert_eq!(u32::decode(&mut b).unwrap(), 42);
+        assert_eq!(u64::decode(&mut b).unwrap(), 7);
+        assert_eq!(i64::decode(&mut b).unwrap(), -3);
+        assert_eq!(f32::decode(&mut b).unwrap(), 1.5);
+        assert!(bool::decode(&mut b).unwrap());
+        assert_eq!(String::decode(&mut b).unwrap(), "hello");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, -2.5, 3.25, 0.0, 9.0, 6.0], &[2, 3]);
+        let back = Tensor::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn truncated_tensor_errors() {
+        let t = Tensor::ones(&[4, 4]);
+        let bytes = t.to_bytes();
+        let cut = &bytes[..bytes.len() - 3];
+        assert_eq!(Tensor::from_bytes(cut), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = BytesMut::new();
+        5u32.encode(&mut buf);
+        buf.put_u8(0xff);
+        assert_eq!(u32::from_bytes(&buf), Err(CodecError::Corrupt("trailing bytes")));
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u64> = Some(99);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_bytes(&some.to_bytes()).unwrap(), some);
+        assert_eq!(Option::<u64>::from_bytes(&none.to_bytes()).unwrap(), none);
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let items = vec![
+            Tensor::ones(&[2]),
+            Tensor::zeros(&[3, 1]),
+            Tensor::full(&[1], 7.0),
+        ];
+        let mut buf = BytesMut::new();
+        encode_seq(&items, &mut buf);
+        let mut b: &[u8] = &buf;
+        let back: Vec<Tensor> = decode_seq(&mut b).unwrap();
+        assert_eq!(back, items);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vec_f32_roundtrip(v in proptest::collection::vec(-1e6f32..1e6, 0..200)) {
+            let bytes = v.to_bytes();
+            let back = Vec::<f32>::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") {
+            let owned = s.to_string();
+            let back = String::from_bytes(&owned.to_bytes()).unwrap();
+            prop_assert_eq!(back, owned);
+        }
+
+        #[test]
+        fn prop_tensor_roundtrip(
+            rows in 1usize..6,
+            cols in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let t = Tensor::randn(&[rows, cols], 1.0, &mut rng);
+            prop_assert_eq!(Tensor::from_bytes(&t.to_bytes()).unwrap(), t);
+        }
+
+        #[test]
+        fn prop_decode_random_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            // Any outcome is fine as long as decoding doesn't panic.
+            let _ = Tensor::from_bytes(&data);
+            let _ = String::from_bytes(&data);
+            let _ = Vec::<f32>::from_bytes(&data);
+        }
+    }
+}

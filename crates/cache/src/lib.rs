@@ -1,0 +1,18 @@
+//! # stellaris-cache
+//!
+//! The distributed-cache substrate of the Stellaris reproduction — the Rust
+//! stand-in for the Redis instance in §VII of the paper. It provides a
+//! sharded in-memory key-value store with blocking waits and counters, a
+//! compact binary [`codec`] for tensors and training messages, blocking
+//! MPMC queues for the trajectory/gradient streams, and a configurable
+//! latency model so transfer costs show up in the cost experiments.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod queue;
+pub mod store;
+
+pub use codec::{decode_seq, encode_seq, Codec, CodecError};
+pub use queue::BlockingQueue;
+pub use store::{Cache, CacheError, CacheStats, LatencyMode, LatencyModel};

@@ -1,0 +1,221 @@
+//! Blocking MPMC queues used for the trajectory stream and gradient stream.
+//!
+//! The paper's components communicate through Redis lists; this is the
+//! equivalent primitive with close-on-shutdown semantics so orchestrator
+//! threads terminate cleanly when training ends.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A blocking multi-producer multi-consumer FIFO queue.
+///
+/// ```
+/// use stellaris_cache::BlockingQueue;
+/// let q = BlockingQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.pop(), Some(1));
+/// q.close();
+/// assert_eq!(q.pop(), Some(2)); // drains, then reports closed
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct BlockingQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    cond: Condvar,
+    closed: AtomicBool,
+}
+
+impl<T> Default for BlockingQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BlockingQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues an item (no-op if closed; producers racing shutdown simply
+    /// drop their payload, matching fire-and-forget function semantics).
+    pub fn push(&self, item: T) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        self.inner.lock().push_back(item);
+        self.cond.notify_one();
+    }
+
+    /// Dequeues, blocking until an item arrives or the queue is closed.
+    /// Returns `None` only after close with an empty queue.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(item) = q.pop_front() {
+                return Some(item);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Dequeues with a timeout; `None` means timed out *or* closed-and-empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(item) = q.pop_front() {
+                return Some(item);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            if self.cond.wait_until(&mut q, deadline).timed_out() {
+                return q.pop_front();
+            }
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Closes the queue, waking all blocked consumers.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BlockingQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BlockingQueue::<u32>::new());
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_drains_remaining_items_first() {
+        let q = BlockingQueue::new();
+        q.push("a");
+        q.close();
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+        // Pushes after close are dropped.
+        q.push("b");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_on_idle() {
+        let q = BlockingQueue::<u8>::new();
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(40)), None);
+        assert!(start.elapsed() >= Duration::from_millis(35));
+    }
+
+    #[test]
+    fn mpmc_all_items_delivered_exactly_once() {
+        let q = Arc::new(BlockingQueue::new());
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = q.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(p * 1000 + i);
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Give consumers time to drain before closing.
+        while !q.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let want: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100u64).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let q = BlockingQueue::new();
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! The distributed cache: a sharded, blocking-wait-capable key-value store.
+//!
+//! This is the Rust stand-in for the Redis instance of §VII ("Distributed
+//! cache"): actors publish serialised trajectories, learner functions pull
+//! policy weights and push gradients, and the parameter function picks
+//! gradients up for aggregation. Keys are strings; values are opaque byte
+//! buffers ([`bytes::Bytes`], so reads are zero-copy reference bumps).
+//!
+//! A configurable latency model charges each operation a base cost plus a
+//! per-kilobyte cost, either recorded (for the simulated-cost experiments)
+//! or actually slept (for wall-clock-faithful runs).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::codec::{Codec, CodecError};
+
+/// How operation latency is accounted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyMode {
+    /// No latency modelling.
+    Off,
+    /// Accumulate simulated latency into [`CacheStats`] without sleeping.
+    Record,
+    /// Actually sleep, making wall-clock time reflect transfer cost.
+    Sleep,
+}
+
+/// Latency model for cache operations.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Fixed per-operation cost in microseconds (network RTT analogue).
+    pub base_us: u64,
+    /// Additional cost per kilobyte transferred.
+    pub per_kb_us: u64,
+    /// Accounting mode.
+    pub mode: LatencyMode,
+}
+
+impl LatencyModel {
+    /// No latency at all.
+    pub fn off() -> Self {
+        Self { base_us: 0, per_kb_us: 0, mode: LatencyMode::Off }
+    }
+
+    /// A LAN-like profile (100 µs RTT, ~1 GB/s), recorded not slept.
+    pub fn lan_recorded() -> Self {
+        Self { base_us: 100, per_kb_us: 1, mode: LatencyMode::Record }
+    }
+
+    fn cost_us(&self, bytes: usize) -> u64 {
+        self.base_us + self.per_kb_us * (bytes as u64 / 1024)
+    }
+}
+
+/// Cumulative cache statistics (all atomics; cheap to read concurrently).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Number of `put` operations.
+    pub puts: AtomicU64,
+    /// Number of `get`/`take`/`wait_for` lookups.
+    pub gets: AtomicU64,
+    /// Lookups that found a value.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing.
+    pub misses: AtomicU64,
+    /// Bytes written.
+    pub bytes_in: AtomicU64,
+    /// Bytes read.
+    pub bytes_out: AtomicU64,
+    /// Total modelled latency in microseconds.
+    pub simulated_us: AtomicU64,
+}
+
+impl CacheStats {
+    /// Snapshot as plain numbers `(puts, gets, hits, misses, bytes_in, bytes_out, simulated_us)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.bytes_in.load(Ordering::Relaxed),
+            self.bytes_out.load(Ordering::Relaxed),
+            self.simulated_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct Entry {
+    value: Bytes,
+    /// Expiry instant; `None` = no TTL.
+    expires: Option<std::time::Instant>,
+}
+
+impl Entry {
+    fn live(&self) -> bool {
+        self.expires.is_none_or(|t| std::time::Instant::now() < t)
+    }
+}
+
+struct Shard {
+    map: Mutex<HashMap<String, Entry>>,
+    cond: Condvar,
+}
+
+/// Errors surfaced by typed cache accessors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// Key absent.
+    Missing(String),
+    /// Value present but failed to decode.
+    Decode(CodecError),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Missing(k) => write!(f, "cache key missing: {k}"),
+            CacheError::Decode(e) => write!(f, "cache decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// The sharded in-memory store.
+///
+/// ```
+/// use stellaris_cache::{Cache, Codec};
+/// let cache = Cache::in_memory();
+/// cache.put_obj("policy:latest", &42u64);
+/// assert_eq!(cache.get_obj::<u64>("policy:latest").unwrap(), 42);
+/// assert_eq!(cache.incr("clock"), 1);
+/// ```
+pub struct Cache {
+    shards: Vec<Shard>,
+    latency: LatencyModel,
+    counters: Mutex<HashMap<String, u64>>,
+    /// Operation statistics.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with `shards` shards (power of two recommended).
+    pub fn new(shards: usize, latency: LatencyModel) -> Self {
+        assert!(shards >= 1, "cache needs at least one shard");
+        Self {
+            shards: (0..shards)
+                .map(|_| Shard { map: Mutex::new(HashMap::new()), cond: Condvar::new() })
+                .collect(),
+            latency,
+            counters: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A latency-free cache with a sensible shard count.
+    pub fn in_memory() -> Self {
+        Self::new(16, LatencyModel::off())
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        // FNV-1a; stable across runs so experiments are reproducible.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    fn charge(&self, bytes: usize) {
+        match self.latency.mode {
+            LatencyMode::Off => {}
+            LatencyMode::Record => {
+                self.stats
+                    .simulated_us
+                    .fetch_add(self.latency.cost_us(bytes), Ordering::Relaxed);
+            }
+            LatencyMode::Sleep => {
+                let us = self.latency.cost_us(bytes);
+                self.stats.simulated_us.fetch_add(us, Ordering::Relaxed);
+                if us > 0 {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+            }
+        }
+    }
+
+    /// Stores a value, waking any waiters on the key.
+    pub fn put(&self, key: &str, value: Bytes) {
+        self.put_with(key, value, None);
+    }
+
+    /// Stores a value that expires after `ttl` (Redis `SETEX` analogue,
+    /// used for transient staging data like pre-staged batch pointers).
+    pub fn put_ttl(&self, key: &str, value: Bytes, ttl: Duration) {
+        self.put_with(key, value, Some(std::time::Instant::now() + ttl));
+    }
+
+    fn put_with(&self, key: &str, value: Bytes, expires: Option<std::time::Instant>) {
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.charge(value.len());
+        let shard = self.shard(key);
+        {
+            let mut map = shard.map.lock();
+            map.insert(key.to_owned(), Entry { value, expires });
+        }
+        shard.cond.notify_all();
+    }
+
+    /// Fetches a value (cheap clone of a refcounted buffer). Expired
+    /// entries read as missing and are reaped lazily.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(key);
+        let out = {
+            let mut map = shard.map.lock();
+            match map.get(key) {
+                Some(e) if e.live() => Some(e.value.clone()),
+                Some(_) => {
+                    map.remove(key);
+                    None
+                }
+                None => None,
+            }
+        };
+        match &out {
+            Some(v) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_out
+                    .fetch_add(v.len() as u64, Ordering::Relaxed);
+                self.charge(v.len());
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.charge(0);
+            }
+        }
+        out
+    }
+
+    /// Atomically fetches and removes a value.
+    pub fn take(&self, key: &str) -> Option<Bytes> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(key);
+        let out = shard
+            .map
+            .lock()
+            .remove(key)
+            .filter(Entry::live)
+            .map(|e| e.value);
+        match &out {
+            Some(v) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_out
+                    .fetch_add(v.len() as u64, Ordering::Relaxed);
+                self.charge(v.len());
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.shard(key).map.lock().remove(key).is_some()
+    }
+
+    /// Blocks until the key exists (or `timeout` elapses), then returns it.
+    pub fn wait_for(&self, key: &str, timeout: Duration) -> Option<Bytes> {
+        let shard = self.shard(key);
+        let deadline = std::time::Instant::now() + timeout;
+        let mut map = shard.map.lock();
+        loop {
+            if let Some(v) = map.get(key).filter(|e| e.live()) {
+                let v = v.value.clone();
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_out
+                    .fetch_add(v.len() as u64, Ordering::Relaxed);
+                drop(map);
+                self.charge(v.len());
+                return Some(v);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            if shard
+                .cond
+                .wait_until(&mut map, deadline)
+                .timed_out()
+            {
+                // Re-check once after timeout, then give up on next loop.
+            }
+        }
+    }
+
+    /// Atomically increments a named counter and returns the new value
+    /// (Redis `INCR` analogue; used for clocks and id allocation).
+    pub fn incr(&self, name: &str) -> u64 {
+        let mut counters = self.counters.lock();
+        let v = counters.entry(name.to_owned()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Reads a counter without incrementing.
+    pub fn counter(&self, name: &str) -> u64 {
+        *self.counters.lock().get(name).unwrap_or(&0)
+    }
+
+    /// All keys with the given prefix (scan analogue; O(n), diagnostics only).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock();
+            out.extend(map.keys().filter(|k| k.starts_with(prefix)).cloned());
+        }
+        out.sort();
+        out
+    }
+
+    /// Total number of stored keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes everything (keys and counters).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.map.lock().clear();
+        }
+        self.counters.lock().clear();
+    }
+
+    // ----- typed helpers -------------------------------------------------
+
+    /// Encodes and stores a typed value.
+    pub fn put_obj<T: Codec>(&self, key: &str, value: &T) {
+        self.put(key, value.to_bytes());
+    }
+
+    /// Fetches and decodes a typed value.
+    pub fn get_obj<T: Codec>(&self, key: &str) -> Result<T, CacheError> {
+        let bytes = self
+            .get(key)
+            .ok_or_else(|| CacheError::Missing(key.to_owned()))?;
+        T::from_bytes(&bytes).map_err(CacheError::Decode)
+    }
+
+    /// Fetches, decodes and removes a typed value.
+    pub fn take_obj<T: Codec>(&self, key: &str) -> Result<T, CacheError> {
+        let bytes = self
+            .take(key)
+            .ok_or_else(|| CacheError::Missing(key.to_owned()))?;
+        T::from_bytes(&bytes).map_err(CacheError::Decode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use stellaris_nn::Tensor;
+
+    #[test]
+    fn put_get_take_delete() {
+        let c = Cache::in_memory();
+        c.put("a", Bytes::from_static(b"xyz"));
+        assert_eq!(c.get("a").unwrap(), Bytes::from_static(b"xyz"));
+        assert_eq!(c.take("a").unwrap(), Bytes::from_static(b"xyz"));
+        assert!(c.get("a").is_none());
+        assert!(!c.delete("a"));
+        c.put("b", Bytes::from_static(b"1"));
+        assert!(c.delete("b"));
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let c = Cache::in_memory();
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        c.put_obj("policy:0", &t);
+        let back: Tensor = c.get_obj("policy:0").unwrap();
+        assert_eq!(back, t);
+        assert!(matches!(
+            c.get_obj::<Tensor>("policy:1"),
+            Err(CacheError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn counters_are_atomic_across_threads() {
+        let c = Arc::new(Cache::in_memory());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    c.incr("clock");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.counter("clock"), 800);
+    }
+
+    #[test]
+    fn wait_for_blocks_until_put() {
+        let c = Arc::new(Cache::in_memory());
+        let waiter = {
+            let c = c.clone();
+            std::thread::spawn(move || c.wait_for("late", Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        c.put("late", Bytes::from_static(b"done"));
+        let got = waiter.join().unwrap();
+        assert_eq!(got.unwrap(), Bytes::from_static(b"done"));
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let c = Cache::in_memory();
+        let start = std::time::Instant::now();
+        assert!(c.wait_for("never", Duration::from_millis(50)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn prefix_scan_sorted() {
+        let c = Cache::in_memory();
+        c.put("grad:2", Bytes::new());
+        c.put("grad:1", Bytes::new());
+        c.put("traj:1", Bytes::new());
+        assert_eq!(c.keys_with_prefix("grad:"), vec!["grad:1", "grad:2"]);
+        assert_eq!(c.len(), 3);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_entries_expire() {
+        let c = Cache::in_memory();
+        c.put_ttl("hot", Bytes::from_static(b"x"), Duration::from_millis(30));
+        assert!(c.get("hot").is_some());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(c.get("hot").is_none(), "expired entry must read as missing");
+        // Expired take also misses.
+        c.put_ttl("hot2", Bytes::from_static(b"y"), Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(c.take("hot2").is_none());
+        // Untouched entries never expire.
+        c.put("cold", Bytes::from_static(b"z"));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(c.get("cold").is_some());
+    }
+
+    #[test]
+    fn wait_for_ignores_expired() {
+        let c = Cache::in_memory();
+        c.put_ttl("soon", Bytes::from_static(b"x"), Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(c.wait_for("soon", Duration::from_millis(30)).is_none());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let c = Cache::new(4, LatencyModel::lan_recorded());
+        c.put("k", Bytes::from(vec![0u8; 2048]));
+        let _ = c.get("k");
+        let _ = c.get("missing");
+        let (puts, gets, hits, misses, bin, bout, sim) = c.stats.snapshot();
+        assert_eq!((puts, gets, hits, misses), (1, 2, 1, 1));
+        assert_eq!(bin, 2048);
+        assert_eq!(bout, 2048);
+        // 3 charged ops: put (base+2kb), hit get (base+2kb), miss (base).
+        assert_eq!(sim, 100 + 2 + 100 + 2 + 100);
+    }
+
+    #[test]
+    fn concurrent_put_get_different_keys() {
+        let c = Arc::new(Cache::in_memory());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let key = format!("k:{t}:{i}");
+                    c.put_obj(&key, &i);
+                    assert_eq!(c.get_obj::<u64>(&key).unwrap(), i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 400);
+    }
+}

@@ -1,0 +1,264 @@
+//! Gradient-aggregation rules: Stellaris' staleness-aware delay (§V-C) and
+//! the three baselines of the Fig. 11(a) ablation — Softsync, Stale
+//! Synchronous Parallel and pure asynchrony — plus fully synchronous
+//! aggregation for the serverful baselines.
+
+use crate::staleness::{staleness_weight, StalenessSchedule};
+
+/// When (and how) queued gradients may be aggregated into a policy update.
+#[derive(Clone, Debug)]
+pub enum AggregationRule {
+    /// Stellaris (§V-C): delay aggregation until the queue's *average*
+    /// staleness drops below the decaying threshold `β_k = δ_max · d^k`;
+    /// gradients are weighted by `1/δ^(1/v)` (Eq. 4).
+    StalenessAware {
+        /// Exponential decay factor `d` (paper default 0.96).
+        d: f64,
+        /// Learning-rate smoothness root `v` (paper default 3).
+        v: u32,
+    },
+    /// Softsync (Zhang et al., IJCAI'16): aggregate every `c` gradients,
+    /// each weighted by `1/δ` (their α(δ) = α₀/δ rule, i.e. `v = 1`).
+    Softsync {
+        /// Gradients per aggregation.
+        c: usize,
+    },
+    /// Stale Synchronous Parallel (Ho et al., NIPS'13): gradients apply
+    /// immediately but *dispatch* is throttled so no learner runs more than
+    /// `bound` clocks ahead of the slowest in-flight computation (see
+    /// [`SspThrottle`]).
+    Ssp {
+        /// Maximum clock lead.
+        bound: u64,
+    },
+    /// No staleness control at all: every gradient applies immediately.
+    PureAsync,
+    /// Fully synchronous: wait for `n` gradients, plain average (the
+    /// multi-learner scheme of RLlib-style baselines).
+    FullSync {
+        /// Learner-group size.
+        n: usize,
+    },
+}
+
+impl AggregationRule {
+    /// The paper's Stellaris defaults (`d = 0.96`, `v = 3`, §VIII-A).
+    pub fn stellaris_default() -> Self {
+        AggregationRule::StalenessAware { d: 0.96, v: 3 }
+    }
+
+    /// Display name for logs and figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationRule::StalenessAware { .. } => "stellaris",
+            AggregationRule::Softsync { .. } => "softsync",
+            AggregationRule::Ssp { .. } => "ssp",
+            AggregationRule::PureAsync => "pure-async",
+            AggregationRule::FullSync { .. } => "full-sync",
+        }
+    }
+
+    /// The staleness schedule this rule needs (only StalenessAware).
+    pub fn make_schedule(&self) -> Option<StalenessSchedule> {
+        match self {
+            AggregationRule::StalenessAware { d, .. } => Some(StalenessSchedule::new(*d)),
+            _ => None,
+        }
+    }
+
+    /// Decides whether a queue with `pending` gradient stalenesses may
+    /// aggregate now (given the schedule for StalenessAware rules).
+    pub fn admits(
+        &self,
+        pending_staleness: &[u64],
+        schedule: Option<&StalenessSchedule>,
+    ) -> bool {
+        if pending_staleness.is_empty() {
+            return false;
+        }
+        match self {
+            AggregationRule::StalenessAware { .. } => {
+                let avg = pending_staleness.iter().sum::<u64>() as f64
+                    / pending_staleness.len() as f64;
+                schedule.expect("staleness-aware rule requires a schedule").admits(avg)
+            }
+            AggregationRule::Softsync { c } => pending_staleness.len() >= *c,
+            AggregationRule::Ssp { .. } | AggregationRule::PureAsync => true,
+            AggregationRule::FullSync { n } => pending_staleness.len() >= *n,
+        }
+    }
+
+    /// Per-gradient aggregation weight for a gradient of staleness `delta`.
+    pub fn weight(&self, delta: u64) -> f32 {
+        match self {
+            AggregationRule::StalenessAware { v, .. } => staleness_weight(delta, *v),
+            AggregationRule::Softsync { .. } => staleness_weight(delta, 1),
+            AggregationRule::Ssp { .. }
+            | AggregationRule::PureAsync
+            | AggregationRule::FullSync { .. } => 1.0,
+        }
+    }
+
+    /// SSP dispatch bound, if this rule throttles dispatch.
+    pub fn ssp_bound(&self) -> Option<u64> {
+        match self {
+            AggregationRule::Ssp { bound } => Some(*bound),
+            _ => None,
+        }
+    }
+}
+
+/// Dispatch-side throttle implementing SSP semantics: a learner may start a
+/// new gradient computation only while the parameter clock is within
+/// `bound` of the oldest still-in-flight computation's base clock.
+pub struct SspThrottle {
+    bound: u64,
+    inflight: parking_lot::Mutex<Vec<u64>>,
+    cond: parking_lot::Condvar,
+}
+
+impl SspThrottle {
+    /// Creates a throttle with the given clock bound.
+    pub fn new(bound: u64) -> Self {
+        Self {
+            bound,
+            inflight: parking_lot::Mutex::new(Vec::new()),
+            cond: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Blocks until starting at `clock` keeps the lead within the bound,
+    /// then registers the computation. Returns a guard token (`clock`).
+    pub fn begin(&self, clock: u64) -> u64 {
+        let mut inflight = self.inflight.lock();
+        loop {
+            let oldest = inflight.iter().min().copied().unwrap_or(clock);
+            if clock.saturating_sub(oldest) <= self.bound {
+                inflight.push(clock);
+                return clock;
+            }
+            self.cond.wait(&mut inflight);
+        }
+    }
+
+    /// Non-blocking variant for tests and polling dispatchers.
+    pub fn try_begin(&self, clock: u64) -> Option<u64> {
+        let mut inflight = self.inflight.lock();
+        let oldest = inflight.iter().min().copied().unwrap_or(clock);
+        if clock.saturating_sub(oldest) <= self.bound {
+            inflight.push(clock);
+            Some(clock)
+        } else {
+            None
+        }
+    }
+
+    /// Marks a computation finished, potentially unblocking fast learners.
+    pub fn end(&self, token: u64) {
+        let mut inflight = self.inflight.lock();
+        if let Some(pos) = inflight.iter().position(|&c| c == token) {
+            inflight.swap_remove(pos);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Number of in-flight computations.
+    pub fn inflight(&self) -> usize {
+        self.inflight.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AggregationRule::stellaris_default().name(), "stellaris");
+        assert_eq!(AggregationRule::PureAsync.name(), "pure-async");
+        assert_eq!(AggregationRule::Softsync { c: 4 }.name(), "softsync");
+        assert_eq!(AggregationRule::Ssp { bound: 3 }.name(), "ssp");
+        assert_eq!(AggregationRule::FullSync { n: 4 }.name(), "full-sync");
+    }
+
+    #[test]
+    fn empty_queue_never_admits() {
+        for rule in [
+            AggregationRule::stellaris_default(),
+            AggregationRule::PureAsync,
+            AggregationRule::FullSync { n: 1 },
+        ] {
+            let sched = rule.make_schedule();
+            assert!(!rule.admits(&[], sched.as_ref()));
+        }
+    }
+
+    #[test]
+    fn pure_async_admits_single() {
+        assert!(AggregationRule::PureAsync.admits(&[99], None));
+    }
+
+    #[test]
+    fn softsync_waits_for_count() {
+        let r = AggregationRule::Softsync { c: 3 };
+        assert!(!r.admits(&[0, 1], None));
+        assert!(r.admits(&[0, 1, 2], None));
+    }
+
+    #[test]
+    fn fullsync_waits_for_group() {
+        let r = AggregationRule::FullSync { n: 2 };
+        assert!(!r.admits(&[0], None));
+        assert!(r.admits(&[0, 0], None));
+        assert_eq!(r.weight(7), 1.0, "plain averaging");
+    }
+
+    #[test]
+    fn staleness_aware_gates_on_average() {
+        let r = AggregationRule::StalenessAware { d: 0.5, v: 3 };
+        let mut sched = r.make_schedule().unwrap();
+        sched.observe(8);
+        sched.advance_round(); // β = 4
+        assert!(r.admits(&[3, 4, 5], Some(&sched)), "avg 4 <= 4");
+        assert!(!r.admits(&[8, 8], Some(&sched)), "avg 8 > 4");
+    }
+
+    #[test]
+    fn weights_follow_rules() {
+        let st = AggregationRule::StalenessAware { d: 0.96, v: 3 };
+        assert!((st.weight(8) - 0.5).abs() < 1e-6);
+        let ss = AggregationRule::Softsync { c: 2 };
+        assert!((ss.weight(4) - 0.25).abs() < 1e-6, "softsync uses 1/δ");
+        assert_eq!(AggregationRule::PureAsync.weight(100), 1.0);
+    }
+
+    #[test]
+    fn ssp_throttle_blocks_fast_learner() {
+        let t = SspThrottle::new(2);
+        let a = t.try_begin(0).unwrap(); // slow computation at clock 0
+        assert!(t.try_begin(2).is_some(), "within bound");
+        assert!(t.try_begin(5).is_none(), "3 ahead of oldest > bound 2");
+        t.end(a);
+        assert!(t.try_begin(5).is_none(), "oldest inflight is now clock 2");
+        assert!(t.try_begin(4).is_some());
+    }
+
+    #[test]
+    fn ssp_begin_blocks_then_releases() {
+        use std::sync::Arc;
+        let t = Arc::new(SspThrottle::new(1));
+        let tok = t.try_begin(0).unwrap();
+        let waiter = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                let tk = t.begin(5); // must wait until clock-0 finishes
+                t.end(tk);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(t.inflight(), 1, "waiter must still be blocked");
+        t.end(tok);
+        waiter.join().unwrap();
+        assert_eq!(t.inflight(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Training metrics: per-round rows (matching the artifact's CSV schema),
+//! component timers for the Fig. 14 latency breakdown, and CSV output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One training round's record. Columns mirror the paper artifact's output
+/// CSV: "training round index, round duration, number of learner functions
+/// invoked per training iteration, episodes executed, evaluation rewards,
+/// staleness, and training cost".
+#[derive(Clone, Copy, Debug)]
+pub struct TrainRow {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Wall-clock seconds since training start.
+    pub wall_time_s: f64,
+    /// Seconds spent in this round.
+    pub round_duration_s: f64,
+    /// Learner-function invocations during this round.
+    pub learner_invocations: u64,
+    /// Episodes completed during this round.
+    pub episodes: u64,
+    /// Evaluation episodic reward at round end.
+    pub reward: f32,
+    /// Mean staleness of gradients aggregated this round.
+    pub mean_staleness: f64,
+    /// Cumulative training cost (USD) so far.
+    pub cost_usd: f64,
+    /// Learner-side share of the cumulative cost.
+    pub learner_cost_usd: f64,
+    /// Actor-side share of the cumulative cost.
+    pub actor_cost_usd: f64,
+    /// Policy updates performed so far.
+    pub policy_updates: u64,
+    /// Mean KL divergence between successive round policies (Fig. 3c).
+    pub policy_kl: f32,
+}
+
+impl TrainRow {
+    /// CSV header matching [`TrainRow::to_csv`].
+    pub const CSV_HEADER: &'static str = "round,wall_time_s,round_duration_s,learner_invocations,episodes,reward,mean_staleness,cost_usd,learner_cost_usd,actor_cost_usd,policy_updates,policy_kl";
+
+    /// Serialises as one CSV line.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{:.3},{:.3},{},{},{:.3},{:.3},{:.8},{:.8},{:.8},{},{:.6}",
+            self.round,
+            self.wall_time_s,
+            self.round_duration_s,
+            self.learner_invocations,
+            self.episodes,
+            self.reward,
+            self.mean_staleness,
+            self.cost_usd,
+            self.learner_cost_usd,
+            self.actor_cost_usd,
+            self.policy_updates,
+            self.policy_kl,
+        )
+    }
+}
+
+/// Writes rows to a CSV string (and optionally a file).
+pub fn rows_to_csv(rows: &[TrainRow]) -> String {
+    let mut out = String::from(TrainRow::CSV_HEADER);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.to_csv());
+        out.push('\n');
+    }
+    out
+}
+
+/// Thread-safe accumulating timers for the one-round latency breakdown
+/// (Fig. 14 components).
+#[derive(Debug, Default)]
+pub struct Timers {
+    /// Actor-environment sampling.
+    pub actor_sampling_us: AtomicU64,
+    /// Data-loader batching/staging (GAE, minibatching).
+    pub data_loading_us: AtomicU64,
+    /// Learner gradient computation.
+    pub gradient_us: AtomicU64,
+    /// Parameter-function aggregation + policy update.
+    pub aggregation_us: AtomicU64,
+    /// Serverless startup overhead (cold/warm starts).
+    pub startup_us: AtomicU64,
+    /// Policy/trajectory (de)serialisation + cache traffic.
+    pub cache_us: AtomicU64,
+}
+
+impl Timers {
+    /// Adds a duration to a counter.
+    pub fn add(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot in seconds per component.
+    pub fn report(&self) -> TimerReport {
+        let s = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64 / 1e6;
+        TimerReport {
+            actor_sampling_s: s(&self.actor_sampling_us),
+            data_loading_s: s(&self.data_loading_us),
+            gradient_s: s(&self.gradient_us),
+            aggregation_s: s(&self.aggregation_us),
+            startup_s: s(&self.startup_us),
+            cache_s: s(&self.cache_us),
+        }
+    }
+}
+
+/// Plain-number snapshot of [`Timers`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimerReport {
+    /// Actor-environment sampling seconds.
+    pub actor_sampling_s: f64,
+    /// Data-loader seconds.
+    pub data_loading_s: f64,
+    /// Gradient computation seconds.
+    pub gradient_s: f64,
+    /// Aggregation seconds.
+    pub aggregation_s: f64,
+    /// Startup overhead seconds.
+    pub startup_s: f64,
+    /// Cache/serialisation seconds.
+    pub cache_s: f64,
+}
+
+impl TimerReport {
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.actor_sampling_s
+            + self.data_loading_s
+            + self.gradient_s
+            + self.aggregation_s
+            + self.startup_s
+            + self.cache_s
+    }
+
+    /// Overhead share: everything that is neither sampling nor gradient
+    /// compute (the paper's "<5% delay" claim covers these components).
+    pub fn overhead_fraction(&self) -> f64 {
+        let overhead = self.data_loading_s + self.aggregation_s + self.startup_s + self.cache_s;
+        let total = self.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            overhead / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> TrainRow {
+        TrainRow {
+            round: 2,
+            wall_time_s: 10.5,
+            round_duration_s: 5.25,
+            learner_invocations: 12,
+            episodes: 34,
+            reward: 123.4,
+            mean_staleness: 1.5,
+            cost_usd: 0.01,
+            learner_cost_usd: 0.007,
+            actor_cost_usd: 0.003,
+            policy_updates: 9,
+            policy_kl: 0.002,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips_field_count() {
+        let line = row().to_csv();
+        assert_eq!(line.split(',').count(), TrainRow::CSV_HEADER.split(',').count());
+        let csv = rows_to_csv(&[row(), row()]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("round,"));
+    }
+
+    #[test]
+    fn timers_accumulate_and_report() {
+        let t = Timers::default();
+        Timers::add(&t.gradient_us, Duration::from_millis(1500));
+        Timers::add(&t.gradient_us, Duration::from_millis(500));
+        Timers::add(&t.startup_us, Duration::from_millis(100));
+        let r = t.report();
+        assert!((r.gradient_s - 2.0).abs() < 1e-6);
+        assert!((r.startup_s - 0.1).abs() < 1e-6);
+        assert!((r.total() - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overhead_fraction_excludes_sampling_and_gradients() {
+        let r = TimerReport {
+            actor_sampling_s: 8.0,
+            gradient_s: 1.5,
+            data_loading_s: 0.2,
+            aggregation_s: 0.2,
+            startup_s: 0.05,
+            cache_s: 0.05,
+        };
+        assert!((r.overhead_fraction() - 0.5 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timers_zero_fraction() {
+        assert_eq!(TimerReport::default().overhead_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,879 @@
+//! The Stellaris training orchestrator (Fig. 4's workflow).
+//!
+//! The asynchronous path wires real threads through the distributed cache:
+//! actor threads pull the latest policy and publish trajectory batches
+//! (Step ①); a GPU data-loader thread stages GAE-processed mini-batches and
+//! exports pointers (`Arc<SampleBatch>`) into the work queue (§V-B); learner
+//! workers are invoked through the serverless platform, compute gradients
+//! with the global IS-truncation cap and submit them to the cache (Step ②);
+//! the parameter thread performs staleness-aware aggregation and publishes
+//! each new policy snapshot (Step ③). Staleness is therefore *emergent*
+//! from genuine thread racing, not scripted.
+//!
+//! The synchronous path implements the serverful baselines (RLlib-style
+//! multi-learner data parallelism, single-learner MinionsRL) with the same
+//! components in lockstep.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use stellaris_cache::{BlockingQueue, Cache, LatencyModel};
+use stellaris_envs::make_env;
+use stellaris_nn::Tensor;
+use stellaris_rl::{
+    evaluate, fill_gae, impact_gradients, impala_gradients, ppo_gradients, ImpactLearner,
+    PolicyNet, PolicySnapshot, PolicySpec, RolloutWorker, SampleBatch,
+};
+use stellaris_serverless::{
+    bill_hybrid, bill_serverful, bill_serverless, CostBreakdown, FunctionKind, OverheadMode,
+    Platform, StartupProfile,
+};
+
+use crate::aggregation::{AggregationRule, SspThrottle};
+use crate::autoscale::LearnerAutoscaler;
+use crate::config::{Algo, Deployment, LearnerMode, TrainConfig};
+use crate::messages::GradientMsg;
+use crate::metrics::{TimerReport, Timers, TrainRow};
+use crate::parameter::ParameterServer;
+use crate::truncation::RatioBoard;
+
+/// Cache key under which the canonical policy snapshot is published.
+pub const POLICY_KEY: &str = "policy:latest";
+
+/// Everything a finished training job reports.
+#[derive(Clone, Debug)]
+pub struct TrainResult {
+    /// Per-round metric rows.
+    pub rows: Vec<TrainRow>,
+    /// Staleness of every aggregated gradient (Fig. 3b data).
+    pub staleness_log: Vec<u64>,
+    /// Component timers (Fig. 14 data).
+    pub timers: TimerReport,
+    /// Final evaluation reward.
+    pub final_reward: f32,
+    /// Total cost in USD under the configured billing model.
+    pub cost: CostBreakdown,
+    /// Total wall-clock seconds.
+    pub wall_time_s: f64,
+    /// Total learner-function invocations.
+    pub learner_invocations: u64,
+    /// Total policy updates.
+    pub policy_updates: u64,
+    /// GPU-slot utilisation over the run (Fig. 3a data).
+    pub gpu_utilization: f64,
+    /// Cold starts paid.
+    pub cold_starts: u64,
+    /// Configuration label.
+    pub label: String,
+    /// The final trained policy weights (loadable via
+    /// `PolicyNet::load_snapshot` into an architecture-compatible net).
+    pub final_snapshot: stellaris_rl::PolicySnapshot,
+}
+
+impl TrainResult {
+    /// Mean reward over the last `n` rounds (stable "final reward" metric).
+    pub fn final_reward_mean(&self, n: usize) -> f32 {
+        let tail = &self.rows[self.rows.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().map(|r| r.reward).sum::<f32>() / tail.len() as f32
+        }
+    }
+}
+
+fn build_policy(cfg: &TrainConfig) -> PolicyNet {
+    let mut env = make_env(cfg.env_id, cfg.env_cfg);
+    env.reset(cfg.seed);
+    let mut spec = PolicySpec::for_env(env.as_ref());
+    spec.hidden = cfg.hidden;
+    PolicyNet::new(spec, cfg.seed)
+}
+
+/// The canonical starting policy: fresh weights, or the configured resume
+/// snapshot loaded on top (workers still start from `build_policy` and pull
+/// the canonical weights through the cache on their first cycle).
+fn initial_policy(cfg: &TrainConfig) -> PolicyNet {
+    let mut policy = build_policy(cfg);
+    if let Some(snap) = &cfg.initial_snapshot {
+        use stellaris_nn::ParamSet;
+        assert_eq!(
+            snap.flat.len(),
+            policy.num_scalars(),
+            "resume snapshot does not match this config's architecture"
+        );
+        policy.load_snapshot(snap);
+    }
+    policy
+}
+
+fn learner_compute(
+    cfg: &TrainConfig,
+    policy: &mut PolicyNet,
+    impact_state: &mut Option<ImpactLearner>,
+    snap: &PolicySnapshot,
+    batch: &SampleBatch,
+    cap: Option<f32>,
+    learner_id: usize,
+) -> GradientMsg {
+    policy.load_snapshot(snap);
+    let (grads, stats) = match &cfg.algo {
+        Algo::Ppo(pc) => ppo_gradients(policy, batch, pc, cap),
+        Algo::Impala(ic) => impala_gradients(policy, batch, ic, cap),
+        Algo::Impact(ic) => {
+            let state = impact_state.get_or_insert_with(|| ImpactLearner::new(policy));
+            let target = state.target_net(policy);
+            let out = impact_gradients(policy, &target, batch, ic, cap);
+            state.maybe_refresh(policy, ic);
+            out
+        }
+    };
+    GradientMsg {
+        learner_id,
+        grads,
+        base_version: snap.version,
+        batch_len: batch.len(),
+        is_ratio: stats.mean_ratio,
+        kl: stats.kl,
+        surrogate: stats.surrogate,
+    }
+}
+
+/// Runs a training job, dispatching on the learner topology.
+pub fn train(cfg: &TrainConfig) -> TrainResult {
+    match &cfg.learner_mode {
+        LearnerMode::Async { rule } => train_async(cfg, rule.clone()),
+        LearnerMode::Sync { n } => train_sync(cfg, *n),
+        LearnerMode::Single => train_sync(cfg, 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous path (Stellaris and the Fig. 11a ablation baselines)
+// ---------------------------------------------------------------------------
+
+fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
+    let start = Instant::now();
+    let cache = Arc::new(Cache::new(16, LatencyModel::lan_recorded()));
+    let platform = Arc::new(Platform::new(
+        cfg.max_learners,
+        cfg.n_actors,
+        StartupProfile::default(),
+        OverheadMode::Record,
+    ));
+    platform.prewarm(FunctionKind::Learner, cfg.max_learners);
+    platform.prewarm(FunctionKind::Actor, cfg.n_actors);
+
+    let policy0 = initial_policy(cfg);
+    let server = Arc::new(Mutex::new(ParameterServer::new(
+        policy0.clone(),
+        cfg.optimizer.build(cfg.algo.lr()),
+        rule.clone(),
+    )));
+    cache.put_obj(POLICY_KEY, &server.lock().snapshot());
+
+    let board = Arc::new(match cfg.truncation_rho {
+        Some(rho) => RatioBoard::new(rho),
+        None => RatioBoard::disabled(),
+    });
+    let throttle = rule.ssp_bound().map(|b| Arc::new(SspThrottle::new(b)));
+    let autoscaler = Arc::new(if cfg.dynamic_learners {
+        LearnerAutoscaler::new(1, cfg.max_learners.max(1))
+    } else {
+        LearnerAutoscaler::pinned(cfg.max_learners.max(1))
+    });
+
+    let traj_q: Arc<BlockingQueue<SampleBatch>> = Arc::new(BlockingQueue::new());
+    let work_q: Arc<BlockingQueue<Arc<SampleBatch>>> = Arc::new(BlockingQueue::new());
+    let grad_q: Arc<BlockingQueue<String>> = Arc::new(BlockingQueue::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let steps = Arc::new(AtomicU64::new(0));
+    // Actors sample up to the current round's data budget and then idle,
+    // so every topology consumes the same number of timesteps per round
+    // (the paper fixes the per-round trajectory volume across baselines).
+    // `sample_claims` hands out quota atomically so racing actors cannot
+    // overshoot the budget.
+    let astep = cfg.actor_steps as u64;
+    // At least one actor batch per round: a quota of zero would let every
+    // round "complete" without sampling anything.
+    let round_quota = (cfg.round_timesteps as u64 / astep).max(1) * astep;
+    let sample_target = Arc::new(AtomicU64::new(round_quota));
+    let sample_claims = Arc::new(AtomicU64::new(0));
+    let episodes = Arc::new(AtomicU64::new(0));
+    let timers = Arc::new(Timers::default());
+    let active_actors = Arc::new(AtomicUsize::new(if cfg.dynamic_actors {
+        (cfg.n_actors / 2).max(1)
+    } else {
+        cfg.n_actors
+    }));
+    let probe_obs: Arc<Mutex<Option<Tensor>>> = Arc::new(Mutex::new(None));
+
+    let mut rows = Vec::with_capacity(cfg.rounds);
+    let gamma = cfg.algo.gamma();
+    let lambda = match &cfg.algo {
+        Algo::Ppo(p) => p.gae_lambda,
+        Algo::Impact(_) | Algo::Impala(_) => 0.95,
+    };
+
+    crossbeam::thread::scope(|s| {
+        // ----- actors (Step ①) -------------------------------------------------
+        for a in 0..cfg.n_actors {
+            let cache = cache.clone();
+            let platform = platform.clone();
+            let traj_q = traj_q.clone();
+            let stop = stop.clone();
+            let steps = steps.clone();
+            let episodes = episodes.clone();
+            let timers = timers.clone();
+            let active = active_actors.clone();
+            let probe = probe_obs.clone();
+            let target_steps = sample_target.clone();
+            let claims = sample_claims.clone();
+            let serverless_actor = cfg.deployment != Deployment::Serverful;
+            let cfg = cfg.clone();
+            s.spawn(move |_| {
+                let mut worker = RolloutWorker::new(
+                    make_env(cfg.env_id, cfg.env_cfg),
+                    cfg.seed.wrapping_mul(1000).wrapping_add(a as u64),
+                );
+                let mut local = build_policy(&cfg);
+                while !stop.load(Ordering::Acquire) {
+                    if a >= active.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    // Claim one collect's worth of this round's quota.
+                    let claimed = claims.fetch_update(
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        |c| {
+                            (c + cfg.actor_steps as u64
+                                <= target_steps.load(Ordering::Acquire))
+                            .then_some(c + cfg.actor_steps as u64)
+                        },
+                    );
+                    if claimed.is_err() {
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    if let Ok(snap) = cache.get_obj::<PolicySnapshot>(POLICY_KEY) {
+                        local.load_snapshot(&snap);
+                    }
+                    let mut collect = || {
+                        let t0 = Instant::now();
+                        let batch = worker.collect(&local, cfg.actor_steps);
+                        Timers::add(&timers.actor_sampling_us, t0.elapsed());
+                        batch
+                    };
+                    let batch = if serverless_actor {
+                        platform.invoke(FunctionKind::Actor, collect).0
+                    } else {
+                        collect()
+                    };
+                    {
+                        let mut p = probe.lock();
+                        if p.is_none() {
+                            *p = Some(batch.obs.clone());
+                        }
+                    }
+                    steps.fetch_add(batch.len() as u64, Ordering::Release);
+                    episodes.fetch_add(batch.episode_returns.len() as u64, Ordering::Relaxed);
+                    traj_q.push(batch);
+                }
+            });
+        }
+
+        // ----- GPU data loader (§V-B) ------------------------------------------
+        {
+            let traj_q = traj_q.clone();
+            let work_q = work_q.clone();
+            let timers = timers.clone();
+            let minibatch = cfg.minibatch;
+            s.spawn(move |_| {
+                while let Some(mut batch) = traj_q.pop() {
+                    let t0 = Instant::now();
+                    fill_gae(&mut batch, gamma, lambda);
+                    batch.normalize_advantages();
+                    for mb in batch.minibatches(minibatch) {
+                        // Staging in "GPU memory": the Arc is the exported
+                        // pointer learners dereference without copying.
+                        work_q.push(Arc::new(mb));
+                    }
+                    Timers::add(&timers.data_loading_us, t0.elapsed());
+                }
+                work_q.close();
+            });
+        }
+
+        // ----- learner workers (Step ②) ----------------------------------------
+        for l in 0..cfg.max_learners {
+            let cache = cache.clone();
+            let platform = platform.clone();
+            let work_q = work_q.clone();
+            let grad_q = grad_q.clone();
+            let board = board.clone();
+            let throttle = throttle.clone();
+            let timers = timers.clone();
+            let server = server.clone();
+            let autoscaler = autoscaler.clone();
+            let cfg = cfg.clone();
+            s.spawn(move |_| {
+                let mut local = build_policy(&cfg);
+                let mut impact_state: Option<ImpactLearner> = None;
+                loop {
+                    // Dynamic learner orchestration: workers beyond the
+                    // autoscaler's current pool size idle without holding
+                    // GPU slots.
+                    if !autoscaler.admits(l) {
+                        if work_q.is_closed() && work_q.is_empty() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    autoscaler.observe(work_q.len());
+                    let Some(mb) = work_q.pop_timeout(Duration::from_millis(20)) else {
+                        if work_q.is_closed() && work_q.is_empty() {
+                            break;
+                        }
+                        continue;
+                    };
+                    let token = throttle.as_ref().map(|t| {
+                        let clock = server.lock().clock();
+                        t.begin(clock)
+                    });
+                    let (msg, _rec) = platform.invoke(FunctionKind::Learner, || {
+                        let t0 = Instant::now();
+                        let snap: PolicySnapshot = cache
+                            .get_obj(POLICY_KEY)
+                            .expect("policy snapshot must exist");
+                        let cap = board.cap();
+                        let msg = learner_compute(
+                            &cfg,
+                            &mut local,
+                            &mut impact_state,
+                            &snap,
+                            &mb,
+                            cap,
+                            l,
+                        );
+                        board.publish(l, msg.is_ratio);
+                        Timers::add(&timers.gradient_us, t0.elapsed());
+                        msg
+                    });
+                    if let (Some(th), Some(t)) = (&throttle, token) {
+                        th.end(t);
+                    }
+                    let t1 = Instant::now();
+                    let key = format!("grad:{}", cache.incr("grad_seq"));
+                    cache.put_obj(&key, &msg);
+                    Timers::add(&timers.cache_us, t1.elapsed());
+                    grad_q.push(key);
+                }
+            });
+        }
+
+        // ----- parameter function (Step ③) -------------------------------------
+        {
+            let cache = cache.clone();
+            let grad_q = grad_q.clone();
+            let server = server.clone();
+            let timers = timers.clone();
+            s.spawn(move |_| {
+                while let Some(key) = grad_q.pop() {
+                    let t0 = Instant::now();
+                    let Ok(msg) = cache.take_obj::<GradientMsg>(&key) else {
+                        continue;
+                    };
+                    let mut srv = server.lock();
+                    let applied = srv.offer(msg);
+                    if applied > 0 {
+                        let snap = srv.snapshot();
+                        drop(srv);
+                        cache.put_obj(POLICY_KEY, &snap);
+                    }
+                    Timers::add(&timers.aggregation_us, t0.elapsed());
+                }
+            });
+        }
+
+        // ----- round control + evaluation ---------------------------------------
+        let mut eval_env = make_env(cfg.env_id, cfg.env_cfg);
+        let mut eval_policy = build_policy(cfg);
+        let mut prev_policy = build_policy(cfg);
+        let mut prev_updates = 0u64;
+        let mut prev_invocations = 0u64;
+        let mut prev_episodes = 0u64;
+        let mut prev_staleness_len = 0usize;
+        let mut last_round_end = Instant::now();
+        let mut last_reward = f32::NEG_INFINITY;
+
+        for round in 0..cfg.rounds {
+            let target = (round as u64 + 1) * round_quota;
+            sample_target.store(target, Ordering::Release);
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while steps.load(Ordering::Acquire) < target && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Evaluate the current canonical policy.
+            if let Ok(snap) = cache.get_obj::<PolicySnapshot>(POLICY_KEY) {
+                eval_policy.load_snapshot(&snap);
+            }
+            let reward = evaluate(
+                &eval_policy,
+                eval_env.as_mut(),
+                cfg.eval_episodes,
+                cfg.seed ^ 0xe7a1,
+            );
+            let policy_kl = probe_obs
+                .lock()
+                .as_ref()
+                .map(|obs| prev_policy.mean_kl_to(&eval_policy, obs))
+                .unwrap_or(0.0);
+            prev_policy.load_snapshot(&eval_policy.snapshot());
+
+            // MinionsRL-style dynamic actor scaling.
+            if cfg.dynamic_actors {
+                let cur = active_actors.load(Ordering::Acquire);
+                let next = if reward > last_reward {
+                    (cur + 2).min(cfg.n_actors)
+                } else {
+                    cur.saturating_sub(1).max(1)
+                };
+                active_actors.store(next, Ordering::Release);
+            }
+            last_reward = reward;
+
+            let (updates, staleness_len, mean_staleness) = {
+                let mut srv = server.lock();
+                srv.advance_round();
+                let new = srv.staleness_log.len() - prev_staleness_len;
+                let mean = srv.mean_recent_staleness(new.max(1));
+                (srv.updates, srv.staleness_log.len(), mean)
+            };
+            let records = platform.records();
+            let invocations = records
+                .iter()
+                .filter(|r| r.kind == FunctionKind::Learner)
+                .count() as u64;
+            let cost = cost_for(cfg, &platform, start.elapsed());
+            let now = Instant::now();
+            rows.push(TrainRow {
+                round,
+                wall_time_s: start.elapsed().as_secs_f64(),
+                round_duration_s: (now - last_round_end).as_secs_f64(),
+                learner_invocations: invocations - prev_invocations,
+                episodes: episodes.load(Ordering::Relaxed) - prev_episodes,
+                reward,
+                mean_staleness,
+                cost_usd: cost.total(),
+                learner_cost_usd: cost.learner_usd,
+                actor_cost_usd: cost.actor_usd,
+                policy_updates: updates - prev_updates,
+                policy_kl,
+            });
+            last_round_end = now;
+            prev_updates = updates;
+            prev_invocations = invocations;
+            prev_episodes = episodes.load(Ordering::Relaxed);
+            prev_staleness_len = staleness_len;
+        }
+
+        // ----- shutdown ---------------------------------------------------------
+        stop.store(true, Ordering::Release);
+        traj_q.close();
+        work_q.close();
+        grad_q.close();
+    })
+    .expect("orchestrator thread panicked");
+
+    let guard = server.lock();
+    let result = finalize(cfg, rows, &guard, &platform, &timers, start);
+    drop(guard);
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous path (serverful baselines and MinionsRL's single learner)
+// ---------------------------------------------------------------------------
+
+fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
+    let start = Instant::now();
+    let cache = Arc::new(Cache::new(16, LatencyModel::lan_recorded()));
+    let platform = Arc::new(Platform::new(
+        n_learners.max(1),
+        cfg.n_actors,
+        StartupProfile::default(),
+        OverheadMode::Record,
+    ));
+    platform.prewarm(FunctionKind::Learner, n_learners);
+    platform.prewarm(FunctionKind::Actor, cfg.n_actors);
+    let timers = Arc::new(Timers::default());
+
+    let policy0 = initial_policy(cfg);
+    let mut server = ParameterServer::new(
+        policy0,
+        cfg.optimizer.build(cfg.algo.lr()),
+        AggregationRule::FullSync { n: n_learners.max(1) },
+    );
+    cache.put_obj(POLICY_KEY, &server.snapshot());
+
+    let gamma = cfg.algo.gamma();
+    let lambda = match &cfg.algo {
+        Algo::Ppo(p) => p.gae_lambda,
+        Algo::Impact(_) | Algo::Impala(_) => 0.95,
+    };
+
+    let mut workers: Vec<RolloutWorker> = (0..cfg.n_actors)
+        .map(|a| {
+            RolloutWorker::new(
+                make_env(cfg.env_id, cfg.env_cfg),
+                cfg.seed.wrapping_mul(1000).wrapping_add(a as u64),
+            )
+        })
+        .collect();
+    let mut eval_env = make_env(cfg.env_id, cfg.env_cfg);
+    let mut eval_policy = build_policy(cfg);
+    let mut prev_policy = build_policy(cfg);
+    let mut probe_obs: Option<Tensor> = None;
+
+    let mut rows = Vec::with_capacity(cfg.rounds);
+    // IMPACT's target-network state persists across waves per learner slot
+    // (a fresh target every invocation would degenerate the ratio to 1).
+    let impact_states: Vec<Mutex<Option<ImpactLearner>>> =
+        (0..n_learners.max(1)).map(|_| Mutex::new(None)).collect();
+    let mut episodes_total = 0u64;
+    let mut prev_invocations = 0u64;
+    let mut prev_episodes = 0u64;
+    let mut prev_updates = 0u64;
+    let mut last_round_end = Instant::now();
+    let collects_per_round =
+        cfg.round_timesteps.div_ceil(cfg.n_actors * cfg.actor_steps);
+
+    for round in 0..cfg.rounds {
+        // Synchronous actor wave(s).
+        let mut batches: Vec<SampleBatch> = Vec::new();
+        for _ in 0..collects_per_round.max(1) {
+            let snap: PolicySnapshot = cache.get_obj(POLICY_KEY).expect("policy must exist");
+            let serverless_actor = cfg.deployment != Deployment::Serverful;
+            let wave: Vec<SampleBatch> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .map(|w| {
+                        let platform = platform.clone();
+                        let timers = timers.clone();
+                        let snap = snap.clone();
+                        let cfg2 = cfg.clone();
+                        s.spawn(move |_| {
+                            let mut local = build_policy(&cfg2);
+                            local.load_snapshot(&snap);
+                            let mut collect = || {
+                                let t0 = Instant::now();
+                                let b = w.collect(&local, cfg2.actor_steps);
+                                Timers::add(&timers.actor_sampling_us, t0.elapsed());
+                                b
+                            };
+                            if serverless_actor {
+                                platform.invoke(FunctionKind::Actor, collect).0
+                            } else {
+                                collect()
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("actor wave panicked");
+            batches.extend(wave);
+        }
+        episodes_total += batches
+            .iter()
+            .map(|b| b.episode_returns.len() as u64)
+            .sum::<u64>();
+        if probe_obs.is_none() {
+            probe_obs = batches.first().map(|b| b.obs.clone());
+        }
+
+        // Data loader: GAE + minibatching.
+        let t0 = Instant::now();
+        let mut minibatches: Vec<SampleBatch> = Vec::new();
+        for mut b in batches {
+            fill_gae(&mut b, gamma, lambda);
+            b.normalize_advantages();
+            minibatches.extend(b.minibatches(cfg.minibatch));
+        }
+        Timers::add(&timers.data_loading_us, t0.elapsed());
+
+        // Synchronous data-parallel learner waves.
+        let mut idx = 0;
+        while idx < minibatches.len() {
+            let wave: Vec<&SampleBatch> = minibatches
+                [idx..(idx + n_learners.max(1)).min(minibatches.len())]
+                .iter()
+                .collect();
+            idx += wave.len();
+            let snap = server.snapshot();
+            // Synchronous learners are held at a barrier until the whole
+            // wave finishes: a synchronous learner function keeps its slot
+            // (and its bill running) while it waits for stragglers — the
+            // economic cost of synchrony the paper's Fig. 2(b)/8 expose.
+            let barrier = Arc::new(std::sync::Barrier::new(wave.len()));
+            let msgs: Vec<GradientMsg> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = wave
+                    .into_iter()
+                    .enumerate()
+                    .map(|(l, mb)| {
+                        let platform = platform.clone();
+                        let timers = timers.clone();
+                        let snap = snap.clone();
+                        let cfg2 = cfg.clone();
+                        let barrier = barrier.clone();
+                        let impact_slot = &impact_states[l];
+                        s.spawn(move |_| {
+                            let platform2 = platform.clone();
+                            platform
+                                .invoke(FunctionKind::Learner, || {
+                                    let t0 = Instant::now();
+                                    let mut local = build_policy(&cfg2);
+                                    let mut impact_state = impact_slot.lock().take();
+                                    let msg = learner_compute(
+                                        &cfg2,
+                                        &mut local,
+                                        &mut impact_state,
+                                        &snap,
+                                        mb,
+                                        None,
+                                        l,
+                                    );
+                                    *impact_slot.lock() = impact_state;
+                                    Timers::add(&timers.gradient_us, t0.elapsed());
+                                    // Waiting for the wave's stragglers holds
+                                    // the GPU slot: billed, though it burns no
+                                    // CPU (CPU-time billing would miss it).
+                                    let w0 = Instant::now();
+                                    barrier.wait();
+                                    platform2.bill_hold(FunctionKind::Learner, w0.elapsed());
+                                    msg
+                                })
+                                .0
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("learner wave panicked");
+            let t1 = Instant::now();
+            let wave_n = msgs.len();
+            if wave_n < n_learners.max(1) {
+                // Last partial wave: temporarily lower the sync barrier.
+                let mut tmp = ParameterServer::new(
+                    server.policy.clone(),
+                    cfg.optimizer.build(cfg.algo.lr()),
+                    AggregationRule::FullSync { n: wave_n.max(1) },
+                );
+                tmp.policy.version = server.policy.version;
+                for m in msgs {
+                    tmp.offer(m);
+                }
+                let snap = tmp.snapshot();
+                server.policy.load_snapshot(&snap);
+                server.updates += 1;
+            } else {
+                for m in msgs {
+                    server.offer(m);
+                }
+            }
+            cache.put_obj(POLICY_KEY, &server.snapshot());
+            Timers::add(&timers.aggregation_us, t1.elapsed());
+        }
+
+        // Evaluation + metrics.
+        eval_policy.load_snapshot(&server.snapshot());
+        let reward = evaluate(
+            &eval_policy,
+            eval_env.as_mut(),
+            cfg.eval_episodes,
+            cfg.seed ^ 0xe7a1,
+        );
+        let policy_kl = probe_obs
+            .as_ref()
+            .map(|obs| prev_policy.mean_kl_to(&eval_policy, obs))
+            .unwrap_or(0.0);
+        prev_policy.load_snapshot(&eval_policy.snapshot());
+        server.advance_round();
+
+        let records = platform.records();
+        let invocations = records
+            .iter()
+            .filter(|r| r.kind == FunctionKind::Learner)
+            .count() as u64;
+        let cost = cost_for(cfg, &platform, start.elapsed());
+        let now = Instant::now();
+        rows.push(TrainRow {
+            round,
+            wall_time_s: start.elapsed().as_secs_f64(),
+            round_duration_s: (now - last_round_end).as_secs_f64(),
+            learner_invocations: invocations - prev_invocations,
+            episodes: episodes_total - prev_episodes,
+            reward,
+            mean_staleness: 0.0,
+            cost_usd: cost.total(),
+            learner_cost_usd: cost.learner_usd,
+            actor_cost_usd: cost.actor_usd,
+            policy_updates: server.updates - prev_updates,
+            policy_kl,
+        });
+        last_round_end = now;
+        prev_invocations = invocations;
+        prev_episodes = episodes_total;
+        prev_updates = server.updates;
+    }
+
+    finalize(cfg, rows, &server, &platform, &timers, start)
+}
+
+fn cost_for(cfg: &TrainConfig, platform: &Platform, wall: Duration) -> CostBreakdown {
+    let records = platform.records();
+    match cfg.deployment {
+        Deployment::Serverless => bill_serverless(&cfg.cluster, &records),
+        Deployment::Serverful => bill_serverful(&cfg.cluster, wall),
+        Deployment::Hybrid => {
+            let actor_records: Vec<_> = records
+                .iter()
+                .copied()
+                .filter(|r| r.kind == FunctionKind::Actor)
+                .collect();
+            bill_hybrid(&cfg.cluster, wall, &actor_records)
+        }
+    }
+}
+
+fn finalize(
+    cfg: &TrainConfig,
+    rows: Vec<TrainRow>,
+    server: &ParameterServer,
+    platform: &Platform,
+    timers: &Timers,
+    start: Instant,
+) -> TrainResult {
+    let wall = start.elapsed();
+    let mut timer_report = timers.report();
+    // Startup overhead + cache latency from the substrates' own accounting.
+    timer_report.startup_s = platform
+        .records()
+        .iter()
+        .map(|r| r.startup.as_secs_f64())
+        .sum();
+    let (cold, _) = platform.start_counts();
+    let final_reward = rows.last().map(|r| r.reward).unwrap_or(0.0);
+    TrainResult {
+        staleness_log: server.staleness_log.clone(),
+        timers: timer_report,
+        final_reward,
+        cost: cost_for(cfg, platform, wall),
+        wall_time_s: wall.as_secs_f64(),
+        learner_invocations: platform
+            .records()
+            .iter()
+            .filter(|r| r.kind == FunctionKind::Learner)
+            .count() as u64,
+        policy_updates: server.updates,
+        gpu_utilization: platform.gpu_utilization(cfg.max_learners),
+        cold_starts: cold,
+        label: cfg.label(),
+        final_snapshot: server.snapshot(),
+        rows,
+    }
+}
+
+/// Smoothed reward curve: mean over a trailing window (used by figures).
+pub fn smooth(rewards: &[f32], window: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(rewards.len());
+    let mut buf: VecDeque<f32> = VecDeque::new();
+    for &r in rewards {
+        buf.push_back(r);
+        if buf.len() > window.max(1) {
+            buf.pop_front();
+        }
+        out.push(buf.iter().sum::<f32>() / buf.len() as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellaris_envs::EnvId;
+
+    #[test]
+    fn async_tiny_run_completes_with_sane_metrics() {
+        let cfg = TrainConfig::test_tiny(EnvId::PointMass, 1);
+        let res = train(&cfg);
+        assert_eq!(res.rows.len(), 3);
+        assert!(res.learner_invocations > 0, "learners must have been invoked");
+        assert!(res.policy_updates > 0, "policy must have been updated");
+        assert!(res.final_reward.is_finite());
+        assert!(res.cost.total() > 0.0);
+        assert!(res.wall_time_s > 0.0);
+        for row in &res.rows {
+            assert!(row.reward.is_finite());
+            assert!(row.cost_usd >= 0.0);
+        }
+        // Cumulative cost is nondecreasing.
+        for w in res.rows.windows(2) {
+            assert!(w[1].cost_usd >= w[0].cost_usd - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sync_tiny_run_completes() {
+        let mut cfg = TrainConfig::test_tiny(EnvId::ChainMdp, 2);
+        cfg.learner_mode = LearnerMode::Sync { n: 2 };
+        cfg.deployment = Deployment::Serverful;
+        let res = train(&cfg);
+        assert_eq!(res.rows.len(), 3);
+        assert!(res.policy_updates > 0);
+        assert_eq!(res.staleness_log.iter().max().copied().unwrap_or(0), 0,
+            "synchronous learners never see staleness");
+        assert!(res.cost.total() > 0.0, "serverful billing charges wall time");
+    }
+
+    #[test]
+    fn single_learner_mode_runs() {
+        let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 3);
+        cfg.learner_mode = LearnerMode::Single;
+        let res = train(&cfg);
+        assert!(res.policy_updates > 0);
+    }
+
+    #[test]
+    fn async_staleness_emerges_with_multiple_learners() {
+        let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 4);
+        cfg.learner_mode = LearnerMode::Async { rule: AggregationRule::PureAsync };
+        cfg.max_learners = 4;
+        cfg.rounds = 4;
+        let res = train(&cfg);
+        assert!(!res.staleness_log.is_empty());
+        // With four racing learners some gradient should arrive stale.
+        let max_staleness = res.staleness_log.iter().max().copied().unwrap();
+        assert!(max_staleness >= 1, "expected some staleness, got {max_staleness}");
+    }
+
+    #[test]
+    fn smooth_is_trailing_mean() {
+        let s = smooth(&[1.0, 3.0, 5.0, 7.0], 2);
+        assert_eq!(s, vec![1.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn dynamic_actors_run() {
+        let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 5);
+        cfg.dynamic_actors = true;
+        cfg.n_actors = 3;
+        let res = train(&cfg);
+        assert_eq!(res.rows.len(), cfg.rounds);
+    }
+}

@@ -1,0 +1,343 @@
+//! The Parameter Function (workflow Step ③): staleness-aware gradient
+//! aggregation and policy updates.
+//!
+//! Gradients arriving from learner functions are queued; every enqueue
+//! re-evaluates the aggregation rule, and admitted batches are folded into
+//! the policy as `θ_{c+1} = θ_c - (1/H_c) Σ (α_0/δ^(1/v)) g` via the
+//! configured optimizer. The policy clock (`PolicyNet::version`) increments
+//! on every update and is the reference for all staleness computations.
+
+use stellaris_nn::{Optimizer, ParamSet, Tensor};
+use stellaris_rl::{PolicyNet, PolicySnapshot};
+
+use crate::aggregation::AggregationRule;
+use crate::messages::GradientMsg;
+use crate::staleness::StalenessSchedule;
+
+/// The aggregating parameter server (one per training job).
+pub struct ParameterServer {
+    /// The canonical policy.
+    pub policy: PolicyNet,
+    optimizer: Box<dyn Optimizer>,
+    rule: AggregationRule,
+    schedule: Option<StalenessSchedule>,
+    pending: Vec<GradientMsg>,
+    /// Staleness of every aggregated gradient, in admission order
+    /// (the data behind the paper's Fig. 3(b) PDFs).
+    pub staleness_log: Vec<u64>,
+    /// Number of policy updates performed.
+    pub updates: u64,
+    /// Number of gradients folded in.
+    pub grads_aggregated: u64,
+}
+
+impl ParameterServer {
+    /// Creates a server around an initial policy.
+    pub fn new(policy: PolicyNet, optimizer: Box<dyn Optimizer>, rule: AggregationRule) -> Self {
+        let schedule = rule.make_schedule();
+        Self {
+            policy,
+            optimizer,
+            rule,
+            schedule,
+            pending: Vec::new(),
+            staleness_log: Vec::new(),
+            updates: 0,
+            grads_aggregated: 0,
+        }
+    }
+
+    /// Current policy clock.
+    pub fn clock(&self) -> u64 {
+        self.policy.version
+    }
+
+    /// Gradients waiting in the delay queue.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Offers a gradient; returns how many policy updates it triggered
+    /// (0 when the rule delays aggregation).
+    pub fn offer(&mut self, msg: GradientMsg) -> usize {
+        let staleness = msg.staleness(self.clock());
+        if let Some(s) = &mut self.schedule {
+            s.observe(staleness);
+        }
+        self.pending.push(msg);
+        let mut applied = 0;
+        while self.try_flush() {
+            applied += 1;
+        }
+        applied
+    }
+
+    /// One aggregation attempt; true if an update happened.
+    fn try_flush(&mut self) -> bool {
+        let clock = self.clock();
+        let staleness: Vec<u64> = self.pending.iter().map(|m| m.staleness(clock)).collect();
+        if !self.rule.admits(&staleness, self.schedule.as_ref()) {
+            return false;
+        }
+        // Per-gradient aggregation rules consume one message per update;
+        // batched rules fold the whole queue.
+        let take = match self.rule {
+            AggregationRule::PureAsync | AggregationRule::Ssp { .. } => 1,
+            _ => self.pending.len(),
+        };
+        let batch: Vec<GradientMsg> = self.pending.drain(..take).collect();
+        self.apply(&batch);
+        true
+    }
+
+    fn apply(&mut self, batch: &[GradientMsg]) {
+        debug_assert!(!batch.is_empty());
+        let clock = self.clock();
+        let shapes: Vec<Vec<usize>> = self
+            .policy
+            .params()
+            .iter()
+            .map(|p| p.shape().to_vec())
+            .collect();
+        let mut agg: Vec<Tensor> = shapes.iter().map(|s| Tensor::zeros(s)).collect();
+        let h = batch.len() as f32;
+        for msg in batch {
+            assert_eq!(
+                msg.grads.len(),
+                agg.len(),
+                "gradient layout mismatch from learner {}",
+                msg.learner_id
+            );
+            let delta = msg.staleness(clock);
+            self.staleness_log.push(delta);
+            let w = self.rule.weight(delta) / h;
+            for (acc, grad) in agg.iter_mut().zip(msg.grads.iter()) {
+                assert_eq!(acc.shape(), grad.shape(), "gradient shape mismatch");
+                acc.axpy(w, grad);
+            }
+        }
+        let mut params: Vec<Tensor> = self.policy.params().into_iter().cloned().collect();
+        self.optimizer.step(&mut params, &agg);
+        let flat = stellaris_nn::flatten_all(&params);
+        self.policy.load_flat(&flat);
+        self.policy.version += 1;
+        self.updates += 1;
+        self.grads_aggregated += batch.len() as u64;
+    }
+
+    /// Advances the staleness-threshold schedule one training round.
+    pub fn advance_round(&mut self) {
+        if let Some(s) = &mut self.schedule {
+            s.advance_round();
+        }
+    }
+
+    /// Current staleness threshold `β_k` (None while calibrating or for
+    /// rules without one).
+    pub fn beta(&self) -> Option<f64> {
+        self.schedule.as_ref().and_then(StalenessSchedule::beta)
+    }
+
+    /// Snapshot of the canonical policy for actors/learners to pull.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        self.policy.snapshot()
+    }
+
+    /// Mean staleness over the last `n` aggregated gradients.
+    pub fn mean_recent_staleness(&self, n: usize) -> f64 {
+        let tail = &self.staleness_log[self.staleness_log.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<u64>() as f64 / tail.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellaris_envs::ActionSpace;
+    use stellaris_nn::{OptimizerKind, Sgd};
+    use stellaris_rl::PolicySpec;
+
+    fn tiny_policy(seed: u64) -> PolicyNet {
+        PolicyNet::new(
+            PolicySpec {
+                obs_shape: vec![4],
+                action_space: ActionSpace::Continuous { dim: 2, bound: 1.0 },
+                hidden: 8,
+            },
+            seed,
+        )
+    }
+
+    fn grad_msg(policy: &PolicyNet, learner: usize, base: u64, fill: f32) -> GradientMsg {
+        GradientMsg {
+            learner_id: learner,
+            grads: policy
+                .params()
+                .iter()
+                .map(|p| Tensor::full(p.shape(), fill))
+                .collect(),
+            base_version: base,
+            batch_len: 32,
+            is_ratio: 1.0,
+            kl: 0.0,
+            surrogate: 0.0,
+        }
+    }
+
+    #[test]
+    fn pure_async_applies_immediately() {
+        let policy = tiny_policy(0);
+        let msg = grad_msg(&policy, 0, 0, 0.1);
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(0.1, 0.0)),
+            AggregationRule::PureAsync,
+        );
+        assert_eq!(ps.offer(msg), 1);
+        assert_eq!(ps.clock(), 1);
+        assert_eq!(ps.pending(), 0);
+    }
+
+    #[test]
+    fn sgd_update_moves_params_by_weighted_gradient() {
+        let policy = tiny_policy(0);
+        let before = policy.flatten();
+        let msg = grad_msg(&policy, 0, 0, 1.0);
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(0.5, 0.0)),
+            AggregationRule::PureAsync,
+        );
+        ps.offer(msg);
+        let after = ps.policy.flatten();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b - 0.5 - a).abs() < 1e-6, "θ' = θ - lr*g: {b} -> {a}");
+        }
+    }
+
+    #[test]
+    fn fullsync_waits_for_group() {
+        let policy = tiny_policy(0);
+        let m1 = grad_msg(&policy, 0, 0, 1.0);
+        let m2 = grad_msg(&policy, 1, 0, 3.0);
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(1.0, 0.0)),
+            AggregationRule::FullSync { n: 2 },
+        );
+        assert_eq!(ps.offer(m1), 0, "must wait for the group");
+        assert_eq!(ps.pending(), 1);
+        let before = ps.policy.flatten();
+        assert_eq!(ps.offer(m2), 1);
+        let after = ps.policy.flatten();
+        // Plain average of fills 1 and 3 = 2, lr 1.
+        assert!((before[0] - 2.0 - after[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn staleness_weights_scale_contributions() {
+        let policy = tiny_policy(0);
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(1.0, 0.0)),
+            AggregationRule::StalenessAware { d: 1.0, v: 1 },
+        );
+        // Advance the clock twice with fresh gradients (round 0: unbounded).
+        let m = grad_msg(&ps.policy, 0, 0, 0.0);
+        ps.offer(m);
+        let m = grad_msg(&ps.policy, 0, 1, 0.0);
+        ps.offer(m);
+        assert_eq!(ps.clock(), 2);
+        let before = ps.policy.flatten();
+        // A gradient based on version 0 now has staleness 2 -> weight 1/2.
+        let stale = grad_msg(&ps.policy, 1, 0, 1.0);
+        ps.offer(stale);
+        let after = ps.policy.flatten();
+        assert!((before[0] - 0.5 - after[0]).abs() < 1e-5, "weight 1/δ = 0.5");
+        assert_eq!(ps.staleness_log.last(), Some(&2));
+    }
+
+    #[test]
+    fn staleness_threshold_delays_aggregation() {
+        let policy = tiny_policy(0);
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(0.1, 0.0)),
+            AggregationRule::StalenessAware { d: 0.25, v: 3 },
+        );
+        // Calibration round: drive the clock to 4 and record δ_max = 4.
+        for i in 0..4 {
+            let m = grad_msg(&ps.policy, 0, i, 0.01);
+            ps.offer(m);
+        }
+        let stale = grad_msg(&ps.policy, 1, 0, 0.01);
+        ps.offer(stale); // staleness 4 observed in round 0 -> δ_max = 4
+        ps.advance_round(); // β = 4 * 0.25 = 1
+        assert_eq!(ps.beta(), Some(1.0));
+        let clock = ps.clock();
+        // A gradient 3 versions stale: average 3 > β=1 -> delayed.
+        let old = grad_msg(&ps.policy, 2, clock - 3, 0.01);
+        assert_eq!(ps.offer(old), 0);
+        assert_eq!(ps.pending(), 1);
+        // Two fresh gradients pull the average to (3+0+0)/3 = 1 <= β.
+        let f1 = grad_msg(&ps.policy, 3, clock, 0.01);
+        assert_eq!(ps.offer(f1), 0, "avg (3+0)/2 = 1.5 > 1 still delayed");
+        let f2 = grad_msg(&ps.policy, 4, clock, 0.01);
+        assert_eq!(ps.offer(f2), 1, "avg (3+0+0)/3 = 1 <= β admits");
+        assert_eq!(ps.pending(), 0);
+        assert_eq!(ps.grads_aggregated, 8);
+    }
+
+    #[test]
+    fn softsync_batches_every_c() {
+        let policy = tiny_policy(0);
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(0.1, 0.0)),
+            AggregationRule::Softsync { c: 3 },
+        );
+        for i in 0..2 {
+            let m = grad_msg(&ps.policy, i, 0, 0.1);
+            assert_eq!(ps.offer(m), 0);
+        }
+        let m = grad_msg(&ps.policy, 2, 0, 0.1);
+        assert_eq!(ps.offer(m), 1);
+        assert_eq!(ps.updates, 1);
+        assert_eq!(ps.grads_aggregated, 3);
+    }
+
+    #[test]
+    fn optimizer_kind_integration() {
+        let policy = tiny_policy(0);
+        let mut ps = ParameterServer::new(
+            policy,
+            OptimizerKind::Adam.build(0.01),
+            AggregationRule::PureAsync,
+        );
+        for i in 0..5 {
+            let m = grad_msg(&ps.policy, 0, i, 0.3);
+            ps.offer(m);
+        }
+        assert_eq!(ps.updates, 5);
+        assert!(ps.policy.flatten().iter().all(|x| x.is_finite()));
+        assert_eq!(ps.mean_recent_staleness(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient layout mismatch")]
+    fn layout_mismatch_panics() {
+        let policy = tiny_policy(0);
+        let mut bad = grad_msg(&policy, 0, 0, 0.1);
+        bad.grads.pop();
+        let mut ps = ParameterServer::new(
+            policy,
+            Box::new(Sgd::new(0.1, 0.0)),
+            AggregationRule::PureAsync,
+        );
+        ps.offer(bad);
+    }
+}

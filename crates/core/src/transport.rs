@@ -1,0 +1,209 @@
+//! Hierarchical data passing (§V-B): "1) *shared memory* for learner
+//! functions that are located in the same physical server ..., 2) *remote
+//! procedure call (RPC)* for learners' remote communication, and 3)
+//! *Distributed Cache* as external storage for persisting trajectories."
+//!
+//! The three tiers differ in what they cost. Shared memory moves an `Arc`
+//! (no copy, no serialisation). RPC serialises into a frame and charges a
+//! per-byte link cost. The cache tier persists the payload (it survives the
+//! sender) and charges the cache's latency model. A [`Router`] picks the
+//! cheapest tier that satisfies the placement of sender and receiver.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use stellaris_cache::{Cache, Codec};
+
+/// Where a function instance runs (for tier selection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// Physical VM index.
+    pub vm: usize,
+}
+
+/// The communication tier actually used for a transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Same-VM zero-copy handoff.
+    SharedMemory,
+    /// Cross-VM serialised message.
+    Rpc,
+    /// Persisted through the distributed cache.
+    Cache,
+}
+
+/// A payload delivered through the transport: either a zero-copy pointer or
+/// a decoded owned value (RPC/cache paths).
+pub enum Delivered<T> {
+    /// Shared-memory handoff — the very same allocation.
+    Shared(Arc<T>),
+    /// Deserialised copy.
+    Owned(T),
+}
+
+impl<T> Delivered<T> {
+    /// Borrows the payload regardless of tier.
+    pub fn get(&self) -> &T {
+        match self {
+            Delivered::Shared(v) => v,
+            Delivered::Owned(v) => v,
+        }
+    }
+
+    /// True when the delivery avoided serialisation.
+    pub fn was_zero_copy(&self) -> bool {
+        matches!(self, Delivered::Shared(_))
+    }
+}
+
+/// Transfer statistics per tier.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Shared-memory transfers.
+    pub shared: AtomicU64,
+    /// RPC transfers.
+    pub rpc: AtomicU64,
+    /// Cache transfers.
+    pub cache: AtomicU64,
+    /// Serialised bytes moved (RPC + cache).
+    pub bytes: AtomicU64,
+}
+
+/// Tier-selecting transport router.
+pub struct Router {
+    cache: Arc<Cache>,
+    /// Simulated RPC link cost in microseconds per KiB (recorded).
+    pub rpc_us_per_kb: u64,
+    rpc_latency_us: AtomicU64,
+    /// Counters.
+    pub stats: TransportStats,
+}
+
+impl Router {
+    /// Creates a router over a cache instance.
+    pub fn new(cache: Arc<Cache>) -> Self {
+        Self {
+            cache,
+            rpc_us_per_kb: 8, // ~ 1 GbE effective
+            rpc_latency_us: AtomicU64::new(0),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Which tier a transfer from `src` to `dst` should use; `persist`
+    /// forces the cache tier (the payload must outlive the sender, e.g.
+    /// trajectories awaiting asynchronous learners).
+    pub fn pick(&self, src: Placement, dst: Placement, persist: bool) -> Tier {
+        if persist {
+            Tier::Cache
+        } else if src.vm == dst.vm {
+            Tier::SharedMemory
+        } else {
+            Tier::Rpc
+        }
+    }
+
+    /// Sends a payload, returning what the receiver observes.
+    pub fn send<T: Codec>(
+        &self,
+        value: Arc<T>,
+        src: Placement,
+        dst: Placement,
+        persist: bool,
+        key: &str,
+    ) -> (Tier, Delivered<T>) {
+        match self.pick(src, dst, persist) {
+            Tier::SharedMemory => {
+                self.stats.shared.fetch_add(1, Ordering::Relaxed);
+                (Tier::SharedMemory, Delivered::Shared(value))
+            }
+            Tier::Rpc => {
+                let frame = value.to_bytes();
+                self.stats.rpc.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                self.rpc_latency_us.fetch_add(
+                    self.rpc_us_per_kb * (frame.len() as u64 / 1024).max(1),
+                    Ordering::Relaxed,
+                );
+                let decoded = T::from_bytes(&frame).expect("RPC frame must round-trip");
+                (Tier::Rpc, Delivered::Owned(decoded))
+            }
+            Tier::Cache => {
+                let frame = value.to_bytes();
+                self.stats.cache.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                self.cache.put(key, frame);
+                let back = self.cache.take(key).expect("cache payload just stored");
+                let decoded = T::from_bytes(&back).expect("cached frame must round-trip");
+                (Tier::Cache, Delivered::Owned(decoded))
+            }
+        }
+    }
+
+    /// Accumulated simulated RPC latency.
+    pub fn rpc_latency_us(&self) -> u64 {
+        self.rpc_latency_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellaris_nn::Tensor;
+
+    fn router() -> Router {
+        Router::new(Arc::new(Cache::in_memory()))
+    }
+
+    #[test]
+    fn same_vm_uses_shared_memory() {
+        let r = router();
+        let t = Arc::new(Tensor::ones(&[64]));
+        let (tier, got) = r.send(t.clone(), Placement { vm: 0 }, Placement { vm: 0 }, false, "k");
+        assert_eq!(tier, Tier::SharedMemory);
+        assert!(got.was_zero_copy());
+        assert!(Arc::ptr_eq(
+            match &got {
+                Delivered::Shared(v) => v,
+                _ => unreachable!(),
+            },
+            &t
+        ));
+        assert_eq!(r.stats.shared.load(Ordering::Relaxed), 1);
+        assert_eq!(r.stats.bytes.load(Ordering::Relaxed), 0, "no serialisation");
+    }
+
+    #[test]
+    fn cross_vm_uses_rpc_and_charges_bytes() {
+        let r = router();
+        let t = Arc::new(Tensor::ones(&[256, 4]));
+        let (tier, got) = r.send(t.clone(), Placement { vm: 0 }, Placement { vm: 1 }, false, "k");
+        assert_eq!(tier, Tier::Rpc);
+        assert!(!got.was_zero_copy());
+        assert_eq!(got.get(), t.as_ref());
+        assert!(r.stats.bytes.load(Ordering::Relaxed) >= 256 * 4 * 4);
+        assert!(r.rpc_latency_us() > 0);
+    }
+
+    #[test]
+    fn persistence_forces_cache_tier() {
+        let r = router();
+        let t = Arc::new(Tensor::full(&[8], 3.0));
+        let (tier, got) = r.send(t, Placement { vm: 0 }, Placement { vm: 0 }, true, "traj:1");
+        assert_eq!(tier, Tier::Cache, "persisted payloads go through the cache");
+        assert_eq!(got.get().data()[0], 3.0);
+        assert_eq!(r.stats.cache.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tier_selection_matrix() {
+        let r = router();
+        assert_eq!(r.pick(Placement { vm: 2 }, Placement { vm: 2 }, false), Tier::SharedMemory);
+        assert_eq!(r.pick(Placement { vm: 0 }, Placement { vm: 3 }, false), Tier::Rpc);
+        assert_eq!(r.pick(Placement { vm: 1 }, Placement { vm: 1 }, true), Tier::Cache);
+    }
+}

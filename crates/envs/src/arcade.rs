@@ -1,0 +1,847 @@
+//! Atari-like arcade environments: SpaceInvaders, Qbert and Gravitar.
+//!
+//! These are compact re-implementations of the three discrete-action
+//! benchmarks in the paper's §VIII-A, built for the same observation
+//! contract the paper's CNN consumes: a stack of three grayscale frames
+//! (`[3, S, S]`, values in `[0,1]`). Game dynamics live in normalised
+//! `[0,1]²` coordinates and are rasterised per step.
+
+use rand::Rng;
+
+use crate::env::{env_rng, Action, ActionSpace, Env, EnvConfig, EnvRng, Step};
+
+/// Number of stacked frames, as in the paper ("a stack of three 84x84 images").
+pub const FRAME_STACK: usize = 3;
+
+/// A square grayscale raster.
+#[derive(Clone, Debug)]
+pub struct Canvas {
+    size: usize,
+    px: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a black canvas of `size x size`.
+    pub fn new(size: usize) -> Self {
+        Self { size, px: vec![0.0; size * size] }
+    }
+
+    /// Clears to black.
+    pub fn clear(&mut self) {
+        self.px.fill(0.0);
+    }
+
+    /// Canvas side length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Pixel buffer (row-major, y increasing downward).
+    pub fn pixels(&self) -> &[f32] {
+        &self.px
+    }
+
+    /// Fills a rectangle given in normalised coordinates (origin top-left),
+    /// clamped to the canvas.
+    pub fn fill_rect(&mut self, cx: f32, cy: f32, w: f32, h: f32, v: f32) {
+        let s = self.size as f32;
+        let x0 = (((cx - w * 0.5) * s).floor().max(0.0)) as usize;
+        let y0 = (((cy - h * 0.5) * s).floor().max(0.0)) as usize;
+        let x1 = ((((cx + w * 0.5) * s).ceil()).min(s)) as usize;
+        let y1 = ((((cy + h * 0.5) * s).ceil()).min(s)) as usize;
+        for y in y0..y1.max(y0) {
+            for x in x0..x1.max(x0) {
+                if x < self.size && y < self.size {
+                    self.px[y * self.size + x] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Rolling stack of the last [`FRAME_STACK`] frames.
+#[derive(Clone, Debug)]
+struct FrameStack {
+    size: usize,
+    frames: [Vec<f32>; FRAME_STACK],
+}
+
+impl FrameStack {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            frames: std::array::from_fn(|_| vec![0.0; size * size]),
+        }
+    }
+
+    fn push(&mut self, frame: &Canvas) {
+        debug_assert_eq!(frame.size(), self.size);
+        self.frames.rotate_left(1);
+        self.frames[FRAME_STACK - 1].copy_from_slice(frame.pixels());
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        let mut obs = Vec::with_capacity(FRAME_STACK * self.size * self.size);
+        for f in &self.frames {
+            obs.extend_from_slice(f);
+        }
+        obs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Space Invaders
+// ---------------------------------------------------------------------------
+
+const SI_COLS: usize = 6;
+const SI_ROWS: usize = 4;
+/// Vertical position of the shield row.
+const SHIELD_Y: f32 = 0.82;
+
+/// Fixed-shooter game: a marching alien grid drops bombs, the player ship
+/// fires back. Actions: 0 noop, 1 left, 2 right, 3 fire. Row-scaled kill
+/// rewards mirror Atari's scoring.
+pub struct SpaceInvaders {
+    cfg: EnvConfig,
+    rng: EnvRng,
+    canvas: Canvas,
+    stack: FrameStack,
+    player_x: f32,
+    alive: [[bool; SI_COLS]; SI_ROWS],
+    grid_dx: f32,
+    grid_dy: f32,
+    dir: f32,
+    bullet: Option<(f32, f32)>,
+    bombs: Vec<(f32, f32)>,
+    /// Destructible shields: (x centre, hit points left).
+    shields: Vec<(f32, u8)>,
+    lives: u32,
+    t: usize,
+}
+
+impl SpaceInvaders {
+    /// Creates the environment.
+    pub fn new(cfg: EnvConfig) -> Self {
+        let s = cfg.frame_size;
+        Self {
+            cfg,
+            rng: env_rng(0),
+            canvas: Canvas::new(s),
+            stack: FrameStack::new(s),
+            player_x: 0.5,
+            alive: [[true; SI_COLS]; SI_ROWS],
+            grid_dx: 0.0,
+            grid_dy: 0.0,
+            dir: 1.0,
+            bullet: None,
+            bombs: Vec::new(),
+            shields: vec![(0.25, 4), (0.5, 4), (0.75, 4)],
+            lives: 3,
+            t: 0,
+        }
+    }
+
+    fn alien_pos(&self, r: usize, c: usize) -> (f32, f32) {
+        (
+            0.18 + c as f32 * 0.12 + self.grid_dx,
+            0.12 + r as f32 * 0.09 + self.grid_dy,
+        )
+    }
+
+    /// Chips the shield covering `x` (if any); true when absorbed.
+    fn absorb_shield(&mut self, x: f32) -> bool {
+        for (sx, hp) in self.shields.iter_mut() {
+            if *hp > 0 && (*sx - x).abs() < 0.06 {
+                *hp -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn any_alive(&self) -> bool {
+        self.alive.iter().flatten().any(|&a| a)
+    }
+
+    fn render(&mut self) {
+        self.canvas.clear();
+        for r in 0..SI_ROWS {
+            for c in 0..SI_COLS {
+                if self.alive[r][c] {
+                    let (x, y) = self.alien_pos(r, c);
+                    self.canvas.fill_rect(x, y, 0.07, 0.05, 0.7);
+                }
+            }
+        }
+        let shields = self.shields.clone();
+        for (x, hp) in shields {
+            if hp > 0 {
+                self.canvas.fill_rect(x, SHIELD_Y, 0.1, 0.04, 0.2 + 0.1 * hp as f32);
+            }
+        }
+        self.canvas.fill_rect(self.player_x, 0.93, 0.09, 0.05, 1.0);
+        if let Some((x, y)) = self.bullet {
+            self.canvas.fill_rect(x, y, 0.02, 0.05, 1.0);
+        }
+        let bombs = self.bombs.clone();
+        for (x, y) in bombs {
+            self.canvas.fill_rect(x, y, 0.02, 0.04, 0.5);
+        }
+    }
+}
+
+impl Env for SpaceInvaders {
+    fn name(&self) -> &'static str {
+        "SpaceInvaders"
+    }
+
+    fn obs_shape(&self) -> Vec<usize> {
+        vec![FRAME_STACK, self.cfg.frame_size, self.cfg.frame_size]
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(4)
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f32> {
+        *self = Self::new(self.cfg);
+        self.rng = env_rng(seed);
+        self.render();
+        self.stack.push(&self.canvas);
+        self.stack.observation()
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let mut reward = 0.0f32;
+        self.t += 1;
+        match action.discrete() {
+            1 => self.player_x = (self.player_x - 0.035).max(0.06),
+            2 => self.player_x = (self.player_x + 0.035).min(0.94),
+            3
+                if self.bullet.is_none() => {
+                    self.bullet = Some((self.player_x, 0.9));
+                }
+            _ => {}
+        }
+        // March the grid.
+        self.grid_dx += 0.008 * self.dir;
+        if self.grid_dx > 0.22 || self.grid_dx < -0.12 {
+            self.dir = -self.dir;
+            self.grid_dy += 0.03;
+        }
+        // Bullet travel + kills.
+        if let Some((bx, by)) = self.bullet {
+            let ny = by - 0.05;
+            if ny < 0.0 {
+                self.bullet = None;
+            } else if by > SHIELD_Y && ny <= SHIELD_Y + 0.02 && self.absorb_shield(bx) {
+                // Friendly fire chips the shield from below.
+                self.bullet = None;
+            } else {
+                self.bullet = Some((bx, ny));
+                'outer: for r in 0..SI_ROWS {
+                    for c in 0..SI_COLS {
+                        if self.alive[r][c] {
+                            let (ax, ay) = self.alien_pos(r, c);
+                            if (ax - bx).abs() < 0.05 && (ay - ny).abs() < 0.04 {
+                                self.alive[r][c] = false;
+                                self.bullet = None;
+                                // Higher (earlier) rows score more, like Atari.
+                                reward += 10.0 + 5.0 * (SI_ROWS - 1 - r) as f32;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Bombs.
+        if self.rng.gen_bool(0.06) {
+            let live: Vec<(usize, usize)> = (0..SI_ROWS)
+                .flat_map(|r| (0..SI_COLS).map(move |c| (r, c)))
+                .filter(|&(r, c)| self.alive[r][c])
+                .collect();
+            if let Some(&(r, c)) = live.get(self.rng.gen_range(0..live.len().max(1)).min(live.len().saturating_sub(1))) {
+                let (x, y) = self.alien_pos(r, c);
+                self.bombs.push((x, y));
+            }
+        }
+        let mut player_hit = false;
+        let px = self.player_x;
+        let shields = &mut self.shields;
+        self.bombs.retain_mut(|(x, y)| {
+            let prev = *y;
+            *y += 0.03;
+            // Shields soak bombs crossing their row.
+            if prev <= SHIELD_Y && *y > SHIELD_Y {
+                for (sx, hp) in shields.iter_mut() {
+                    if *hp > 0 && (*sx - *x).abs() < 0.06 {
+                        *hp -= 1;
+                        return false;
+                    }
+                }
+            }
+            if (*x - px).abs() < 0.05 && (*y - 0.93).abs() < 0.04 {
+                player_hit = true;
+                return false;
+            }
+            *y < 1.0
+        });
+        let mut done = false;
+        if player_hit {
+            self.lives -= 1;
+            if self.lives == 0 {
+                done = true;
+            }
+        }
+        // Aliens reaching the player row ends the game.
+        let lowest = (0..SI_ROWS)
+            .flat_map(|r| (0..SI_COLS).map(move |c| (r, c)))
+            .filter(|&(r, c)| self.alive[r][c])
+            .map(|(r, c)| self.alien_pos(r, c).1)
+            .fold(0.0f32, f32::max);
+        if lowest > 0.85 {
+            done = true;
+        }
+        // Wave cleared: respawn, like the next Atari wave.
+        if !self.any_alive() {
+            self.alive = [[true; SI_COLS]; SI_ROWS];
+            self.grid_dx = 0.0;
+            self.grid_dy = 0.0;
+            reward += 50.0;
+        }
+        if self.t >= self.cfg.max_steps {
+            done = true;
+        }
+        self.render();
+        self.stack.push(&self.canvas);
+        Step { obs: self.stack.observation(), reward, done }
+    }
+
+    fn max_steps(&self) -> usize {
+        self.cfg.max_steps
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Qbert
+// ---------------------------------------------------------------------------
+
+const QB_ROWS: usize = 6;
+
+/// Pyramid-hopping game: colour every cube while dodging a descending
+/// enemy. Actions: 0 up-left, 1 up-right, 2 down-left, 3 down-right.
+pub struct Qbert {
+    cfg: EnvConfig,
+    rng: EnvRng,
+    canvas: Canvas,
+    stack: FrameStack,
+    colored: Vec<Vec<bool>>,
+    player: (usize, usize),
+    enemy: Option<(usize, usize)>,
+    lives: u32,
+    t: usize,
+}
+
+impl Qbert {
+    /// Creates the environment.
+    pub fn new(cfg: EnvConfig) -> Self {
+        let s = cfg.frame_size;
+        Self {
+            cfg,
+            rng: env_rng(0),
+            canvas: Canvas::new(s),
+            stack: FrameStack::new(s),
+            colored: (0..QB_ROWS).map(|r| vec![false; r + 1]).collect(),
+            player: (0, 0),
+            enemy: None,
+            lives: 3,
+            t: 0,
+        }
+    }
+
+    fn cube_pos(r: usize, c: usize) -> (f32, f32) {
+        let y = 0.12 + r as f32 * 0.14;
+        let x = 0.5 + (c as f32 - r as f32 * 0.5) * 0.13;
+        (x, y)
+    }
+
+    fn all_colored(&self) -> bool {
+        self.colored.iter().flatten().all(|&c| c)
+    }
+
+    fn render(&mut self) {
+        self.canvas.clear();
+        for r in 0..QB_ROWS {
+            for c in 0..=r {
+                let (x, y) = Self::cube_pos(r, c);
+                let v = if self.colored[r][c] { 0.9 } else { 0.4 };
+                self.canvas.fill_rect(x, y, 0.1, 0.09, v);
+            }
+        }
+        let (pr, pc) = self.player;
+        let (px, py) = Self::cube_pos(pr, pc);
+        self.canvas.fill_rect(px, py - 0.05, 0.05, 0.05, 1.0);
+        if let Some((er, ec)) = self.enemy {
+            let (ex, ey) = Self::cube_pos(er, ec);
+            self.canvas.fill_rect(ex, ey - 0.05, 0.05, 0.05, 0.6);
+        }
+    }
+
+    fn respawn_player(&mut self) {
+        self.player = (0, 0);
+        self.enemy = None;
+    }
+}
+
+impl Env for Qbert {
+    fn name(&self) -> &'static str {
+        "Qbert"
+    }
+
+    fn obs_shape(&self) -> Vec<usize> {
+        vec![FRAME_STACK, self.cfg.frame_size, self.cfg.frame_size]
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(4)
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f32> {
+        *self = Self::new(self.cfg);
+        self.rng = env_rng(seed);
+        // Landing square is coloured from the start, as in the game.
+        self.colored[0][0] = true;
+        self.render();
+        self.stack.push(&self.canvas);
+        self.stack.observation()
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let mut reward = 0.0f32;
+        let mut done = false;
+        self.t += 1;
+        let (r, c) = self.player;
+        let target: (isize, isize) = match action.discrete() {
+            0 => (r as isize - 1, c as isize - 1), // up-left
+            1 => (r as isize - 1, c as isize),     // up-right
+            2 => (r as isize + 1, c as isize),     // down-left
+            _ => (r as isize + 1, c as isize + 1), // down-right
+        };
+        let on_pyramid = target.0 >= 0
+            && (target.0 as usize) < QB_ROWS
+            && target.1 >= 0
+            && target.1 <= target.0;
+        if on_pyramid {
+            let (nr, nc) = (target.0 as usize, target.1 as usize);
+            self.player = (nr, nc);
+            if !self.colored[nr][nc] {
+                self.colored[nr][nc] = true;
+                reward += 25.0;
+            }
+        } else {
+            // Hopped off the pyramid.
+            self.lives -= 1;
+            if self.lives == 0 {
+                done = true;
+            } else {
+                self.respawn_player();
+            }
+        }
+        // Enemy lifecycle.
+        match &mut self.enemy {
+            None => {
+                if self.rng.gen_bool(0.12) {
+                    self.enemy = Some((0, 0));
+                }
+            }
+            Some((er, ec)) => {
+                if *er + 1 < QB_ROWS {
+                    *er += 1;
+                    *ec += usize::from(self.rng.gen_bool(0.5));
+                } else {
+                    self.enemy = None; // falls off the bottom
+                }
+            }
+        }
+        if self.enemy == Some(self.player) {
+            self.lives = self.lives.saturating_sub(1);
+            if self.lives == 0 {
+                done = true;
+            } else {
+                self.respawn_player();
+            }
+        }
+        if self.all_colored() {
+            reward += 100.0;
+            for row in &mut self.colored {
+                row.fill(false);
+            }
+            self.colored[self.player.0][self.player.1] = true;
+        }
+        if self.t >= self.cfg.max_steps {
+            done = true;
+        }
+        self.render();
+        self.stack.push(&self.canvas);
+        Step { obs: self.stack.observation(), reward, done }
+    }
+
+    fn max_steps(&self) -> usize {
+        self.cfg.max_steps
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gravitar
+// ---------------------------------------------------------------------------
+
+/// Gravity shooter with sparse rewards: pilot a thrust-and-rotate ship
+/// around a planet's gravity well and destroy surface bunkers. Actions:
+/// 0 noop, 1 thrust, 2 rotate-left, 3 rotate-right, 4 fire.
+pub struct Gravitar {
+    cfg: EnvConfig,
+    canvas: Canvas,
+    stack: FrameStack,
+    pos: (f32, f32),
+    vel: (f32, f32),
+    heading: f32,
+    bullets: Vec<(f32, f32, f32, f32, u32)>,
+    bunkers: Vec<(f32, f32, bool)>,
+    lives: u32,
+    t: usize,
+}
+
+const GRAV_PLANET: (f32, f32) = (0.5, 0.72);
+const GRAV_RADIUS: f32 = 0.14;
+
+impl Gravitar {
+    /// Creates the environment.
+    pub fn new(cfg: EnvConfig) -> Self {
+        let s = cfg.frame_size;
+        Self {
+            cfg,
+            canvas: Canvas::new(s),
+            stack: FrameStack::new(s),
+            pos: (0.5, 0.2),
+            vel: (0.0, 0.0),
+            heading: std::f32::consts::FRAC_PI_2, // pointing up
+            bullets: Vec::new(),
+            bunkers: Self::fresh_bunkers(),
+            lives: 3,
+            t: 0,
+        }
+    }
+
+    fn fresh_bunkers() -> Vec<(f32, f32, bool)> {
+        // Three bunkers on the upper hemisphere of the planet.
+        [1.9f32, 1.2, 0.6]
+            .iter()
+            .map(|&a| {
+                (
+                    GRAV_PLANET.0 + (GRAV_RADIUS + 0.02) * a.cos(),
+                    GRAV_PLANET.1 - (GRAV_RADIUS + 0.02) * a.sin(),
+                    true,
+                )
+            })
+            .collect()
+    }
+
+    fn respawn_ship(&mut self) {
+        self.pos = (0.5, 0.2);
+        self.vel = (0.0, 0.0);
+        self.heading = std::f32::consts::FRAC_PI_2;
+    }
+
+    fn render(&mut self) {
+        self.canvas.clear();
+        self.canvas
+            .fill_rect(GRAV_PLANET.0, GRAV_PLANET.1, GRAV_RADIUS * 2.0, GRAV_RADIUS * 2.0, 0.35);
+        let bunkers = self.bunkers.clone();
+        for (x, y, alive) in bunkers {
+            if alive {
+                self.canvas.fill_rect(x, y, 0.05, 0.05, 0.8);
+            }
+        }
+        let (px, py) = self.pos;
+        self.canvas.fill_rect(px, py, 0.04, 0.04, 1.0);
+        // Heading indicator pixel.
+        self.canvas.fill_rect(
+            px + 0.03 * self.heading.cos(),
+            py - 0.03 * self.heading.sin(),
+            0.02,
+            0.02,
+            0.9,
+        );
+        let bullets = self.bullets.clone();
+        for (x, y, _, _, _) in bullets {
+            self.canvas.fill_rect(x, y, 0.015, 0.015, 0.95);
+        }
+    }
+}
+
+impl Env for Gravitar {
+    fn name(&self) -> &'static str {
+        "Gravitar"
+    }
+
+    fn obs_shape(&self) -> Vec<usize> {
+        vec![FRAME_STACK, self.cfg.frame_size, self.cfg.frame_size]
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(5)
+    }
+
+    fn reset(&mut self, _seed: u64) -> Vec<f32> {
+        *self = Self::new(self.cfg);
+        self.render();
+        self.stack.push(&self.canvas);
+        self.stack.observation()
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let mut reward = 0.0f32;
+        let mut done = false;
+        self.t += 1;
+        match action.discrete() {
+            1 => {
+                self.vel.0 += 0.0035 * self.heading.cos();
+                self.vel.1 -= 0.0035 * self.heading.sin();
+            }
+            2 => self.heading += 0.25,
+            3 => self.heading -= 0.25,
+            4
+                if self.bullets.len() < 2 => {
+                    self.bullets.push((
+                        self.pos.0,
+                        self.pos.1,
+                        0.04 * self.heading.cos(),
+                        -0.04 * self.heading.sin(),
+                        25,
+                    ));
+                }
+            _ => {}
+        }
+        // Gravity toward the planet.
+        let dx = GRAV_PLANET.0 - self.pos.0;
+        let dy = GRAV_PLANET.1 - self.pos.1;
+        let d2 = (dx * dx + dy * dy).max(0.01);
+        let d = d2.sqrt();
+        let g = 0.0016 / d2;
+        self.vel.0 += g * dx / d;
+        self.vel.1 += g * dy / d;
+        self.pos.0 += self.vel.0;
+        self.pos.1 += self.vel.1;
+        // Bullets.
+        let bunkers = &mut self.bunkers;
+        self.bullets.retain_mut(|(x, y, vx, vy, ttl)| {
+            *x += *vx;
+            *y += *vy;
+            *ttl = ttl.saturating_sub(1);
+            if *ttl == 0 || *x < 0.0 || *x > 1.0 || *y < 0.0 || *y > 1.0 {
+                return false;
+            }
+            for (bx, by, alive) in bunkers.iter_mut() {
+                if *alive && (*bx - *x).abs() < 0.04 && (*by - *y).abs() < 0.04 {
+                    *alive = false;
+                    reward += 100.0;
+                    return false;
+                }
+            }
+            // Bullets are absorbed by the planet.
+            let pdx = *x - GRAV_PLANET.0;
+            let pdy = *y - GRAV_PLANET.1;
+            pdx * pdx + pdy * pdy > GRAV_RADIUS * GRAV_RADIUS
+        });
+        if self.bunkers.iter().all(|&(_, _, a)| !a) {
+            reward += 250.0;
+            self.bunkers = Self::fresh_bunkers();
+        }
+        // Crash or out of bounds.
+        let crashed = d < GRAV_RADIUS + 0.015
+            || self.pos.0 < 0.0
+            || self.pos.0 > 1.0
+            || self.pos.1 < 0.0
+            || self.pos.1 > 1.0;
+        if crashed {
+            self.lives -= 1;
+            if self.lives == 0 {
+                done = true;
+            } else {
+                self.respawn_ship();
+            }
+        }
+        if self.t >= self.cfg.max_steps {
+            done = true;
+        }
+        self.render();
+        self.stack.push(&self.canvas);
+        Step { obs: self.stack.observation(), reward, done }
+    }
+
+    fn max_steps(&self) -> usize {
+        self.cfg.max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{make_env, EnvId};
+
+    #[test]
+    fn obs_is_stacked_frames() {
+        let cfg = EnvConfig { frame_size: 24, ..EnvConfig::default() };
+        for id in EnvId::ATARI_SET {
+            let mut env = make_env(id, cfg);
+            let obs = env.reset(0);
+            assert_eq!(obs.len(), FRAME_STACK * 24 * 24, "{}", id.name());
+            assert_eq!(env.obs_shape(), vec![FRAME_STACK, 24, 24]);
+            assert!(obs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn frames_shift_through_stack() {
+        let cfg = EnvConfig { frame_size: 24, ..EnvConfig::default() };
+        let mut env = SpaceInvaders::new(cfg);
+        let o0 = env.reset(0);
+        let o1 = env.step(&Action::Discrete(1)).obs;
+        let n = 24 * 24;
+        // Newest frame of o0 becomes the middle frame of o1.
+        assert_eq!(&o0[2 * n..3 * n], &o1[n..2 * n]);
+    }
+
+    #[test]
+    fn space_invaders_shooting_straight_up_scores() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 400 };
+        let mut env = SpaceInvaders::new(cfg);
+        env.reset(1);
+        let mut total = 0.0;
+        for t in 0..300 {
+            let a = if t % 3 == 0 { 3 } else { 1 }; // fire / drift left
+            let s = env.step(&Action::Discrete(a));
+            total += s.reward;
+            if s.done {
+                break;
+            }
+        }
+        assert!(total > 0.0, "spray-and-pray should hit something: {total}");
+    }
+
+    #[test]
+    fn shields_absorb_bombs_until_destroyed() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 50 };
+        let mut env = SpaceInvaders::new(cfg);
+        env.reset(0);
+        // Plant a bomb directly above the middle shield, just before its row.
+        env.bombs.push((0.5, SHIELD_Y - 0.02));
+        let hp0 = env.shields[1].1;
+        env.step(&Action::Discrete(0));
+        assert_eq!(env.shields[1].1, hp0 - 1, "bomb must chip the shield");
+        assert!(env.bombs.is_empty(), "bomb absorbed");
+        // A destroyed shield no longer absorbs.
+        env.shields[1].1 = 0;
+        env.bombs.push((0.5, SHIELD_Y - 0.02));
+        env.step(&Action::Discrete(0));
+        assert_eq!(env.shields[1].1, 0);
+    }
+
+    #[test]
+    fn player_bullet_is_absorbed_by_own_shield() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 50 };
+        let mut env = SpaceInvaders::new(cfg);
+        env.reset(0);
+        // Line the player up under the middle shield and fire.
+        env.player_x = 0.5;
+        env.step(&Action::Discrete(3));
+        let hp0 = env.shields[1].1;
+        for _ in 0..4 {
+            env.step(&Action::Discrete(0));
+            if env.bullet.is_none() {
+                break;
+            }
+        }
+        assert!(env.shields[1].1 < hp0, "bullet should chip the shield overhead");
+    }
+
+    #[test]
+    fn qbert_coloring_rewards() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 100 };
+        let mut env = Qbert::new(cfg);
+        env.reset(0);
+        // First hop down-left lands on an uncoloured cube: +25.
+        let s = env.step(&Action::Discrete(2));
+        assert_eq!(s.reward, 25.0);
+    }
+
+    #[test]
+    fn qbert_jumping_off_costs_a_life() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 100 };
+        let mut env = Qbert::new(cfg);
+        env.reset(0);
+        // From the apex, hopping up-left leaves the pyramid (3 lives -> done on 3rd).
+        let mut done = false;
+        for _ in 0..3 {
+            done = env.step(&Action::Discrete(0)).done;
+        }
+        assert!(done, "three falls must end the episode");
+    }
+
+    #[test]
+    fn gravitar_idle_ship_eventually_crashes() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 3000 };
+        let mut env = Gravitar::new(cfg);
+        env.reset(0);
+        let mut steps = 0;
+        loop {
+            let s = env.step(&Action::Discrete(0));
+            steps += 1;
+            if s.done {
+                break;
+            }
+            assert!(steps < 3000, "gravity must pull the idle ship down");
+        }
+        assert!(steps < 2000, "crash came too late: {steps}");
+    }
+
+    #[test]
+    fn gravitar_rewards_are_sparse() {
+        let cfg = EnvConfig { frame_size: 24, max_steps: 60 };
+        let mut env = Gravitar::new(cfg);
+        env.reset(0);
+        let mut total = 0.0;
+        for _ in 0..50 {
+            let s = env.step(&Action::Discrete(0));
+            total += s.reward;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(total, 0.0, "noop play should earn nothing");
+    }
+
+    #[test]
+    fn canvas_fill_rect_clamps() {
+        let mut c = Canvas::new(10);
+        c.fill_rect(0.0, 0.0, 0.5, 0.5, 1.0); // spills over top-left corner
+        c.fill_rect(1.0, 1.0, 0.5, 0.5, 1.0); // spills over bottom-right
+        assert!(c.pixels().iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_actions() {
+        let cfg = EnvConfig { frame_size: 24, ..EnvConfig::default() };
+        let mut a = SpaceInvaders::new(cfg);
+        let mut b = SpaceInvaders::new(cfg);
+        assert_eq!(a.reset(9), b.reset(9));
+        for t in 0..30 {
+            let act = Action::Discrete(t % 4);
+            let sa = a.step(&act);
+            let sb = b.step(&act);
+            assert_eq!(sa.obs, sb.obs);
+            assert_eq!(sa.reward, sb.reward);
+        }
+    }
+}

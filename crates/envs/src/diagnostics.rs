@@ -1,0 +1,190 @@
+//! Tiny diagnostic environments used by the test suite and quick examples.
+//!
+//! Both are solvable within seconds of CPU time, which makes end-to-end
+//! training assertions practical: PPO must visibly improve on them, so
+//! regressions in the learning stack surface as test failures rather than
+//! silently flat curves.
+
+use rand::Rng;
+
+use crate::env::{env_rng, Action, ActionSpace, Env, EnvConfig, EnvRng, Step};
+
+/// 2-D point-mass servo task: drive the mass to the target with force
+/// actions. Observation `[x, y, vx, vy, tx, ty]`; reward is negative
+/// distance minus a small control cost.
+pub struct PointMass {
+    cfg: EnvConfig,
+    pos: (f32, f32),
+    vel: (f32, f32),
+    target: (f32, f32),
+    t: usize,
+}
+
+impl PointMass {
+    /// Creates the environment.
+    pub fn new(cfg: EnvConfig) -> Self {
+        Self { cfg, pos: (0.0, 0.0), vel: (0.0, 0.0), target: (1.0, 0.0), t: 0 }
+    }
+}
+
+impl Env for PointMass {
+    fn name(&self) -> &'static str {
+        "PointMass"
+    }
+
+    fn obs_shape(&self) -> Vec<usize> {
+        vec![6]
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous { dim: 2, bound: 1.0 }
+    }
+
+    fn reset(&mut self, seed: u64) -> Vec<f32> {
+        let mut rng: EnvRng = env_rng(seed);
+        self.pos = (rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5));
+        self.vel = (0.0, 0.0);
+        let ang: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        self.target = (ang.cos(), ang.sin());
+        self.t = 0;
+        vec![
+            self.pos.0, self.pos.1, self.vel.0, self.vel.1, self.target.0, self.target.1,
+        ]
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        let a = action.continuous();
+        let (fx, fy) = (a[0].clamp(-1.0, 1.0), a.get(1).copied().unwrap_or(0.0).clamp(-1.0, 1.0));
+        self.vel.0 = (self.vel.0 + 0.1 * fx) * 0.95;
+        self.vel.1 = (self.vel.1 + 0.1 * fy) * 0.95;
+        self.pos.0 = (self.pos.0 + self.vel.0).clamp(-5.0, 5.0);
+        self.pos.1 = (self.pos.1 + self.vel.1).clamp(-5.0, 5.0);
+        self.t += 1;
+        let dx = self.pos.0 - self.target.0;
+        let dy = self.pos.1 - self.target.1;
+        let dist = (dx * dx + dy * dy).sqrt();
+        let reward = -dist - 0.01 * action.sq_norm();
+        let done = self.t >= self.cfg.max_steps;
+        Step {
+            obs: vec![
+                self.pos.0, self.pos.1, self.vel.0, self.vel.1, self.target.0, self.target.1,
+            ],
+            reward,
+            done,
+        }
+    }
+
+    fn max_steps(&self) -> usize {
+        self.cfg.max_steps
+    }
+}
+
+/// Classic N-state chain MDP: going right yields a big reward at the end,
+/// going left a small immediate one. Observation is a one-hot state.
+pub struct ChainMdp {
+    cfg: EnvConfig,
+    n: usize,
+    state: usize,
+    t: usize,
+}
+
+impl ChainMdp {
+    /// Creates a 10-state chain.
+    pub fn new(cfg: EnvConfig) -> Self {
+        Self { cfg, n: 10, state: 0, t: 0 }
+    }
+
+    fn obs(&self) -> Vec<f32> {
+        let mut o = vec![0.0; self.n];
+        o[self.state] = 1.0;
+        o
+    }
+}
+
+impl Env for ChainMdp {
+    fn name(&self) -> &'static str {
+        "ChainMdp"
+    }
+
+    fn obs_shape(&self) -> Vec<usize> {
+        vec![self.n]
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(2)
+    }
+
+    fn reset(&mut self, _seed: u64) -> Vec<f32> {
+        self.state = 0;
+        self.t = 0;
+        self.obs()
+    }
+
+    fn step(&mut self, action: &Action) -> Step {
+        self.t += 1;
+        let mut reward = 0.0;
+        match action.discrete() {
+            0 => {
+                // Left: retreat to the start for a small consolation prize.
+                self.state = 0;
+                reward = 0.1;
+            }
+            _ => {
+                // Right: march toward the jackpot at the end of the chain.
+                if self.state + 1 < self.n {
+                    self.state += 1;
+                }
+                if self.state == self.n - 1 {
+                    reward = 10.0;
+                }
+            }
+        }
+        let done = self.t >= self.cfg.max_steps;
+        Step { obs: self.obs(), reward, done }
+    }
+
+    fn max_steps(&self) -> usize {
+        self.cfg.max_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass_reward_improves_when_moving_to_target() {
+        let mut env = PointMass::new(EnvConfig { max_steps: 50, ..EnvConfig::default() });
+        let obs = env.reset(0);
+        let (tx, ty) = (obs[4], obs[5]);
+        let first = env.step(&Action::Continuous(vec![0.0, 0.0])).reward;
+        let mut last = first;
+        for _ in 0..30 {
+            // Proportional-derivative controller toward the target.
+            let fx = 2.0 * (tx - env.pos.0) - 3.0 * env.vel.0;
+            let fy = 2.0 * (ty - env.pos.1) - 3.0 * env.vel.1;
+            last = env
+                .step(&Action::Continuous(vec![fx.clamp(-1.0, 1.0), fy.clamp(-1.0, 1.0)]))
+                .reward;
+        }
+        assert!(last > first + 0.1, "controller should close distance: {first} -> {last}");
+    }
+
+    #[test]
+    fn chain_rewards_right_march() {
+        let mut env = ChainMdp::new(EnvConfig { max_steps: 20, ..EnvConfig::default() });
+        env.reset(0);
+        let mut total = 0.0;
+        for _ in 0..12 {
+            total += env.step(&Action::Discrete(1)).reward;
+        }
+        assert!(total >= 10.0, "{total}");
+        // Left-only play earns far less.
+        env.reset(0);
+        let mut left = 0.0;
+        for _ in 0..12 {
+            left += env.step(&Action::Discrete(0)).reward;
+        }
+        assert!(left < total);
+    }
+}

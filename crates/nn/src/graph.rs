@@ -1,0 +1,817 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation applied to [`Var`] handles; calling
+//! [`Graph::backward`] replays the tape in reverse, accumulating gradients.
+//! Each learner function in Stellaris builds a fresh graph per mini-batch
+//! (mirroring the per-invocation lifetime of a serverless function), so the
+//! tape never outlives one gradient computation and node values can be
+//! captured by clone without memory pressure.
+
+use std::cell::RefCell;
+
+use crate::conv::{col2im, im2col, Conv2dSpec};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// The node index inside its graph.
+    #[inline]
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+/// Gradient callback: receives the upstream gradient for the node and
+/// returns `(parent_id, gradient_contribution)` pairs.
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+struct Node {
+    value: Tensor,
+    backward: Option<BackwardFn>,
+}
+
+/// A single-use autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: RefCell::new(Vec::with_capacity(64)) }
+    }
+
+    fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, backward });
+        Var(nodes.len() - 1)
+    }
+
+    /// Inserts a leaf node (input or parameter). Gradients accumulate here
+    /// but do not propagate further.
+    pub fn input(&self, value: Tensor) -> Var {
+        self.push(value, None)
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Clones the current value of a node.
+    pub fn value(&self, v: Var) -> Tensor {
+        self.nodes.borrow()[v.0].value.clone()
+    }
+
+    /// Shape of a node's value.
+    pub fn shape_of(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.0].value.shape().to_vec()
+    }
+
+    /// Cuts the tape: returns a new leaf holding the same value so no
+    /// gradient flows into `v`'s subgraph.
+    pub fn detach(&self, v: Var) -> Var {
+        let value = self.value(v);
+        self.input(value)
+    }
+
+    // ----- elementwise binary ops ------------------------------------------------
+
+    /// Elementwise addition of same-shaped tensors.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.add(&vb);
+        self.push(
+            out,
+            Some(Box::new(move |g| vec![(a.0, g.clone()), (b.0, g.clone())])),
+        )
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.sub(&vb);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(a.0, g.clone()), (b.0, g.map(|x| -x))]
+            })),
+        )
+    }
+
+    /// Elementwise multiplication.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.mul(&vb);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(a.0, g.mul(&vb)), (b.0, g.mul(&va))]
+            })),
+        )
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.zip_map(&vb, |x, y| x / y);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let da = g.zip_map(&vb, |gv, y| gv / y);
+                let db = g
+                    .zip_map(&va, |gv, x| gv * x)
+                    .zip_map(&vb, |gx, y| -gx / (y * y));
+                vec![(a.0, da), (b.0, db)]
+            })),
+        )
+    }
+
+    /// Elementwise minimum; gradient routes to the smaller operand (ties to `a`).
+    pub fn minimum(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.zip_map(&vb, f32::min);
+        let mask = va.zip_map(&vb, |x, y| if x <= y { 1.0 } else { 0.0 });
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let da = g.mul(&mask);
+                let db = g.zip_map(&mask, |gv, m| gv * (1.0 - m));
+                vec![(a.0, da), (b.0, db)]
+            })),
+        )
+    }
+
+    /// Elementwise maximum; gradient routes to the larger operand (ties to `a`).
+    pub fn maximum(&self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.zip_map(&vb, f32::max);
+        let mask = va.zip_map(&vb, |x, y| if x >= y { 1.0 } else { 0.0 });
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let da = g.mul(&mask);
+                let db = g.zip_map(&mask, |gv, m| gv * (1.0 - m));
+                vec![(a.0, da), (b.0, db)]
+            })),
+        )
+    }
+
+    // ----- scalar / rowwise broadcasts -------------------------------------------
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        let out = self.value(a).scaled(c);
+        self.push(out, Some(Box::new(move |g| vec![(a.0, g.scaled(c))])))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        let out = self.value(a).map(|x| x + c);
+        self.push(out, Some(Box::new(move |g| vec![(a.0, g.clone())])))
+    }
+
+    /// Adds a scalar-valued node (`[1]`) to every element of `a`, scaled by
+    /// `coeff`: `out = a + coeff * s`.
+    pub fn add_scalar_var(&self, a: Var, s: Var, coeff: f32) -> Var {
+        let sval = self.value(s);
+        assert_eq!(sval.numel(), 1, "add_scalar_var expects scalar rhs");
+        let out = self.value(a).map(|x| x + coeff * sval.data()[0]);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(a.0, g.clone()), (s.0, Tensor::scalar(coeff * g.sum()))]
+            })),
+        )
+    }
+
+    /// Adds a `[n]` bias row to every row of a `[m,n]` matrix.
+    pub fn add_bias(&self, a: Var, bias: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(bias);
+        let n = vb.numel();
+        let out = va.add_row_broadcast(&vb);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let mut db = vec![0.0f32; n];
+                for row in g.data().chunks(n) {
+                    for (acc, &gv) in db.iter_mut().zip(row.iter()) {
+                        *acc += gv;
+                    }
+                }
+                vec![(a.0, g.clone()), (bias.0, Tensor::from_vec(db, &[n]))]
+            })),
+        )
+    }
+
+    /// Subtracts a `[n]` row from every row of a `[m,n]` matrix.
+    pub fn sub_row(&self, a: Var, row: Var) -> Var {
+        let neg = self.scale(row, -1.0);
+        self.add_bias(a, neg)
+    }
+
+    /// Multiplies every row of a `[m,n]` matrix elementwise by a `[n]` row.
+    pub fn mul_row(&self, a: Var, row: Var) -> Var {
+        let va = self.value(a);
+        let vr = self.value(row);
+        assert_eq!(va.shape().len(), 2, "mul_row lhs must be 2-D");
+        let n = va.shape()[1];
+        assert_eq!(vr.numel(), n, "mul_row row length mismatch");
+        let mut out = va.clone();
+        for r in out.data_mut().chunks_mut(n) {
+            for (x, &w) in r.iter_mut().zip(vr.data().iter()) {
+                *x *= w;
+            }
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let mut da = g.clone();
+                for r in da.data_mut().chunks_mut(n) {
+                    for (x, &w) in r.iter_mut().zip(vr.data().iter()) {
+                        *x *= w;
+                    }
+                }
+                let mut drow = vec![0.0f32; n];
+                for (grow, arow) in g.data().chunks(n).zip(va.data().chunks(n)) {
+                    for j in 0..n {
+                        drow[j] += grow[j] * arow[j];
+                    }
+                }
+                vec![(a.0, da), (row.0, Tensor::from_vec(drow, &[n]))]
+            })),
+        )
+    }
+
+    // ----- elementwise unary ops --------------------------------------------------
+
+    fn unary(
+        &self,
+        a: Var,
+        f: impl Fn(f32) -> f32,
+        dfdx_from_out: impl Fn(f32, f32) -> f32 + 'static,
+    ) -> Var {
+        let va = self.value(a);
+        let out = va.map(f);
+        let out_cap = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let mut d = g.clone();
+                for ((dv, &x), &y) in d
+                    .data_mut()
+                    .iter_mut()
+                    .zip(va.data().iter())
+                    .zip(out_cap.data().iter())
+                {
+                    *dv *= dfdx_from_out(x, y);
+                }
+                vec![(a.0, d)]
+            })),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self, a: Var) -> Var {
+        self.unary(a, f32::tanh, |_, y| 1.0 - y * y)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Exponential.
+    pub fn exp(&self, a: Var) -> Var {
+        self.unary(a, f32::exp, |_, y| y)
+    }
+
+    /// Natural logarithm (inputs are assumed positive).
+    pub fn log(&self, a: Var) -> Var {
+        self.unary(a, f32::ln, |x, _| 1.0 / x)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        self.unary(a, |x| x * x, |x, _| 2.0 * x)
+    }
+
+    /// Elementwise square root (inputs assumed non-negative).
+    pub fn sqrt(&self, a: Var) -> Var {
+        self.unary(a, f32::sqrt, |_, y| 0.5 / y.max(1e-12))
+    }
+
+    /// Clamps values to `[lo, hi]`; gradient is gated to the interior.
+    pub fn clamp(&self, a: Var, lo: f32, hi: f32) -> Var {
+        self.unary(
+            a,
+            move |x| x.clamp(lo, hi),
+            move |x, _| if x > lo && x < hi { 1.0 } else { 0.0 },
+        )
+    }
+
+    /// Elementwise `min(a, c)` against a constant; gradient flows where `a < c`.
+    pub fn min_scalar(&self, a: Var, c: f32) -> Var {
+        self.unary(a, move |x| x.min(c), move |x, _| if x <= c { 1.0 } else { 0.0 })
+    }
+
+    // ----- reductions ---------------------------------------------------------------
+
+    /// Sum of all elements, producing a `[1]` scalar node.
+    pub fn sum_all(&self, a: Var) -> Var {
+        let va = self.value(a);
+        let shape = va.shape().to_vec();
+        let out = Tensor::scalar(va.sum());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(a.0, Tensor::full(&shape, g.data()[0]))]
+            })),
+        )
+    }
+
+    /// Mean of all elements, producing a `[1]` scalar node.
+    pub fn mean_all(&self, a: Var) -> Var {
+        let n = self.value(a).numel().max(1);
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n as f32)
+    }
+
+    /// Row sums of a `[m,n]` matrix, producing a `[m]` vector node.
+    pub fn sum_rows(&self, a: Var) -> Var {
+        let va = self.value(a);
+        assert_eq!(va.shape().len(), 2, "sum_rows requires a 2-D tensor");
+        let (m, n) = (va.shape()[0], va.shape()[1]);
+        let data: Vec<f32> = va.data().chunks(n).map(|r| r.iter().sum()).collect();
+        self.push(
+            Tensor::from_vec(data, &[m]),
+            Some(Box::new(move |g| {
+                let mut d = vec![0.0f32; m * n];
+                for (i, chunk) in d.chunks_mut(n).enumerate() {
+                    chunk.fill(g.data()[i]);
+                }
+                vec![(a.0, Tensor::from_vec(d, &[m, n]))]
+            })),
+        )
+    }
+
+    /// Weighted mean `sum(a * w) / sum(w)` against a constant weight vector.
+    pub fn weighted_mean(&self, a: Var, weights: &Tensor) -> Var {
+        let w = self.input(weights.clone());
+        let prod = self.mul(a, w);
+        let s = self.sum_all(prod);
+        self.scale(s, 1.0 / weights.sum().max(1e-12))
+    }
+
+    // ----- linear algebra -------------------------------------------------------------
+
+    /// Matrix product of 2-D nodes.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let va = self.value(a);
+        let vb = self.value(b);
+        let out = va.matmul(&vb);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let da = g.matmul(&vb.transpose());
+                let db = va.transpose().matmul(g);
+                vec![(a.0, da), (b.0, db)]
+            })),
+        )
+    }
+
+    /// Reshape (no data movement in the forward value; gradient is reshaped back).
+    pub fn reshape(&self, a: Var, shape: &[usize]) -> Var {
+        let va = self.value(a);
+        let old_shape = va.shape().to_vec();
+        let out = va.reshaped(shape);
+        self.push(
+            out,
+            Some(Box::new(move |g| vec![(a.0, g.reshape(&old_shape))])),
+        )
+    }
+
+    // ----- softmax family ----------------------------------------------------------
+
+    /// Row-wise log-softmax of a `[m,n]` logits matrix.
+    pub fn log_softmax(&self, logits: Var) -> Var {
+        let v = self.value(logits);
+        assert_eq!(v.shape().len(), 2, "log_softmax requires a 2-D tensor");
+        let (m, n) = (v.shape()[0], v.shape()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for (row_in, row_out) in v.data().chunks(n).zip(out.chunks_mut(n)) {
+            let mx = row_in.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row_in.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln() + mx;
+            for (o, &x) in row_out.iter_mut().zip(row_in.iter()) {
+                *o = x - lse;
+            }
+        }
+        let out = Tensor::from_vec(out, &[m, n]);
+        let out_cap = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                // d logits = g - softmax * rowsum(g)
+                let mut d = g.clone();
+                for (drow, orow) in d.data_mut().chunks_mut(n).zip(out_cap.data().chunks(n)) {
+                    let gsum: f32 = drow.iter().sum();
+                    for (dv, &lo) in drow.iter_mut().zip(orow.iter()) {
+                        *dv -= lo.exp() * gsum;
+                    }
+                }
+                vec![(logits.0, d)]
+            })),
+        )
+    }
+
+    /// Gathers one column per row: `out[i] = a[i, idx[i]]`, producing `[m]`.
+    pub fn gather_cols(&self, a: Var, idx: &[usize]) -> Var {
+        let va = self.value(a);
+        assert_eq!(va.shape().len(), 2, "gather_cols requires a 2-D tensor");
+        let (m, n) = (va.shape()[0], va.shape()[1]);
+        assert_eq!(idx.len(), m, "gather_cols index length mismatch");
+        let data: Vec<f32> = idx.iter().enumerate().map(|(i, &j)| va.at2(i, j)).collect();
+        let idx = idx.to_vec();
+        self.push(
+            Tensor::from_vec(data, &[m]),
+            Some(Box::new(move |g| {
+                let mut d = vec![0.0f32; m * n];
+                for (i, &j) in idx.iter().enumerate() {
+                    d[i * n + j] = g.data()[i];
+                }
+                vec![(a.0, Tensor::from_vec(d, &[m, n]))]
+            })),
+        )
+    }
+
+    // ----- convolution ---------------------------------------------------------------
+
+    /// 2-D convolution: input `[b,c,h,w]`, weight `[o,c,kh,kw]`, bias `[o]`.
+    pub fn conv2d(&self, input: Var, weight: Var, bias: Var, stride: usize) -> Var {
+        let x = self.value(input);
+        let w = self.value(weight);
+        let bv = self.value(bias);
+        let spec = Conv2dSpec::infer(x.shape(), w.shape(), stride);
+        let cols = im2col(&x, &spec); // [b] of [ckk, oh*ow]
+        let w2 = w.reshape(&[spec.out_c, spec.ckk()]);
+        let (b, oc, oh, ow) = (spec.batch, spec.out_c, spec.out_h, spec.out_w);
+        let mut out = Vec::with_capacity(b * oc * oh * ow);
+        for col in &cols {
+            let o = w2.matmul(col); // [oc, oh*ow]
+            for (ch, chunk) in o.data().chunks(oh * ow).enumerate() {
+                let beta = bv.data()[ch];
+                out.extend(chunk.iter().map(|&v| v + beta));
+            }
+        }
+        let out = Tensor::from_vec(out, &[b, oc, oh, ow]);
+        let x_shape = x.shape().to_vec();
+        let w_shape = w.shape().to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let hw = oh * ow;
+                let mut dw = Tensor::zeros(&[spec.out_c, spec.ckk()]);
+                let mut db = vec![0.0f32; oc];
+                let mut dx = Tensor::zeros(&x_shape);
+                let w2t = w2.transpose();
+                for (bi, col) in cols.iter().enumerate() {
+                    let gslice = &g.data()[bi * oc * hw..(bi + 1) * oc * hw];
+                    let gmat = Tensor::from_vec(gslice.to_vec(), &[oc, hw]);
+                    dw.axpy(1.0, &gmat.matmul(&col.transpose()));
+                    for (ch, chunk) in gslice.chunks(hw).enumerate() {
+                        db[ch] += chunk.iter().sum::<f32>();
+                    }
+                    let dcol = w2t.matmul(&gmat); // [ckk, hw]
+                    col2im(&dcol, &spec, bi, &mut dx);
+                }
+                vec![
+                    (input.0, dx),
+                    (weight.0, dw.reshape(&w_shape)),
+                    (bias.0, Tensor::from_vec(db, &[oc])),
+                ]
+            })),
+        )
+    }
+
+    // ----- backward pass ------------------------------------------------------------
+
+    /// Runs reverse-mode accumulation from the scalar node `loss` and returns
+    /// the gradients of the requested variables (zeros where disconnected).
+    pub fn backward(&self, loss: Var, wrt: &[Var]) -> Vec<Tensor> {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss node"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.0] = Some(Tensor::ones(nodes[loss.0].value.shape()));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            if let Some(back) = &nodes[i].backward {
+                for (pid, contrib) in back(&g) {
+                    match &mut grads[pid] {
+                        Some(acc) => acc.axpy(1.0, &contrib),
+                        slot @ None => *slot = Some(contrib),
+                    }
+                }
+            }
+            // Leaf gradients for requested vars must survive; restore.
+            grads[i] = Some(g);
+        }
+        wrt.iter()
+            .map(|v| {
+                grads[v.0]
+                    .clone()
+                    .unwrap_or_else(|| Tensor::zeros(nodes[v.0].value.shape()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Central-difference gradient check for a scalar function of one tensor.
+    fn grad_check(
+        build: impl Fn(&Graph, Var) -> Var,
+        x0: &Tensor,
+        tol: f32,
+    ) {
+        let g = Graph::new();
+        let x = g.input(x0.clone());
+        let loss = build(&g, x);
+        let analytic = g.backward(loss, &[x]).remove(0);
+
+        let eps = 1e-3f32;
+        for i in 0..x0.numel() {
+            let mut lo = x0.clone();
+            lo.data_mut()[i] -= eps;
+            let mut hi = x0.clone();
+            hi.data_mut()[i] += eps;
+            let gl = Graph::new();
+            let fl = gl.value(build(&gl, gl.input(lo)));
+            let gh = Graph::new();
+            let fh = gh.value(build(&gh, gh.input(hi)));
+            let numeric = (fh.data()[0] - fl.data()[0]) / (2.0 * eps);
+            let got = analytic.data()[i];
+            assert!(
+                (got - numeric).abs() < tol * (1.0 + numeric.abs()),
+                "elem {i}: analytic {got} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_tanh_square_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x0 = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        grad_check(
+            |g, x| {
+                let t = g.tanh(x);
+                let s = g.square(t);
+                g.mean_all(s)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x0 = Tensor::randn(&[3, 4], 0.5, &mut rng);
+        let w = Tensor::randn(&[4, 2], 0.5, &mut rng);
+        grad_check(
+            move |g, x| {
+                let wv = g.input(w.clone());
+                let y = g.matmul(x, wv);
+                g.sum_all(y)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_weight_side() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Tensor::randn(&[3, 4], 0.5, &mut rng);
+        let w0 = Tensor::randn(&[4, 2], 0.5, &mut rng);
+        grad_check(
+            move |g, w| {
+                let av = g.input(a.clone());
+                let y = g.matmul(av, w);
+                let sq = g.square(y);
+                g.mean_all(sq)
+            },
+            &w0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_log_softmax_gather() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let x0 = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        grad_check(
+            |g, x| {
+                let lsm = g.log_softmax(x);
+                let picked = g.gather_cols(lsm, &[0, 2, 4, 1]);
+                g.mean_all(picked)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_div_and_exp() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x0 = Tensor::rand_uniform(&[6], 0.5, 2.0, &mut rng);
+        grad_check(
+            |g, x| {
+                let e = g.exp(x);
+                let d = g.div(e, x);
+                g.mean_all(d)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_minimum_maximum() {
+        let x0 = Tensor::from_vec(vec![-1.0, 0.5, 2.0, -0.2], &[4]);
+        let other = Tensor::from_vec(vec![0.0, 0.0, 1.0, -1.0], &[4]);
+        grad_check(
+            move |g, x| {
+                let o = g.input(other.clone());
+                let mn = g.minimum(x, o);
+                let mx = g.maximum(mn, o);
+                let s = g.square(mx);
+                g.sum_all(s)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_clamp_interior_only() {
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]));
+        let c = g.clamp(x, -1.0, 1.0);
+        let loss = g.sum_all(c);
+        let grad = g.backward(loss, &[x]).remove(0);
+        assert_eq!(grad.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_bias_broadcast() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let b0 = Tensor::randn(&[3], 1.0, &mut rng);
+        let a = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        grad_check(
+            move |g, b| {
+                let av = g.input(a.clone());
+                let y = g.add_bias(av, b);
+                let s = g.square(y);
+                g.mean_all(s)
+            },
+            &b0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_row() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let r0 = Tensor::randn(&[3], 1.0, &mut rng);
+        let a = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        grad_check(
+            move |g, r| {
+                let av = g.input(a.clone());
+                let y = g.mul_row(av, r);
+                g.sum_all(y)
+            },
+            &r0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sum_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let x0 = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        grad_check(
+            |g, x| {
+                let rows = g.sum_rows(x);
+                let sq = g.square(rows);
+                g.mean_all(sq)
+            },
+            &x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_conv2d() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let x0 = Tensor::randn(&[2, 2, 5, 5], 0.5, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[3], 0.5, &mut rng);
+        grad_check(
+            move |g, x| {
+                let wv = g.input(w.clone());
+                let bv = g.input(b.clone());
+                let y = g.conv2d(x, wv, bv, 2);
+                let s = g.square(y);
+                g.mean_all(s)
+            },
+            &x0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_conv2d_weight_and_bias() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.5, &mut rng);
+        let w0 = Tensor::randn(&[2, 2, 2, 2], 0.5, &mut rng);
+        grad_check(
+            move |g, w| {
+                let xv = g.input(x.clone());
+                let bv = g.input(Tensor::zeros(&[2]));
+                let y = g.conv2d(xv, w, bv, 1);
+                g.mean_all(y)
+            },
+            &w0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2.0], &[1]));
+        let y = g.square(x);
+        let d = g.detach(y);
+        let loss = g.mul(d, x); // loss = detach(x^2) * x; d loss/dx should be x^2 only
+        let grad = g.backward(loss, &[x]).remove(0);
+        assert!((grad.data()[0] - 4.0).abs() < 1e-6, "{}", grad.data()[0]);
+    }
+
+    #[test]
+    fn disconnected_grad_is_zero() {
+        let g = Graph::new();
+        let x = g.input(Tensor::ones(&[3]));
+        let y = g.input(Tensor::ones(&[1]));
+        let loss = g.mean_all(y);
+        let grad = g.backward(loss, &[x]).remove(0);
+        assert_eq!(grad, Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        // loss = x*x + x  => dloss/dx = 2x + 1
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![3.0], &[1]));
+        let xx = g.mul(x, x);
+        let s = g.add(xx, x);
+        let loss = g.sum_all(s);
+        let grad = g.backward(loss, &[x]).remove(0);
+        assert!((grad.data()[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_scalar_var_broadcasts_and_backprops() {
+        let g = Graph::new();
+        let a = g.input(Tensor::ones(&[4]));
+        let s = g.input(Tensor::scalar(2.0));
+        let y = g.add_scalar_var(a, s, -1.0);
+        assert_eq!(g.value(y).data(), &[-1.0, -1.0, -1.0, -1.0]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss, &[a, s]);
+        assert_eq!(grads[0], Tensor::ones(&[4]));
+        assert!((grads[1].data()[0] + 4.0).abs() < 1e-6);
+    }
+}

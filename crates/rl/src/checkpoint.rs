@@ -1,0 +1,113 @@
+//! Policy checkpointing: persist snapshots to disk and restore them, so
+//! long trainings survive restarts and trained policies can be shipped to
+//! evaluation jobs (the file-system analogue of the cache's policy key).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use stellaris_cache::Codec;
+
+use crate::policy::{PolicyNet, PolicySnapshot};
+
+/// Magic header guarding against loading unrelated files.
+const MAGIC: &[u8; 8] = b"STLRCKP1";
+
+/// Writes a policy snapshot to `path` (atomically via a temp file).
+pub fn save_policy(policy: &PolicyNet, path: &Path) -> io::Result<()> {
+    let snap = policy.snapshot();
+    let mut buf = Vec::with_capacity(snap.flat.len() * 4 + 64);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&snap.to_bytes());
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &buf)?;
+    fs::rename(&tmp, path)
+}
+
+/// Loads a snapshot from `path` into an architecture-compatible policy.
+pub fn load_policy(policy: &mut PolicyNet, path: &Path) -> io::Result<()> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a Stellaris checkpoint (bad magic)",
+        ));
+    }
+    let snap = PolicySnapshot::from_bytes(&bytes[MAGIC.len()..])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    use stellaris_nn::ParamSet;
+    if snap.flat.len() != policy.num_scalars() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint has {} scalars but the policy expects {}",
+                snap.flat.len(),
+                policy.num_scalars()
+            ),
+        ));
+    }
+    policy.load_snapshot(&snap);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySpec;
+    use stellaris_envs::ActionSpace;
+    use stellaris_nn::Tensor;
+
+    fn spec(hidden: usize) -> PolicySpec {
+        PolicySpec {
+            obs_shape: vec![5],
+            action_space: ActionSpace::Discrete(3),
+            hidden,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("stellaris_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights_and_version() {
+        let path = tmp("roundtrip");
+        let mut policy = PolicyNet::new(spec(12), 1);
+        policy.version = 99;
+        save_policy(&policy, &path).unwrap();
+        let mut restored = PolicyNet::new(spec(12), 777);
+        load_policy(&mut restored, &path).unwrap();
+        assert_eq!(restored.version, 99);
+        let obs = Tensor::ones(&[2, 5]);
+        assert!(policy.mean_kl_to(&restored, &obs) < 1e-7);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = tmp("garbage");
+        fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let mut policy = PolicyNet::new(spec(8), 0);
+        let err = load_policy(&mut policy, &path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let path = tmp("mismatch");
+        let small = PolicyNet::new(spec(8), 1);
+        save_policy(&small, &path).unwrap();
+        let mut big = PolicyNet::new(spec(64), 1);
+        let err = load_policy(&mut big, &path).unwrap_err();
+        assert!(err.to_string().contains("scalars"));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let mut policy = PolicyNet::new(spec(8), 0);
+        let err = load_policy(&mut policy, Path::new("/nonexistent/ckpt")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,196 @@
+//! IMPALA (Espeholt et al., ICML'18): the original off-policy actor-learner
+//! architecture with V-trace correction — the ancestor both IMPACT and the
+//! paper's asynchronous-actor lineage build on (§IX: "IMPALA is the first
+//! off-policy (asynchronous) actor-learner architecture with V-trace
+//! correction").
+//!
+//! The objective is the plain V-trace policy gradient: no surrogate
+//! clipping and no target network — `ρ_t ∇log π(a_t|s_t) · advantage` plus
+//! a value-error term and an entropy bonus. Included as a third algorithm
+//! so the framework comparison covers the whole lineage.
+
+use stellaris_nn::{clip_grad_norm, Graph, Tensor};
+
+use crate::policy::PolicyNet;
+use crate::ppo::LossStats;
+use crate::trajectory::SampleBatch;
+use crate::vtrace::{vtrace, VtraceInput};
+
+/// IMPALA hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ImpalaConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// V-trace ρ̄ truncation.
+    pub rho_bar: f32,
+    /// V-trace c̄ truncation.
+    pub c_bar: f32,
+    /// Entropy bonus coefficient.
+    pub entropy_coeff: f32,
+    /// Value-loss coefficient.
+    pub vf_coeff: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+}
+
+impl ImpalaConfig {
+    /// The IMPALA paper's canonical setting adapted to this scale.
+    pub fn scaled() -> Self {
+        Self {
+            lr: 1e-3,
+            gamma: 0.99,
+            rho_bar: 1.0,
+            c_bar: 1.0,
+            entropy_coeff: 0.01,
+            vf_coeff: 0.5,
+            grad_clip: 0.5,
+        }
+    }
+}
+
+/// Computes IMPALA gradients for one mini-batch.
+///
+/// `ratio_cap` injects Stellaris' global truncation exactly as for PPO and
+/// IMPACT: the importance weight entering the policy-gradient term is
+/// additionally capped.
+pub fn impala_gradients(
+    policy: &PolicyNet,
+    batch: &SampleBatch,
+    cfg: &ImpalaConfig,
+    ratio_cap: Option<f32>,
+) -> (Vec<Tensor>, LossStats) {
+    assert!(!batch.is_empty(), "cannot compute gradients on an empty batch");
+    let b = batch.len();
+    // V-trace against the *current* policy (IMPALA has no target network).
+    let current_logp = policy.logp_plain(batch);
+    let vt = vtrace(&VtraceInput {
+        behaviour_logp: &batch.behaviour_logp,
+        target_logp: &current_logp,
+        rewards: &batch.rewards,
+        values: &batch.values,
+        dones: &batch.dones,
+        bootstrap_value: batch.bootstrap_value,
+        gamma: cfg.gamma,
+        rho_bar: cfg.rho_bar,
+        c_bar: cfg.c_bar,
+    });
+
+    let g = Graph::new();
+    let parts = policy.loss_parts(&g, batch);
+
+    // Importance weight ρ_t = π/μ, truncated at ρ̄ (and at the Eq. 2 cap).
+    let mu = g.input(Tensor::from_vec(batch.behaviour_logp.clone(), &[b]));
+    let diff = g.clamp(g.sub(parts.logp_new, mu), -20.0, 20.0);
+    let ratio = g.exp(diff);
+    let mut cap = cfg.rho_bar;
+    if let Some(c) = ratio_cap {
+        cap = cap.min(c);
+    }
+    // The weight is treated as a constant multiplier in the IMPALA PG
+    // (gradient flows through log π, not through ρ): detach it.
+    let rho = g.detach(g.min_scalar(ratio, cap));
+
+    let adv = g.input(Tensor::from_vec(vt.advantages.clone(), &[b]));
+    let weighted = g.mul(rho, adv);
+    let pg = g.mean_all(g.mul(parts.logp_new, g.detach(weighted)));
+
+    let vs = g.input(Tensor::from_vec(vt.vs, &[b]));
+    let verr = g.sub(parts.value, vs);
+    let vf_loss = g.mean_all(g.square(verr));
+
+    let mut loss = g.scale(pg, -1.0);
+    loss = g.add(loss, g.scale(vf_loss, cfg.vf_coeff));
+    loss = g.add(loss, g.scale(parts.entropy, -cfg.entropy_coeff));
+
+    let mut grads = g.backward(loss, &parts.param_vars);
+    let grad_norm = clip_grad_norm(&mut grads, cfg.grad_clip);
+
+    let ratio_vals = g.value(ratio);
+    let stats = LossStats {
+        surrogate: g.value(pg).data()[0],
+        vf_loss: g.value(vf_loss).data()[0],
+        entropy: g.value(parts.entropy).data()[0],
+        kl: g.value(parts.kl).data()[0],
+        clip_frac: ratio_vals.data().iter().filter(|&&r| r > cap).count() as f32 / b as f32,
+        mean_ratio: ratio_vals.mean(),
+        min_ratio: ratio_vals
+            .data()
+            .iter()
+            .fold(f32::INFINITY, |m, &r| m.min(r.abs())),
+        grad_norm,
+    };
+    (grads, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gae::fill_gae;
+    use crate::policy::PolicySpec;
+    use crate::rollout::RolloutWorker;
+    use stellaris_envs::{make_env, EnvConfig, EnvId};
+    use stellaris_nn::{Adam, Optimizer, ParamSet};
+
+    fn setup(id: EnvId) -> (PolicyNet, SampleBatch) {
+        let mut env = make_env(id, EnvConfig::tiny());
+        env.reset(0);
+        let mut spec = PolicySpec::for_env(env.as_ref());
+        spec.hidden = 16;
+        let policy = PolicyNet::new(spec, 0);
+        let mut w = RolloutWorker::new(env, 13);
+        let mut batch = w.collect(&policy, 48);
+        fill_gae(&mut batch, 0.99, 0.95);
+        (policy, batch)
+    }
+
+    #[test]
+    fn gradients_finite_both_kinds() {
+        for id in [EnvId::PointMass, EnvId::ChainMdp] {
+            let (policy, batch) = setup(id);
+            let (grads, stats) =
+                impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
+            assert_eq!(grads.len(), policy.params().len());
+            assert!(grads.iter().all(|g| g.is_finite()));
+            assert!(stats.entropy > 0.0 || id == EnvId::PointMass);
+        }
+    }
+
+    #[test]
+    fn on_policy_ratio_near_one() {
+        let (policy, batch) = setup(EnvId::ChainMdp);
+        let (_, stats) = impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
+        assert!((stats.mean_ratio - 1.0).abs() < 0.05, "{}", stats.mean_ratio);
+    }
+
+    #[test]
+    fn repeated_updates_improve_objective() {
+        let (mut policy, batch) = setup(EnvId::ChainMdp);
+        let cfg = ImpalaConfig::scaled();
+        let (_, before) = impala_gradients(&policy, &batch, &cfg, None);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..8 {
+            let (grads, _) = impala_gradients(&policy, &batch, &cfg, None);
+            let mut params: Vec<Tensor> = policy.params().into_iter().cloned().collect();
+            opt.step(&mut params, &grads);
+            policy.load_flat(&stellaris_nn::flatten_all(&params));
+        }
+        let (_, after) = impala_gradients(&policy, &batch, &cfg, None);
+        assert!(
+            after.surrogate > before.surrogate,
+            "{} -> {}",
+            before.surrogate,
+            after.surrogate
+        );
+    }
+
+    #[test]
+    fn ratio_cap_tightens_clip() {
+        let (policy, batch) = setup(EnvId::PointMass);
+        let (_, free) = impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
+        let (_, capped) =
+            impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), Some(0.5));
+        assert!(capped.clip_frac >= free.clip_frac, "a tighter cap clips more");
+    }
+}

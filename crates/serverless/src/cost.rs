@@ -1,0 +1,136 @@
+//! Cost accounting: serverless per-invocation billing vs serverful
+//! whole-VM reservation, following §VIII-A exactly.
+
+use std::time::Duration;
+
+use crate::platform::{FunctionKind, InvocationRecord};
+use crate::pricing::Cluster;
+
+/// A cost breakdown in USD.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Learner + parameter function cost (GPU side).
+    pub learner_usd: f64,
+    /// Actor cost (CPU side).
+    pub actor_usd: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost.
+    pub fn total(&self) -> f64 {
+        self.learner_usd + self.actor_usd
+    }
+}
+
+/// Bills a set of serverless invocation records against a cluster's
+/// per-function-second prices. Startup (pre-warm/keep-alive) time is *not*
+/// billed, "similar to existing serverless platforms" (§VIII-A).
+pub fn bill_serverless(cluster: &Cluster, records: &[InvocationRecord]) -> CostBreakdown {
+    let mut out = CostBreakdown::default();
+    for r in records {
+        let secs = r.exec.as_secs_f64();
+        match r.kind {
+            FunctionKind::Learner | FunctionKind::Parameter => {
+                out.learner_usd += secs * cluster.learner_fn_price();
+            }
+            FunctionKind::Actor => {
+                out.actor_usd += secs * cluster.actor_fn_price();
+            }
+        }
+    }
+    out
+}
+
+/// Bills a serverful deployment: every VM in the cluster is reserved for the
+/// whole wall-clock duration regardless of utilisation.
+pub fn bill_serverful(cluster: &Cluster, wall: Duration) -> CostBreakdown {
+    let secs = wall.as_secs_f64();
+    CostBreakdown {
+        learner_usd: cluster.gpu_vms.itype.per_second() * cluster.gpu_vms.count as f64 * secs,
+        actor_usd: cluster.cpu_vms.itype.per_second() * cluster.cpu_vms.count as f64 * secs,
+    }
+}
+
+/// Bills a hybrid deployment (e.g. MinionsRL: serverless actors, serverful
+/// learner VMs).
+pub fn bill_hybrid(
+    cluster: &Cluster,
+    wall: Duration,
+    actor_records: &[InvocationRecord],
+) -> CostBreakdown {
+    let serverful = bill_serverful(cluster, wall);
+    let serverless = bill_serverless(cluster, actor_records);
+    CostBreakdown {
+        learner_usd: serverful.learner_usd,
+        actor_usd: serverless.actor_usd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: FunctionKind, exec_secs: f64) -> InvocationRecord {
+        InvocationRecord {
+            kind,
+            start: Duration::ZERO,
+            exec: Duration::from_secs_f64(exec_secs),
+            wall: Duration::from_secs_f64(exec_secs),
+            startup: Duration::from_secs(99), // must not be billed
+            cold: true,
+        }
+    }
+
+    #[test]
+    fn serverless_bill_matches_hand_calculation() {
+        let c = Cluster::regular();
+        let records = vec![
+            rec(FunctionKind::Learner, 10.0),
+            rec(FunctionKind::Parameter, 5.0),
+            rec(FunctionKind::Actor, 100.0),
+        ];
+        let bill = bill_serverless(&c, &records);
+        let want_learner = 15.0 * (3.06 / 3600.0 / 4.0);
+        let want_actor = 100.0 * (4.896 / 3600.0 / 128.0);
+        assert!((bill.learner_usd - want_learner).abs() < 1e-12);
+        assert!((bill.actor_usd - want_actor).abs() < 1e-12);
+        assert!((bill.total() - want_learner - want_actor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn startup_time_not_billed() {
+        let c = Cluster::regular();
+        let with_startup = bill_serverless(&c, &[rec(FunctionKind::Learner, 1.0)]);
+        let mut r = rec(FunctionKind::Learner, 1.0);
+        r.startup = Duration::ZERO;
+        let without = bill_serverless(&c, &[r]);
+        assert_eq!(with_startup, without);
+    }
+
+    #[test]
+    fn serverful_bill_charges_idle_time() {
+        let c = Cluster::regular();
+        let bill = bill_serverful(&c, Duration::from_secs(3600));
+        assert!((bill.total() - (2.0 * 3.06 + 4.896)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serverless_cheaper_than_serverful_when_underutilised() {
+        // 1 hour wall clock but only 60 learner-seconds of actual work:
+        // the core economic claim behind Fig. 2(b) and Fig. 8.
+        let c = Cluster::regular();
+        let records: Vec<_> = (0..60).map(|_| rec(FunctionKind::Learner, 1.0)).collect();
+        let sl = bill_serverless(&c, &records);
+        let sf = bill_serverful(&c, Duration::from_secs(3600));
+        assert!(sl.total() < sf.total() * 0.05, "{} vs {}", sl.total(), sf.total());
+    }
+
+    #[test]
+    fn hybrid_mixes_models() {
+        let c = Cluster::regular();
+        let actor_records = vec![rec(FunctionKind::Actor, 10.0)];
+        let bill = bill_hybrid(&c, Duration::from_secs(100), &actor_records);
+        assert!((bill.learner_usd - 100.0 * 2.0 * 3.06 / 3600.0).abs() < 1e-9);
+        assert!((bill.actor_usd - 10.0 * 4.896 / 3600.0 / 128.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-thread CPU-time measurement.
+//!
+//! Serverless billing charges a function for the resources it *uses*; in
+//! the paper each learner function owns a dedicated V100 share, so a
+//! function's duration is unaffected by its neighbours. On an oversubscribed
+//! CPU host, wall-clock time conflates a function's own work with
+//! time-slicing against concurrent functions, which would make concurrent
+//! topologies look arbitrarily expensive. Billing therefore uses
+//! `CLOCK_THREAD_CPUTIME_ID` — the calling thread's actual CPU time — with
+//! a wall-clock fallback on platforms where the clock is unavailable.
+//!
+//! The binding is a two-line FFI shim against the already-linked C library
+//! rather than a new dependency.
+
+use std::time::Duration;
+
+#[cfg(unix)]
+mod imp {
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+
+    /// Linux/POSIX `CLOCK_THREAD_CPUTIME_ID`.
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    pub fn thread_cpu_time() -> Option<Duration> {
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        // SAFETY: `ts` is a valid, writable Timespec and the clock id is a
+        // POSIX constant; clock_gettime only writes through the pointer.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc == 0 {
+            Some(Duration::new(ts.tv_sec.max(0) as u64, ts.tv_nsec.clamp(0, 999_999_999) as u32))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::time::Duration;
+
+    pub fn thread_cpu_time() -> Option<Duration> {
+        None
+    }
+}
+
+/// The calling thread's cumulative CPU time, if the platform exposes it.
+pub fn thread_cpu_time() -> Option<Duration> {
+    imp::thread_cpu_time()
+}
+
+/// Measures the CPU time consumed by `f` on the calling thread, falling
+/// back to wall time when the CPU clock is unavailable. Returns
+/// `(result, cpu_or_wall_duration, used_cpu_clock)`.
+pub fn measure_cpu<R>(f: impl FnOnce() -> R) -> (R, Duration, bool) {
+    let wall0 = std::time::Instant::now();
+    let cpu0 = thread_cpu_time();
+    let out = f();
+    match (cpu0, thread_cpu_time()) {
+        (Some(a), Some(b)) => (out, b.saturating_sub(a), true),
+        _ => (out, wall0.elapsed(), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(ms: u64) -> u64 {
+        let t0 = std::time::Instant::now();
+        let mut acc = 0u64;
+        while t0.elapsed() < Duration::from_millis(ms) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(acc);
+        }
+        acc
+    }
+
+    #[test]
+    fn cpu_clock_is_available_on_linux() {
+        assert!(thread_cpu_time().is_some(), "CLOCK_THREAD_CPUTIME_ID must work");
+    }
+
+    #[test]
+    fn busy_work_accumulates_cpu_time() {
+        // Spin until the CPU clock itself advances, so the assertion holds
+        // even when the host core is shared with other processes.
+        let (_, d, used_cpu) = measure_cpu(|| {
+            let start = thread_cpu_time().unwrap();
+            while thread_cpu_time().unwrap() - start < Duration::from_millis(20) {
+                std::hint::black_box(spin(1));
+            }
+        });
+        assert!(used_cpu);
+        assert!(d >= Duration::from_millis(15), "spin must register: {d:?}");
+    }
+
+    #[test]
+    fn sleep_consumes_no_cpu_time() {
+        let (_, d, used_cpu) = measure_cpu(|| std::thread::sleep(Duration::from_millis(40)));
+        assert!(used_cpu);
+        assert!(
+            d < Duration::from_millis(10),
+            "sleeping threads must not be billed: {d:?}"
+        );
+    }
+
+    #[test]
+    fn cpu_time_is_monotone() {
+        let a = thread_cpu_time().unwrap();
+        spin(5);
+        let b = thread_cpu_time().unwrap();
+        assert!(b >= a);
+    }
+}

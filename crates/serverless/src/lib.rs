@@ -1,0 +1,21 @@
+//! # stellaris-serverless
+//!
+//! The serverless-computing substrate of the Stellaris reproduction: a
+//! container platform simulator with cold starts, pre-warming, ten-minute
+//! keep-alive and per-kind slot capacities (four learner functions per
+//! GPU), plus the paper's dollar-per-resource-second cost model over the
+//! §VIII-A EC2 cluster profiles.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cputime;
+pub mod platform;
+pub mod prewarm;
+pub mod pricing;
+
+pub use cost::{bill_hybrid, bill_serverful, bill_serverless, CostBreakdown};
+pub use cputime::{measure_cpu, thread_cpu_time};
+pub use platform::{FunctionKind, InvocationRecord, OverheadMode, Platform, StartupProfile};
+pub use prewarm::{FunctionProfiler, PrewarmController};
+pub use pricing::{Cluster, InstanceType, VmGroup};

@@ -1,0 +1,482 @@
+//! The serverless container platform: slot-limited invocation, cold starts,
+//! pre-warming and keep-alive.
+//!
+//! The paper implements its own serverless container cluster on EC2 (§VII)
+//! because public FaaS platforms lack GPUs. This module reproduces its
+//! mechanics: each function kind runs in a container; invoking with no warm
+//! container pays a cold-start; containers stay warm for ten minutes after
+//! use (the OpenWhisk-style keep-alive the paper copies); concurrency is
+//! capped by the cluster's slot counts (four learner functions per GPU).
+//!
+//! Invocations run *real work* (a closure) on the calling thread; startup
+//! overheads are either slept (wall-clock-faithful mode) or recorded only
+//! (fast mode), and every invocation leaves an [`InvocationRecord`] for the
+//! cost and latency analyses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Which function a container hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FunctionKind {
+    /// Gradient-computing learner function (GPU slot).
+    Learner,
+    /// Staleness-aware aggregating parameter function (GPU slot).
+    Parameter,
+    /// Trajectory-sampling actor function (CPU slot).
+    Actor,
+}
+
+impl FunctionKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FunctionKind::Learner => "learner",
+            FunctionKind::Parameter => "parameter",
+            FunctionKind::Actor => "actor",
+        }
+    }
+}
+
+/// How startup overheads affect wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverheadMode {
+    /// Record overheads in the invocation records without sleeping.
+    Record,
+    /// Sleep for the overhead duration (wall-clock faithful).
+    Sleep,
+}
+
+/// Startup latency profile.
+#[derive(Clone, Copy, Debug)]
+pub struct StartupProfile {
+    /// Container cold-start latency.
+    pub cold: Duration,
+    /// Warm-start latency.
+    pub warm: Duration,
+    /// Keep-alive window after release (paper: ten minutes).
+    pub keep_alive: Duration,
+}
+
+impl Default for StartupProfile {
+    fn default() -> Self {
+        Self {
+            cold: Duration::from_millis(1500),
+            warm: Duration::from_millis(8),
+            keep_alive: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One completed function invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct InvocationRecord {
+    /// Function kind.
+    pub kind: FunctionKind,
+    /// Offset of invocation start from platform creation.
+    pub start: Duration,
+    /// Billed duration: the function's own CPU time (dedicated-slot
+    /// semantics; wall-clock fallback where the CPU clock is unavailable).
+    /// Startup is excluded, as in §VIII-A.
+    pub exec: Duration,
+    /// Wall-clock duration of the invocation (for latency breakdowns).
+    pub wall: Duration,
+    /// Startup overhead paid (cold or warm).
+    pub startup: Duration,
+    /// Whether this was a cold start.
+    pub cold: bool,
+}
+
+/// Counting semaphore.
+struct Semaphore {
+    permits: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Semaphore {
+    fn new(n: usize) -> Self {
+        Self { permits: Mutex::new(n), cond: Condvar::new() }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.cond.wait(&mut p);
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock() += 1;
+        self.cond.notify_one();
+    }
+}
+
+struct Pool {
+    /// Expiry instants of idle warm containers for one function kind.
+    warm: Mutex<Vec<Instant>>,
+}
+
+/// The serverless platform for one cluster.
+pub struct Platform {
+    epoch: Instant,
+    learner_slots: Semaphore,
+    actor_slots: Semaphore,
+    profile: StartupProfile,
+    mode: OverheadMode,
+    pools: [Pool; 3],
+    records: Mutex<Vec<InvocationRecord>>,
+    cold_starts: AtomicU64,
+    warm_starts: AtomicU64,
+    /// Busy time accumulated per kind (for utilisation metrics), in micros.
+    busy_us: [AtomicU64; 3],
+}
+
+fn kind_index(kind: FunctionKind) -> usize {
+    match kind {
+        FunctionKind::Learner => 0,
+        FunctionKind::Parameter => 1,
+        FunctionKind::Actor => 2,
+    }
+}
+
+impl Platform {
+    /// Creates a platform with the given slot counts.
+    pub fn new(
+        learner_slots: usize,
+        actor_slots: usize,
+        profile: StartupProfile,
+        mode: OverheadMode,
+    ) -> Self {
+        Self {
+            epoch: Instant::now(),
+            learner_slots: Semaphore::new(learner_slots.max(1)),
+            actor_slots: Semaphore::new(actor_slots.max(1)),
+            profile,
+            mode,
+            pools: std::array::from_fn(|_| Pool { warm: Mutex::new(Vec::new()) }),
+            records: Mutex::new(Vec::new()),
+            cold_starts: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            busy_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Convenience constructor from a cluster profile, fast (recording) mode.
+    pub fn for_cluster(cluster: &crate::pricing::Cluster) -> Self {
+        Self::new(
+            cluster.learner_slots(),
+            cluster.actor_slots(),
+            StartupProfile::default(),
+            OverheadMode::Record,
+        )
+    }
+
+    /// Pre-warms `n` containers of `kind` so the first invocations start warm
+    /// (the paper pre-warms based on profiled completion times and excludes
+    /// this from billed cost).
+    pub fn prewarm(&self, kind: FunctionKind, n: usize) {
+        let now = Instant::now();
+        let mut warm = self.pools[kind_index(kind)].warm.lock();
+        for _ in 0..n {
+            warm.push(now + self.profile.keep_alive);
+        }
+    }
+
+    fn try_claim_warm(&self, kind: FunctionKind) -> bool {
+        let now = Instant::now();
+        let mut warm = self.pools[kind_index(kind)].warm.lock();
+        warm.retain(|&expiry| expiry > now);
+        warm.pop().is_some()
+    }
+
+    fn release_container(&self, kind: FunctionKind) {
+        let mut warm = self.pools[kind_index(kind)].warm.lock();
+        warm.push(Instant::now() + self.profile.keep_alive);
+    }
+
+    /// Invokes a function: blocks for a slot, pays cold/warm startup, runs
+    /// `work` on the calling thread, releases the container (warm) and slot.
+    pub fn invoke<R>(&self, kind: FunctionKind, work: impl FnOnce() -> R) -> (R, InvocationRecord) {
+        let sem = match kind {
+            FunctionKind::Actor => &self.actor_slots,
+            _ => &self.learner_slots,
+        };
+        sem.acquire();
+        let start = self.epoch.elapsed();
+        let cold = !self.try_claim_warm(kind);
+        let startup = if cold { self.profile.cold } else { self.profile.warm };
+        if cold {
+            self.cold_starts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.mode == OverheadMode::Sleep && !startup.is_zero() {
+            std::thread::sleep(startup);
+        }
+        let t0 = Instant::now();
+        let (out, cpu, _used_cpu_clock) = crate::cputime::measure_cpu(work);
+        let wall = t0.elapsed();
+        self.release_container(kind);
+        sem.release();
+        self.busy_us[kind_index(kind)].fetch_add(cpu.as_micros() as u64, Ordering::Relaxed);
+        let record = InvocationRecord { kind, start, exec: cpu, wall, startup, cold };
+        self.records.lock().push(record);
+        (out, record)
+    }
+
+    /// Total idle keep-alive time currently accrued by warm containers of a
+    /// kind (time since release, summed). The paper excludes keep-alive from
+    /// billed cost; this metric exposes the provider-side waste that policy
+    /// hides (useful when tuning the pre-warm controller).
+    pub fn keep_alive_waste(&self, kind: FunctionKind) -> Duration {
+        let now = Instant::now();
+        let warm = self.pools[kind_index(kind)].warm.lock();
+        warm.iter()
+            .map(|&expiry| {
+                // Containers were released keep_alive before their expiry.
+                let released = expiry - self.profile.keep_alive;
+                now.saturating_duration_since(released)
+            })
+            .sum()
+    }
+
+    /// Bills extra slot-holding time to a function kind (e.g. a synchronous
+    /// learner waiting at a barrier keeps its GPU slot — and its bill —
+    /// running even though it burns no CPU). Appends a zero-startup record.
+    pub fn bill_hold(&self, kind: FunctionKind, held: Duration) {
+        if held.is_zero() {
+            return;
+        }
+        self.busy_us[kind_index(kind)].fetch_add(held.as_micros() as u64, Ordering::Relaxed);
+        self.records.lock().push(InvocationRecord {
+            kind,
+            start: self.epoch.elapsed(),
+            exec: held,
+            wall: held,
+            startup: Duration::ZERO,
+            cold: false,
+        });
+    }
+
+    /// All invocation records so far.
+    pub fn records(&self) -> Vec<InvocationRecord> {
+        self.records.lock().clone()
+    }
+
+    /// `(cold, warm)` start counts.
+    pub fn start_counts(&self) -> (u64, u64) {
+        (
+            self.cold_starts.load(Ordering::Relaxed),
+            self.warm_starts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total busy execution time for a function kind.
+    pub fn busy_time(&self, kind: FunctionKind) -> Duration {
+        Duration::from_micros(self.busy_us[kind_index(kind)].load(Ordering::Relaxed))
+    }
+
+    /// Elapsed wall-clock time since platform creation.
+    pub fn elapsed(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// GPU-slot utilisation of learner+parameter work over the elapsed
+    /// window, given the number of slots (0..=1 scale, can exceed 1 only on
+    /// timer skew).
+    pub fn gpu_utilization(&self, learner_slots: usize) -> f64 {
+        let busy = self.busy_time(FunctionKind::Learner)
+            + self.busy_time(FunctionKind::Parameter);
+        let total = self.elapsed().as_secs_f64() * learner_slots.max(1) as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            busy.as_secs_f64() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::Cluster;
+    use std::sync::Arc;
+
+    fn fast_platform(learners: usize, actors: usize) -> Platform {
+        Platform::new(
+            learners,
+            actors,
+            StartupProfile {
+                cold: Duration::from_millis(100),
+                warm: Duration::from_millis(1),
+                keep_alive: Duration::from_secs(60),
+            },
+            OverheadMode::Record,
+        )
+    }
+
+    #[test]
+    fn first_invocation_is_cold_second_is_warm() {
+        let p = fast_platform(2, 2);
+        let (_, r1) = p.invoke(FunctionKind::Learner, || 1 + 1);
+        assert!(r1.cold);
+        let (_, r2) = p.invoke(FunctionKind::Learner, || 2 + 2);
+        assert!(!r2.cold, "released container should be reused warm");
+        assert_eq!(p.start_counts(), (1, 1));
+    }
+
+    #[test]
+    fn prewarm_avoids_cold_start() {
+        let p = fast_platform(2, 2);
+        p.prewarm(FunctionKind::Learner, 1);
+        let (_, r) = p.invoke(FunctionKind::Learner, || ());
+        assert!(!r.cold);
+    }
+
+    #[test]
+    fn kinds_have_separate_pools() {
+        let p = fast_platform(2, 2);
+        p.prewarm(FunctionKind::Learner, 1);
+        let (_, r) = p.invoke(FunctionKind::Parameter, || ());
+        assert!(r.cold, "parameter pool is distinct from learner pool");
+    }
+
+    #[test]
+    fn slots_limit_concurrency() {
+        let p = Arc::new(fast_platform(2, 2));
+        let active = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (p, active, peak) = (p.clone(), active.clone(), peak.clone());
+            handles.push(std::thread::spawn(move || {
+                p.invoke(FunctionKind::Learner, || {
+                    let a = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(a, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(15));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert_eq!(p.records().len(), 8);
+    }
+
+    #[test]
+    fn record_mode_does_not_sleep_for_startup() {
+        let p = Platform::new(
+            1,
+            1,
+            StartupProfile {
+                cold: Duration::from_secs(30),
+                warm: Duration::from_millis(1),
+                keep_alive: Duration::from_secs(60),
+            },
+            OverheadMode::Record,
+        );
+        let t0 = Instant::now();
+        let (_, r) = p.invoke(FunctionKind::Learner, || ());
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(r.startup, Duration::from_secs(30), "overhead still recorded");
+    }
+
+    #[test]
+    fn sleep_mode_delays() {
+        let p = Platform::new(
+            1,
+            1,
+            StartupProfile {
+                cold: Duration::from_millis(50),
+                warm: Duration::from_millis(1),
+                keep_alive: Duration::from_secs(60),
+            },
+            OverheadMode::Sleep,
+        );
+        let t0 = Instant::now();
+        p.invoke(FunctionKind::Learner, || ());
+        assert!(t0.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn expired_containers_cold_start_again() {
+        let p = Platform::new(
+            1,
+            1,
+            StartupProfile {
+                cold: Duration::from_millis(1),
+                warm: Duration::from_millis(1),
+                keep_alive: Duration::from_millis(10),
+            },
+            OverheadMode::Record,
+        );
+        p.invoke(FunctionKind::Learner, || ());
+        std::thread::sleep(Duration::from_millis(30));
+        let (_, r) = p.invoke(FunctionKind::Learner, || ());
+        assert!(r.cold, "keep-alive expiry should force a cold start");
+    }
+
+    fn spin_ms(ms: u64) {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        while t0.elapsed() < Duration::from_millis(ms) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(acc);
+        }
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let p = fast_platform(1, 1);
+        p.invoke(FunctionKind::Learner, || spin_ms(40));
+        let u = p.gpu_utilization(1);
+        assert!(u > 0.2, "utilization {u}");
+        assert!(u <= 1.1);
+    }
+
+    #[test]
+    fn keep_alive_waste_accrues_while_idle() {
+        let p = fast_platform(2, 2);
+        p.invoke(FunctionKind::Learner, || ());
+        std::thread::sleep(Duration::from_millis(30));
+        let waste = p.keep_alive_waste(FunctionKind::Learner);
+        assert!(waste >= Duration::from_millis(25), "{waste:?}");
+        assert_eq!(p.keep_alive_waste(FunctionKind::Actor), Duration::ZERO);
+    }
+
+    #[test]
+    fn bill_hold_adds_slot_time() {
+        let p = fast_platform(1, 1);
+        p.bill_hold(FunctionKind::Learner, Duration::from_millis(500));
+        p.bill_hold(FunctionKind::Learner, Duration::ZERO); // no-op
+        let records = p.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].exec, Duration::from_millis(500));
+        assert!(p.busy_time(FunctionKind::Learner) >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn billing_uses_cpu_time_not_wall_time() {
+        // Dedicated-slot semantics: a function that sleeps is not billed
+        // for its nap, but its wall latency is still recorded.
+        let p = fast_platform(1, 1);
+        let (_, r) = p.invoke(FunctionKind::Learner, || {
+            std::thread::sleep(Duration::from_millis(40))
+        });
+        assert!(r.wall >= Duration::from_millis(35), "{:?}", r.wall);
+        assert!(r.exec < Duration::from_millis(10), "billed {:?}", r.exec);
+    }
+
+    #[test]
+    fn for_cluster_uses_cluster_slots() {
+        let p = Platform::for_cluster(&Cluster::tiny());
+        // tiny: 1 GPU * 2 learners per GPU = 2 learner slots.
+        p.invoke(FunctionKind::Learner, || ());
+        assert_eq!(p.records().len(), 1);
+    }
+}

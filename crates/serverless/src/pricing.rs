@@ -1,0 +1,185 @@
+//! EC2 instance types, cluster profiles and prices from §VIII-A.
+//!
+//! The paper charges serverless invocations in dollar-per-resource-second:
+//! the hourly instance price divided by 3600 and by the maximum number of
+//! concurrent functions the VM can host. Serverful baselines are charged
+//! for whole VMs over the whole wall-clock duration.
+
+/// An EC2 instance type with its US-East-2 hourly price (footnote 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstanceType {
+    /// AWS name.
+    pub name: &'static str,
+    /// Hourly price in USD.
+    pub hourly_usd: f64,
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// Number of CPU cores.
+    pub cpu_cores: usize,
+}
+
+/// `p3.2xlarge`: 1x V100, $3.06/h.
+pub const P3_2XLARGE: InstanceType =
+    InstanceType { name: "p3.2xlarge", hourly_usd: 3.06, gpus: 1, cpu_cores: 8 };
+
+/// `c6a.32xlarge`: CPU actor host, $4.896/h.
+pub const C6A_32XLARGE: InstanceType =
+    InstanceType { name: "c6a.32xlarge", hourly_usd: 4.896, gpus: 0, cpu_cores: 128 };
+
+/// `p3.16xlarge`: 8x V100 (HPC testbed), $24.48/h.
+pub const P3_16XLARGE: InstanceType =
+    InstanceType { name: "p3.16xlarge", hourly_usd: 24.48, gpus: 8, cpu_cores: 64 };
+
+/// `hpc7a.96xlarge`: 192-core HPC actor host, $7.2/h.
+pub const HPC7A_96XLARGE: InstanceType =
+    InstanceType { name: "hpc7a.96xlarge", hourly_usd: 7.2, gpus: 0, cpu_cores: 192 };
+
+impl InstanceType {
+    /// Price per second for the whole VM.
+    pub fn per_second(&self) -> f64 {
+        self.hourly_usd / 3600.0
+    }
+
+    /// The paper's dollar-per-resource-second unit: whole-VM price divided
+    /// by the number of concurrently hostable functions.
+    pub fn per_function_second(&self, capacity_per_vm: usize) -> f64 {
+        assert!(capacity_per_vm > 0, "capacity must be positive");
+        self.per_second() / capacity_per_vm as f64
+    }
+}
+
+/// A homogeneous group of VMs inside a cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct VmGroup {
+    /// Instance type.
+    pub itype: InstanceType,
+    /// Number of VMs.
+    pub count: usize,
+}
+
+/// A training cluster: GPU VMs host learner/parameter functions, CPU VMs
+/// host actors.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// GPU-bearing VMs.
+    pub gpu_vms: VmGroup,
+    /// CPU-only VMs.
+    pub cpu_vms: VmGroup,
+    /// Max concurrent learner functions per GPU (§VIII-A: four per V100).
+    pub learners_per_gpu: usize,
+}
+
+impl Cluster {
+    /// The paper's regular testbed: 2x p3.2xlarge + 1x c6a.32xlarge
+    /// (2 V100s, 128 actor cores).
+    pub fn regular() -> Self {
+        Self {
+            gpu_vms: VmGroup { itype: P3_2XLARGE, count: 2 },
+            cpu_vms: VmGroup { itype: C6A_32XLARGE, count: 1 },
+            learners_per_gpu: 4,
+        }
+    }
+
+    /// The paper's HPC testbed: 2x p3.16xlarge + 5x hpc7a.96xlarge
+    /// (16 V100s, 960 actor cores).
+    pub fn hpc() -> Self {
+        Self {
+            gpu_vms: VmGroup { itype: P3_16XLARGE, count: 2 },
+            cpu_vms: VmGroup { itype: HPC7A_96XLARGE, count: 5 },
+            learners_per_gpu: 4,
+        }
+    }
+
+    /// A tiny cluster for unit tests (1 GPU VM, 1 CPU VM).
+    pub fn tiny() -> Self {
+        Self {
+            gpu_vms: VmGroup { itype: P3_2XLARGE, count: 1 },
+            cpu_vms: VmGroup { itype: C6A_32XLARGE, count: 1 },
+            learners_per_gpu: 2,
+        }
+    }
+
+    /// Total GPUs.
+    pub fn total_gpus(&self) -> usize {
+        self.gpu_vms.itype.gpus * self.gpu_vms.count
+    }
+
+    /// Total concurrent learner-function slots.
+    pub fn learner_slots(&self) -> usize {
+        self.total_gpus() * self.learners_per_gpu
+    }
+
+    /// Total actor CPU cores (one actor per core, §VIII-A).
+    pub fn actor_slots(&self) -> usize {
+        self.cpu_vms.itype.cpu_cores * self.cpu_vms.count
+    }
+
+    /// Price of one learner-function-second.
+    pub fn learner_fn_price(&self) -> f64 {
+        let per_vm = self.gpu_vms.itype.gpus * self.learners_per_gpu;
+        self.gpu_vms.itype.per_function_second(per_vm)
+    }
+
+    /// Price of one actor-function-second.
+    pub fn actor_fn_price(&self) -> f64 {
+        self.cpu_vms
+            .itype
+            .per_function_second(self.cpu_vms.itype.cpu_cores)
+    }
+
+    /// Whole-cluster serverful price per second (every VM reserved).
+    pub fn serverful_price_per_second(&self) -> f64 {
+        self.gpu_vms.itype.per_second() * self.gpu_vms.count as f64
+            + self.cpu_vms.itype.per_second() * self.cpu_vms.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prices() {
+        assert_eq!(P3_2XLARGE.hourly_usd, 3.06);
+        assert_eq!(C6A_32XLARGE.hourly_usd, 4.896);
+        assert_eq!(P3_16XLARGE.hourly_usd, 24.48);
+        assert_eq!(HPC7A_96XLARGE.hourly_usd, 7.2);
+    }
+
+    #[test]
+    fn per_function_second_matches_paper_example() {
+        // §VIII-A: "if we limit the capacity of learner functions to four
+        // per VM, the cost of a function invocation with a V100 GPU is
+        // computed by dividing the price of p3.2xlarge by four".
+        let per_fn = P3_2XLARGE.per_function_second(4);
+        assert!((per_fn - 3.06 / 3600.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_cluster_matches_testbed() {
+        let c = Cluster::regular();
+        assert_eq!(c.total_gpus(), 2);
+        assert_eq!(c.learner_slots(), 8);
+        assert_eq!(c.actor_slots(), 128);
+    }
+
+    #[test]
+    fn hpc_cluster_matches_testbed() {
+        let c = Cluster::hpc();
+        assert_eq!(c.total_gpus(), 16);
+        assert_eq!(c.actor_slots(), 960);
+    }
+
+    #[test]
+    fn serverful_price_sums_vms() {
+        let c = Cluster::regular();
+        let want = (2.0 * 3.06 + 4.896) / 3600.0;
+        assert!((c.serverful_price_per_second() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learner_fn_cheaper_than_whole_vm() {
+        let c = Cluster::regular();
+        assert!(c.learner_fn_price() < c.gpu_vms.itype.per_second());
+    }
+}

@@ -1,0 +1,87 @@
+//! Timing profiles for the discrete-event simulation.
+//!
+//! The profile abstracts *how long things take* on the paper's testbed so
+//! the pipeline's queueing behaviour, staleness and economics can be
+//! replayed at full §VIII-A scale in virtual time. Numbers are estimates
+//! calibrated to the paper's hardware class (V100 learners, EPYC actor
+//! cores) and to this repo's measured per-sample costs; they matter only
+//! relative to each other, and every one can be overridden.
+
+/// Per-operation durations in microseconds of virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingProfile {
+    /// One environment step + policy inference on an actor core.
+    pub actor_step_us: f64,
+    /// Gradient computation per trajectory sample on a learner slot.
+    pub learner_us_per_sample: f64,
+    /// Parameter-function work per aggregation (fetch, fold, update, publish).
+    pub aggregate_us: f64,
+    /// Pulling the latest policy snapshot from the cache.
+    pub policy_pull_us: f64,
+    /// Publishing one actor batch of trajectories to the cache.
+    pub traj_push_us: f64,
+    /// Warm container start.
+    pub warm_start_us: f64,
+    /// Cold container start.
+    pub cold_start_us: f64,
+    /// Multiplicative execution-time jitter half-range (0.2 = ±20%).
+    pub jitter: f64,
+}
+
+impl TimingProfile {
+    /// MuJoCo-class workload on the paper's regular testbed: cheap physics
+    /// steps, 2x256 MLP gradients on a quarter-V100 learner slot.
+    pub fn mujoco_v100() -> Self {
+        Self {
+            actor_step_us: 300.0,
+            learner_us_per_sample: 40.0,
+            aggregate_us: 20_000.0,
+            policy_pull_us: 5_000.0,
+            traj_push_us: 8_000.0,
+            warm_start_us: 8_000.0,
+            cold_start_us: 1_500_000.0,
+            jitter: 0.25,
+        }
+    }
+
+    /// Atari-class workload: frame rendering + CNN inference per step and
+    /// convolutional gradients per sample.
+    pub fn atari_v100() -> Self {
+        Self {
+            actor_step_us: 2_000.0,
+            learner_us_per_sample: 400.0,
+            aggregate_us: 35_000.0,
+            policy_pull_us: 9_000.0,
+            traj_push_us: 30_000.0,
+            ..Self::mujoco_v100()
+        }
+    }
+
+    /// A deterministic profile for unit tests (no jitter, round numbers).
+    pub fn test_flat() -> Self {
+        Self {
+            actor_step_us: 100.0,
+            learner_us_per_sample: 10.0,
+            aggregate_us: 1_000.0,
+            policy_pull_us: 500.0,
+            traj_push_us: 500.0,
+            warm_start_us: 100.0,
+            cold_start_us: 10_000.0,
+            jitter: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let m = TimingProfile::mujoco_v100();
+        let a = TimingProfile::atari_v100();
+        assert!(a.actor_step_us > m.actor_step_us, "pixels cost more to produce");
+        assert!(a.learner_us_per_sample > m.learner_us_per_sample, "convs cost more");
+        assert!(m.cold_start_us > 100.0 * m.warm_start_us, "cold starts dominate");
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the discrete-event simulator: monotonicity of
+//! cost and time in the knobs that should drive them, and invariants of the
+//! virtual pipeline.
+
+use proptest::prelude::*;
+use stellaris_core::AggregationRule;
+use stellaris_simcluster::{simulate, SimBilling, SimConfig, TimingProfile};
+
+fn base(seed: u64) -> SimConfig {
+    SimConfig { seed, ..SimConfig::test_small() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Slower actors can never shorten the run.
+    #[test]
+    fn time_monotone_in_actor_step_cost(mult in 1.0f64..8.0, seed in 0u64..50) {
+        let fast = simulate(&base(seed));
+        let mut cfg = base(seed);
+        cfg.timing = TimingProfile {
+            actor_step_us: cfg.timing.actor_step_us * mult,
+            ..cfg.timing
+        };
+        let slow = simulate(&cfg);
+        prop_assert!(slow.virtual_time_s >= fast.virtual_time_s - 1e-9);
+    }
+
+    /// Serverful billing dominates serverless for the same schedule.
+    #[test]
+    fn serverful_never_cheaper(seed in 0u64..50) {
+        let sl = simulate(&SimConfig { billing: SimBilling::Serverless, ..base(seed) });
+        let sf = simulate(&SimConfig { billing: SimBilling::Serverful, ..base(seed) });
+        // The schedule is identical (same seed, same rule); only the bill
+        // changes, and idle time is never free on reserved VMs.
+        prop_assert!(sf.cost.total() >= sl.cost.total());
+    }
+
+    /// Staleness can never be negative and updates never exceed invocations.
+    #[test]
+    fn accounting_invariants(
+        learners in 1usize..6,
+        actors in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let cfg = SimConfig {
+            max_learners: learners,
+            n_actors: actors,
+            rule: AggregationRule::PureAsync,
+            ..base(seed)
+        };
+        let r = simulate(&cfg);
+        prop_assert!(r.updates <= r.invocations);
+        prop_assert!(r.staleness_log.len() as u64 <= r.invocations);
+        prop_assert!(r.gpu_utilization >= 0.0 && r.gpu_utilization <= 1.0);
+        prop_assert!(r.learner_exec_s <= r.learner_busy_s + 1e-9);
+        for w in r.rows.windows(2) {
+            prop_assert!(w[1].virtual_time_s >= w[0].virtual_time_s);
+            prop_assert!(w[1].cost_usd >= w[0].cost_usd - 1e-12);
+        }
+    }
+
+    /// The Eq. 3 schedule can only delay updates relative to pure asynchrony
+    /// (same arrivals, stricter admission), never create more.
+    #[test]
+    fn staleness_aware_never_updates_more_than_pure_async(seed in 0u64..50) {
+        let pure = simulate(&SimConfig {
+            rule: AggregationRule::PureAsync,
+            ..base(seed)
+        });
+        let aware = simulate(&SimConfig {
+            rule: AggregationRule::stellaris_default(),
+            ..base(seed)
+        });
+        prop_assert!(aware.updates <= pure.updates);
+    }
+}

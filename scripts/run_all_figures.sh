@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (laptop scale).
+# Output: printed series + CSVs under target/experiments/.
+set -e
+cd "$(dirname "$0")/.."
+FIGS=(table1_features table2_arch table3_hparams
+      fig2_motivation fig3a_orchestration fig3b_staleness_pdf fig3c_policy_kl
+      fig6_ppo fig7_impact fig8_cost fig9_rllib fig10_minionsrl
+      fig11a_aggregation fig11b_truncation fig12_hpc fig13_sensitivity
+      fig14_latency sim_paper_scale)
+for f in "${FIGS[@]}"; do
+  echo "=============================== $f"
+  cargo run -q --release -p stellaris-bench --bin "$f" "$@"
+done

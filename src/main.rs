@@ -1,0 +1,253 @@
+//! The `stellaris` command-line interface: train, evaluate and simulate
+//! from the shell without writing a harness.
+//!
+//! ```text
+//! stellaris train    --env Hopper [--algo ppo|impact] [--rounds N] [--seed S]
+//!                    [--learners N] [--actors N] [--rule stellaris|softsync|ssp|pure-async]
+//!                    [--serverful] [--no-truncation] [--checkpoint PATH] [--csv PATH]
+//! stellaris eval     --env Hopper --checkpoint PATH [--episodes N]
+//! stellaris simulate [--sync] [--serverful] [--atari] [--rounds N]
+//! stellaris envs
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stellaris::prelude::*;
+use stellaris::rl::{load_policy, save_policy};
+use stellaris::simcluster::{simulate, SimBilling, SimConfig, TimingProfile};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "train" => cmd_train(rest),
+        "eval" => cmd_eval(rest),
+        "simulate" => cmd_simulate(rest),
+        "envs" => {
+            println!("available environments:");
+            for id in EnvId::PAPER_SET {
+                println!("  {:<15} ({})", id.name(), if id.is_continuous() { "continuous" } else { "discrete" });
+            }
+            println!("  {:<15} (continuous, diagnostic)", "PointMass");
+            println!("  {:<15} (discrete, diagnostic)", "ChainMdp");
+            ExitCode::SUCCESS
+        }
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: stellaris <train|eval|simulate|envs> [options]");
+    eprintln!("  train    --env NAME [--algo ppo|impact|impala] [--rounds N] [--seed S]");
+    eprintln!("           [--learners N] [--actors N] [--rule NAME] [--serverful]");
+    eprintln!("           [--no-truncation] [--dynamic-learners] [--checkpoint PATH] [--csv PATH]");
+    eprintln!("  eval     --env NAME --checkpoint PATH [--episodes N] [--seed S]");
+    eprintln!("  simulate [--sync] [--serverful] [--atari] [--rounds N] (paper-scale virtual time)");
+    eprintln!("  envs     list available environments");
+}
+
+struct Flags {
+    map: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut map = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                    _ => None,
+                };
+                map.push((name.to_owned(), value));
+            }
+        }
+        Self { map }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.map.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn parse_env(flags: &Flags) -> Result<EnvId, ExitCode> {
+    let name = flags.get("env").unwrap_or("Hopper");
+    EnvId::parse(name).ok_or_else(|| {
+        eprintln!("unknown environment: {name} (try `stellaris envs`)");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let flags = Flags::parse(args);
+    let env = match parse_env(&flags) {
+        Ok(e) => e,
+        Err(c) => return c,
+    };
+    let seed = flags.num("seed", 1u64);
+    let mut cfg = TrainConfig::stellaris_scaled(env, seed);
+    match flags.get("algo") {
+        Some("impact") => cfg = cfg.with_impact(ImpactConfig::scaled()),
+        Some("impala") => {
+            cfg = cfg.with_impala(stellaris::rl::ImpalaConfig::scaled());
+        }
+        _ => {}
+    }
+    cfg.rounds = flags.num("rounds", 15usize);
+    cfg.max_learners = flags.num("learners", cfg.max_learners);
+    cfg.n_actors = flags.num("actors", cfg.n_actors);
+    cfg.dynamic_actors = flags.has("dynamic-actors");
+    cfg.dynamic_learners = flags.has("dynamic-learners");
+    if flags.has("serverful") {
+        cfg.deployment = Deployment::Serverful;
+    }
+    if flags.has("no-truncation") {
+        cfg.truncation_rho = None;
+    }
+    if let Some(rule) = flags.get("rule") {
+        let rule = match rule {
+            "stellaris" => AggregationRule::stellaris_default(),
+            "softsync" => AggregationRule::Softsync { c: 4 },
+            "ssp" => AggregationRule::Ssp { bound: 3 },
+            "pure-async" => AggregationRule::PureAsync,
+            "sync" => {
+                cfg.learner_mode = LearnerMode::Sync { n: cfg.max_learners };
+                AggregationRule::FullSync { n: cfg.max_learners }
+            }
+            other => {
+                eprintln!("unknown rule: {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if rule.name() != "full-sync" {
+            cfg.learner_mode = LearnerMode::Async { rule };
+        }
+    }
+
+    println!("training {} on {} for {} rounds ({})", cfg.algo.name(), env.name(), cfg.rounds, cfg.label());
+    let result = train(&cfg);
+    println!("{}", TrainRow::CSV_HEADER);
+    for row in &result.rows {
+        println!("{}", row.to_csv());
+    }
+    println!(
+        "\nfinal reward {:.2} | cost ${:.6} | {} updates | {} invocations | util {:.1}%",
+        result.final_reward,
+        result.cost.total(),
+        result.policy_updates,
+        result.learner_invocations,
+        result.gpu_utilization * 100.0
+    );
+    if let Some(path) = flags.get("csv") {
+        if let Err(e) = std::fs::write(path, rows_to_csv(&result.rows)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("checkpoint") {
+        // Persist the final trained weights from the parameter function.
+        let mut env_inst = make_env(cfg.env_id, cfg.env_cfg);
+        env_inst.reset(cfg.seed);
+        let mut spec = PolicySpec::for_env(env_inst.as_ref());
+        spec.hidden = cfg.hidden;
+        let mut policy = PolicyNet::new(spec, cfg.seed);
+        policy.load_snapshot(&result.final_snapshot);
+        if let Err(e) = save_policy(&policy, &PathBuf::from(path)) {
+            eprintln!("cannot write checkpoint {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote trained checkpoint {path} (policy v{})", policy.version);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_eval(args: &[String]) -> ExitCode {
+    let flags = Flags::parse(args);
+    let env_id = match parse_env(&flags) {
+        Ok(e) => e,
+        Err(c) => return c,
+    };
+    let Some(path) = flags.get("checkpoint") else {
+        eprintln!("eval requires --checkpoint PATH");
+        return ExitCode::FAILURE;
+    };
+    let episodes = flags.num("episodes", 5usize);
+    let seed = flags.num("seed", 0u64);
+    let mut env = make_env(env_id, EnvConfig::default());
+    env.reset(seed);
+    let mut spec = PolicySpec::for_env(env.as_ref());
+    spec.hidden = flags.num("hidden", 64usize);
+    let mut policy = PolicyNet::new(spec, 0);
+    if let Err(e) = load_policy(&mut policy, &PathBuf::from(path)) {
+        eprintln!("cannot load checkpoint: {e}");
+        return ExitCode::FAILURE;
+    }
+    let reward = evaluate(&policy, env.as_mut(), episodes, seed);
+    println!(
+        "{}: mean episodic reward over {episodes} episodes = {reward:.2} (policy v{})",
+        env_id.name(),
+        policy.version
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let flags = Flags::parse(args);
+    let mut cfg = if flags.has("sync") {
+        SimConfig::sync_serverful_paper_mujoco()
+    } else {
+        SimConfig::stellaris_paper_mujoco()
+    };
+    if flags.has("serverful") {
+        cfg.billing = SimBilling::Serverful;
+    }
+    if flags.has("atari") {
+        cfg.timing = TimingProfile::atari_v100();
+        cfg.minibatch = 256;
+    }
+    cfg.rounds = flags.num("rounds", cfg.rounds);
+    println!(
+        "simulating {} rounds at paper scale ({} actors, {} learner slots, {:?})...",
+        cfg.rounds, cfg.n_actors, cfg.max_learners, cfg.billing
+    );
+    let r = simulate(&cfg);
+    println!(
+        "virtual time {:.1}s | cost ${:.4} (learner ${:.4} / actor ${:.4}) | util {:.1}% | mean staleness {:.2} | {} updates",
+        r.virtual_time_s,
+        r.cost.total(),
+        r.cost.learner_usd,
+        r.cost.actor_usd,
+        r.gpu_utilization * 100.0,
+        r.mean_staleness(),
+        r.updates
+    );
+    ExitCode::SUCCESS
+}

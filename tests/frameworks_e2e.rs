@@ -1,0 +1,99 @@
+//! Integration tests for every baseline framework topology of the paper's
+//! evaluation, plus the billing relationships between them.
+
+use stellaris::prelude::*;
+
+fn shrink(mut cfg: TrainConfig) -> TrainConfig {
+    cfg.env_cfg = EnvConfig::tiny();
+    cfg.n_actors = 2;
+    cfg.actor_steps = 32;
+    cfg.max_learners = 2;
+    cfg.minibatch = 32;
+    cfg.rounds = 2;
+    cfg.round_timesteps = 128;
+    cfg.hidden = 16;
+    cfg.eval_episodes = 1;
+    cfg
+}
+
+#[test]
+fn every_framework_topology_trains() {
+    type Mk = fn(EnvId, u64) -> TrainConfig;
+    let mks: Vec<(&str, Mk)> = vec![
+        ("stellaris", frameworks::stellaris),
+        ("ppo_vanilla", frameworks::ppo_vanilla),
+        ("impact_vanilla", frameworks::impact_vanilla),
+        ("impact_stellaris", frameworks::impact_stellaris),
+        ("rllib", frameworks::rllib),
+        ("minions_rl", frameworks::minions_rl),
+        ("minions_rl_stellaris", frameworks::minions_rl_stellaris),
+        ("par_rl", frameworks::par_rl),
+        ("stellaris_hpc", frameworks::stellaris_hpc),
+        ("stellaris_no_async", frameworks::stellaris_no_async),
+        ("stellaris_no_serverless", frameworks::stellaris_no_serverless),
+    ];
+    for (name, mk) in mks {
+        let cfg = shrink(mk(EnvId::PointMass, 1));
+        let result = train(&cfg);
+        assert_eq!(result.rows.len(), 2, "{name} must complete its rounds");
+        assert!(result.policy_updates > 0, "{name} must update the policy");
+        assert!(result.cost.total() > 0.0, "{name} must incur cost");
+        assert!(result.final_reward.is_finite(), "{name} reward finite");
+    }
+}
+
+#[test]
+fn serverful_costs_more_than_serverless_for_identical_work() {
+    let serverless = train(&shrink(frameworks::stellaris(EnvId::PointMass, 2)));
+    let serverful = train(&shrink(frameworks::stellaris_no_serverless(EnvId::PointMass, 2)));
+    assert!(
+        serverful.cost.total() > serverless.cost.total(),
+        "reserved VMs must cost more: {} vs {}",
+        serverful.cost.total(),
+        serverless.cost.total()
+    );
+}
+
+#[test]
+fn hpc_cluster_is_pricier_per_second() {
+    let hpc = frameworks::par_rl(EnvId::PointMass, 1);
+    let regular = frameworks::ppo_vanilla(EnvId::PointMass, 1);
+    assert!(
+        hpc.cluster.serverful_price_per_second() > regular.cluster.serverful_price_per_second()
+    );
+}
+
+#[test]
+fn minions_rl_scales_actors_dynamically() {
+    let mut cfg = shrink(frameworks::minions_rl(EnvId::PointMass, 3));
+    cfg.rounds = 3;
+    cfg.n_actors = 4;
+    let result = train(&cfg);
+    // Single synchronous learner; dynamic actors; must still progress.
+    assert_eq!(result.rows.len(), 3);
+    assert!(result.policy_updates > 0);
+}
+
+#[test]
+fn ablation_variants_only_change_their_axis() {
+    let base = frameworks::stellaris(EnvId::PointMass, 4);
+    let no_trunc = frameworks::without_truncation(base.clone());
+    assert!(no_trunc.truncation_rho.is_none());
+    assert_eq!(no_trunc.n_actors, base.n_actors);
+    let softsync =
+        frameworks::with_aggregation(base.clone(), AggregationRule::Softsync { c: 2 });
+    match softsync.learner_mode {
+        LearnerMode::Async { rule } => assert_eq!(rule.name(), "softsync"),
+        _ => panic!("aggregation swap must stay async"),
+    }
+}
+
+#[test]
+fn ssp_rule_trains_end_to_end() {
+    let cfg = shrink(frameworks::with_aggregation(
+        frameworks::stellaris(EnvId::PointMass, 5),
+        AggregationRule::Ssp { bound: 2 },
+    ));
+    let result = train(&cfg);
+    assert!(result.policy_updates > 0, "SSP throttling must not deadlock");
+}

@@ -1,0 +1,165 @@
+//! End-to-end training tests across crates: the full asynchronous
+//! serverless stack must *learn*, not merely run.
+
+use stellaris::prelude::*;
+
+fn pointmass_cfg(seed: u64) -> TrainConfig {
+    let mut cfg = TrainConfig::stellaris_scaled(EnvId::PointMass, seed);
+    cfg.rounds = 15;
+    cfg.hidden = 32;
+    cfg
+}
+
+#[test]
+fn stellaris_ppo_improves_on_pointmass() {
+    let result = train(&pointmass_cfg(5));
+    let first = result.rows[0].reward;
+    let best = result.rows.iter().map(|r| r.reward).fold(f32::MIN, f32::max);
+    assert!(
+        best > first + 100.0,
+        "PPO must visibly improve: first {first}, best {best}"
+    );
+}
+
+#[test]
+fn stellaris_ppo_improves_on_chain_mdp() {
+    let mut cfg = TrainConfig::stellaris_scaled(EnvId::ChainMdp, 2);
+    cfg.rounds = 10;
+    cfg.hidden = 32;
+    let result = train(&cfg);
+    let first = result.rows[0].reward;
+    let last = result.final_reward_mean(3);
+    assert!(
+        last > first,
+        "discrete-action learning must improve: {first} -> {last}"
+    );
+}
+
+#[test]
+fn impact_runs_end_to_end() {
+    let cfg = TrainConfig::test_tiny(EnvId::PointMass, 3).with_impact(ImpactConfig::scaled());
+    let result = train(&cfg);
+    assert_eq!(result.rows.len(), 3);
+    assert!(result.policy_updates > 0);
+    assert!(result.final_reward.is_finite());
+}
+
+#[test]
+fn impala_runs_end_to_end() {
+    use stellaris::rl::ImpalaConfig;
+    let cfg = TrainConfig::test_tiny(EnvId::ChainMdp, 12).with_impala(ImpalaConfig::scaled());
+    let result = train(&cfg);
+    assert_eq!(result.rows.len(), 3);
+    assert!(result.policy_updates > 0);
+    assert!(result.final_reward.is_finite());
+}
+
+#[test]
+fn impact_discrete_runs_end_to_end() {
+    let cfg = TrainConfig::test_tiny(EnvId::ChainMdp, 4).with_impact(ImpactConfig::scaled());
+    let result = train(&cfg);
+    assert!(result.policy_updates > 0);
+}
+
+#[test]
+fn metrics_rows_match_artifact_schema() {
+    let result = train(&TrainConfig::test_tiny(EnvId::PointMass, 6));
+    let csv = rows_to_csv(&result.rows);
+    let header = csv.lines().next().unwrap();
+    // The paper artifact's CSV attributes.
+    for col in [
+        "round",
+        "round_duration_s",
+        "learner_invocations",
+        "episodes",
+        "reward",
+        "mean_staleness",
+        "cost_usd",
+    ] {
+        assert!(header.contains(col), "missing column {col} in {header}");
+    }
+    assert_eq!(csv.lines().count(), 1 + result.rows.len());
+}
+
+#[test]
+fn round_budget_is_respected() {
+    // Actors must not oversample the per-round quota: episodes and learner
+    // invocations should be stable across rounds (same data volume).
+    let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 7);
+    cfg.rounds = 4;
+    let result = train(&cfg);
+    let invocations: Vec<u64> = result.rows.iter().map(|r| r.learner_invocations).collect();
+    let total: u64 = invocations.iter().sum();
+    // 4 rounds x 128 timesteps / 32-minibatch = 16 gradient computations.
+    assert!(
+        total <= 20,
+        "learner invocations should track the data budget: {invocations:?}"
+    );
+    assert!(total >= 8, "learners must have processed most of the data: {invocations:?}");
+}
+
+#[test]
+fn truncation_board_reports_group_activity() {
+    // With truncation enabled, training must still make updates (the cap
+    // must not strangle the gradient — the feedback-loop regression test).
+    // The regression this guards: a self-referential cap once froze the
+    // policy entirely (zero reward movement across rounds, every seed).
+    // Async scheduling on a loaded host makes any single seed noisy, so we
+    // require at least one of two seeds to improve clearly — a frozen
+    // policy fails for all of them.
+    // The frozen policy showed reward ranges < 1 across every round and
+    // seed; healthy training (even a noisy run) moves by hundreds.
+    let mut moving = 0;
+    for seed in [8u64, 9] {
+        let mut cfg = pointmass_cfg(seed);
+        cfg.truncation_rho = Some(1.0);
+        let with_cap = train(&cfg);
+        assert!(with_cap.policy_updates > 10, "cap must not strangle updates");
+        let hi = with_cap.rows.iter().map(|r| r.reward).fold(f32::MIN, f32::max);
+        let lo = with_cap.rows.iter().map(|r| r.reward).fold(f32::MAX, f32::min);
+        if hi - lo > 10.0 {
+            moving += 1;
+        }
+    }
+    assert!(moving >= 1, "truncated policies must keep moving (anti-freeze)");
+}
+
+#[test]
+fn resume_continues_from_snapshot() {
+    let mut first = TrainConfig::test_tiny(EnvId::PointMass, 14);
+    first.rounds = 2;
+    let r1 = train(&first);
+    let v1 = r1.final_snapshot.version;
+    assert!(v1 > 0);
+
+    let mut second = TrainConfig::test_tiny(EnvId::PointMass, 14).resume_from(r1.final_snapshot);
+    second.rounds = 2;
+    let r2 = train(&second);
+    assert!(
+        r2.final_snapshot.version > v1,
+        "resumed run must keep the policy clock moving: {} -> {}",
+        v1,
+        r2.final_snapshot.version
+    );
+}
+
+#[test]
+#[should_panic(expected = "resume snapshot does not match")]
+fn resume_rejects_wrong_architecture() {
+    let small = TrainConfig::test_tiny(EnvId::PointMass, 15);
+    let r = train(&small);
+    let mut wrong = TrainConfig::test_tiny(EnvId::ChainMdp, 15).resume_from(r.final_snapshot);
+    wrong.rounds = 1;
+    let _ = train(&wrong);
+}
+
+#[test]
+fn atari_cnn_path_runs() {
+    // One tiny round through the CNN policy on pixels.
+    let mut cfg = TrainConfig::test_tiny(EnvId::SpaceInvaders, 9);
+    cfg.rounds = 1;
+    cfg.env_cfg = EnvConfig { frame_size: 20, max_steps: 60 };
+    let result = train(&cfg);
+    assert!(result.policy_updates > 0);
+    assert!(result.final_reward.is_finite());
+}
