@@ -21,7 +21,11 @@ fn policy() -> PolicyNet {
 fn msg(p: &PolicyNet, base: u64) -> GradientMsg {
     GradientMsg {
         learner_id: 0,
-        grads: p.params().iter().map(|t| Tensor::full(t.shape(), 0.001)).collect(),
+        grads: p
+            .params()
+            .iter()
+            .map(|t| Tensor::full(t.shape(), 0.001))
+            .collect(),
         base_version: base,
         batch_len: 128,
         is_ratio: 1.0,

@@ -8,7 +8,10 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 10", "Stellaris improves MinionsRL tasks in time efficiency");
+    banner(
+        "Fig. 10",
+        "Stellaris improves MinionsRL tasks in time efficiency",
+    );
     let envs = opts.envs_or(&EnvId::PAPER_SET);
     run_pairwise(
         "fig10",

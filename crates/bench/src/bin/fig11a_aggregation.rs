@@ -16,13 +16,19 @@ fn stressed(env: EnvId, seed: u64) -> TrainConfig {
     cfg.max_learners = 8;
     cfg.n_actors = 8;
     cfg.minibatch = 64;
-    cfg.algo = Algo::Ppo(PpoConfig { lr: 4e-3, ..PpoConfig::scaled() });
+    cfg.algo = Algo::Ppo(PpoConfig {
+        lr: 4e-3,
+        ..PpoConfig::scaled()
+    });
     cfg
 }
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 11a", "gradient-aggregation ablation: Stellaris vs Softsync/SSP/pure-async");
+    banner(
+        "Fig. 11a",
+        "gradient-aggregation ablation: Stellaris vs Softsync/SSP/pure-async",
+    );
     let envs = opts.envs_or(&[EnvId::Hopper]);
     run_pairwise(
         "fig11a",
@@ -30,7 +36,10 @@ fn main() {
         &[
             ("Stellaris", &stressed),
             ("Softsync", &|env, seed| {
-                frameworks::with_aggregation(stressed(env, seed), AggregationRule::Softsync { c: 4 })
+                frameworks::with_aggregation(
+                    stressed(env, seed),
+                    AggregationRule::Softsync { c: 4 },
+                )
             }),
             ("SSP", &|env, seed| {
                 frameworks::with_aggregation(stressed(env, seed), AggregationRule::Ssp { bound: 3 })

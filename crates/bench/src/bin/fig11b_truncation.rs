@@ -14,7 +14,10 @@ fn stressed(env: EnvId, seed: u64) -> TrainConfig {
     cfg.max_learners = 8;
     cfg.n_actors = 8;
     cfg.minibatch = 64;
-    cfg.algo = Algo::Ppo(PpoConfig { lr: 4e-3, ..PpoConfig::scaled() });
+    cfg.algo = Algo::Ppo(PpoConfig {
+        lr: 4e-3,
+        ..PpoConfig::scaled()
+    });
     cfg
 }
 
@@ -29,7 +32,11 @@ fn main() {
             let results = run_seeds(
                 |seed| {
                     let cfg = stressed(env, seed);
-                    let cfg = if truncated { cfg } else { frameworks::without_truncation(cfg) };
+                    let cfg = if truncated {
+                        cfg
+                    } else {
+                        frameworks::without_truncation(cfg)
+                    };
                     let mut cfg = opts.apply(cfg);
                     if opts.rounds.is_none() && !opts.paper_scale {
                         cfg.rounds = 30;
@@ -39,13 +46,13 @@ fn main() {
                 opts.seeds,
             );
             let curve = mean_curve(&results);
-            print_series(&format!("{label} reward"), curve.iter().map(|(r, _)| *r as f64));
+            print_series(
+                &format!("{label} reward"),
+                curve.iter().map(|(r, _)| *r as f64),
+            );
             // Round-to-round oscillation: mean absolute successive change.
             let rewards: Vec<f32> = curve.iter().map(|(r, _)| *r).collect();
-            let osc: f32 = rewards
-                .windows(2)
-                .map(|w| (w[1] - w[0]).abs())
-                .sum::<f32>()
+            let osc: f32 = rewards.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>()
                 / rewards.len().max(2) as f32;
             println!("  {label}: oscillation (mean |Δreward|) = {osc:.3}");
             for (i, (r, _)) in curve.iter().enumerate() {

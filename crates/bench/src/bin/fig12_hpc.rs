@@ -8,7 +8,10 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 12", "Stellaris vs PAR-RL on the HPC cluster (Hopper, Qbert)");
+    banner(
+        "Fig. 12",
+        "Stellaris vs PAR-RL on the HPC cluster (Hopper, Qbert)",
+    );
     let envs = opts.envs_or(&[EnvId::Hopper, EnvId::Qbert]);
     run_pairwise(
         "fig12",

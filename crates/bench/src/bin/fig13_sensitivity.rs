@@ -14,8 +14,9 @@ fn sweep_d(opts: &ExpOpts, csv: &mut String) {
         let results = run_seeds(
             |seed| {
                 let mut cfg = opts.apply(frameworks::stellaris(EnvId::Hopper, seed));
-                cfg.learner_mode =
-                    LearnerMode::Async { rule: AggregationRule::StalenessAware { d, v: 3 } };
+                cfg.learner_mode = LearnerMode::Async {
+                    rule: AggregationRule::StalenessAware { d, v: 3 },
+                };
                 cfg
             },
             opts.seeds,
@@ -33,8 +34,9 @@ fn sweep_v(opts: &ExpOpts, csv: &mut String) {
         let results = run_seeds(
             |seed| {
                 let mut cfg = opts.apply(frameworks::stellaris(EnvId::Hopper, seed));
-                cfg.learner_mode =
-                    LearnerMode::Async { rule: AggregationRule::StalenessAware { d: 0.96, v } };
+                cfg.learner_mode = LearnerMode::Async {
+                    rule: AggregationRule::StalenessAware { d: 0.96, v },
+                };
                 cfg
             },
             opts.seeds,

@@ -11,7 +11,10 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 2", "async learning + serverless jointly improve reward and cost");
+    banner(
+        "Fig. 2",
+        "async learning + serverless jointly improve reward and cost",
+    );
     let envs = opts.envs_or(&[EnvId::Hopper]);
     run_pairwise(
         "fig2",

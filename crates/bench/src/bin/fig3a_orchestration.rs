@@ -9,7 +9,10 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 3a", "learning time & GPU utilisation vs learners x actors");
+    banner(
+        "Fig. 3a",
+        "learning time & GPU utilisation vs learners x actors",
+    );
     // Paper grid: learners {2,4,6,8} x actors {8,16,24,32}; scaled down by
     // default so the sweep stays in CPU budget.
     let (learners, actors) = if opts.paper_scale {

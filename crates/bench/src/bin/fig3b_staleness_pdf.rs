@@ -9,13 +9,21 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 3b", "staleness PDF vs number of asynchronous learners");
-    let learner_counts: Vec<usize> =
-        if opts.paper_scale { vec![2, 4, 8] } else { vec![2, 4] };
+    banner(
+        "Fig. 3b",
+        "staleness PDF vs number of asynchronous learners",
+    );
+    let learner_counts: Vec<usize> = if opts.paper_scale {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4]
+    };
     let mut csv = String::from("learners,staleness,probability\n");
     for &l in &learner_counts {
         let mut cfg = opts.apply(frameworks::stellaris(EnvId::Hopper, 1));
-        cfg.learner_mode = LearnerMode::Async { rule: AggregationRule::PureAsync };
+        cfg.learner_mode = LearnerMode::Async {
+            rule: AggregationRule::PureAsync,
+        };
         cfg.max_learners = l;
         cfg.n_actors = l.max(2);
         cfg.rounds = opts.rounds.unwrap_or(4);

@@ -8,15 +8,22 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 3c", "policy-update KL: synchronous vs asynchronous learners");
+    banner(
+        "Fig. 3c",
+        "policy-update KL: synchronous vs asynchronous learners",
+    );
     let mut csv = String::from("mode,round,kl\n");
     for (label, async_mode) in [("async", true), ("sync", false)] {
         let mut cfg = opts.apply(frameworks::stellaris(EnvId::Hopper, 1));
         cfg.truncation_rho = None; // raw behaviour, before the fix
         cfg.learner_mode = if async_mode {
-            LearnerMode::Async { rule: AggregationRule::PureAsync }
+            LearnerMode::Async {
+                rule: AggregationRule::PureAsync,
+            }
         } else {
-            LearnerMode::Sync { n: cfg.max_learners }
+            LearnerMode::Sync {
+                n: cfg.max_learners,
+            }
         };
         cfg.rounds = opts.rounds.unwrap_or(6);
         let res = train(&cfg);

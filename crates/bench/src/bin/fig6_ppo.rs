@@ -8,7 +8,10 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 6", "Stellaris accelerates PPO (reward curves, 6 environments)");
+    banner(
+        "Fig. 6",
+        "Stellaris accelerates PPO (reward curves, 6 environments)",
+    );
     let envs = opts.envs_or(&EnvId::PAPER_SET);
     run_pairwise(
         "fig6",

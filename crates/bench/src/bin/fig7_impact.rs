@@ -7,7 +7,10 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 7", "Stellaris accelerates IMPACT (reward curves, 6 environments)");
+    banner(
+        "Fig. 7",
+        "Stellaris accelerates IMPACT (reward curves, 6 environments)",
+    );
     let envs = opts.envs_or(&EnvId::PAPER_SET);
     run_pairwise(
         "fig7",

@@ -8,16 +8,25 @@ use stellaris_envs::EnvId;
 
 fn main() {
     let opts = ExpOpts::from_args();
-    banner("Fig. 8", "training cost: four baselines vs +Stellaris (learner/actor split)");
+    banner(
+        "Fig. 8",
+        "training cost: four baselines vs +Stellaris (learner/actor split)",
+    );
     let envs = opts.envs_or(&[EnvId::Hopper]);
     type Mk = (&'static str, fn(EnvId, u64) -> TrainConfig);
     let pairs: Vec<(Mk, Mk)> = vec![
-        (("PPO", frameworks::ppo_vanilla), ("PPO+Stellaris", frameworks::ppo_stellaris)),
+        (
+            ("PPO", frameworks::ppo_vanilla),
+            ("PPO+Stellaris", frameworks::ppo_stellaris),
+        ),
         (
             ("IMPACT", frameworks::impact_vanilla),
             ("IMPACT+Stellaris", frameworks::impact_stellaris),
         ),
-        (("RLlib", frameworks::rllib), ("RLlib+Stellaris", frameworks::rllib_stellaris)),
+        (
+            ("RLlib", frameworks::rllib),
+            ("RLlib+Stellaris", frameworks::rllib_stellaris),
+        ),
         (
             ("MinionsRL", frameworks::minions_rl),
             ("MinionsRL+Stellaris", frameworks::minions_rl_stellaris),
@@ -43,13 +52,22 @@ fn main() {
                 st.iter().map(|r| r.cost.actor_usd).sum::<f64>() / n,
             );
             let (bt, stt) = (mean_cost(&base), mean_cost(&st));
-            println!("  {base_label:<22} {bl:>14.6} {ba:>13.6} {bt:>12.6} {:>9}", "-");
+            println!(
+                "  {base_label:<22} {bl:>14.6} {ba:>13.6} {bt:>12.6} {:>9}",
+                "-"
+            );
             println!(
                 "  {st_label:<22} {sl:>14.6} {sa:>13.6} {stt:>12.6} {:>8.1}%",
                 (stt - bt) / bt * 100.0
             );
-            csv.push_str(&format!("{},{base_label},{bl:.6},{ba:.6},{bt:.6}\n", env.name()));
-            csv.push_str(&format!("{},{st_label},{sl:.6},{sa:.6},{stt:.6}\n", env.name()));
+            csv.push_str(&format!(
+                "{},{base_label},{bl:.6},{ba:.6},{bt:.6}\n",
+                env.name()
+            ));
+            csv.push_str(&format!(
+                "{},{st_label},{sl:.6},{sa:.6},{stt:.6}\n",
+                env.name()
+            ));
         }
     }
     write_csv("fig8_cost.csv", &csv);

@@ -9,7 +9,10 @@ use stellaris_core::AggregationRule;
 use stellaris_simcluster::{simulate, SimBilling, SimConfig, TimingProfile};
 
 fn main() {
-    banner("Paper-scale simulation", "virtual-time replay of the §VIII-A configurations");
+    banner(
+        "Paper-scale simulation",
+        "virtual-time replay of the §VIII-A configurations",
+    );
 
     // ----- Fig. 2(b)/8 economics at full scale ------------------------------
     println!("\n(1) Cost of 50 rounds of MuJoCo-class training, regular testbed");
@@ -17,10 +20,15 @@ fn main() {
         "  {:<34} {:>11} {:>11} {:>10} {:>9}",
         "system", "virt-time(s)", "total($)", "learner($)", "util"
     );
-    let mut csv = String::from("system,virtual_time_s,total_usd,learner_usd,gpu_utilization,mean_staleness\n");
+    let mut csv = String::from(
+        "system,virtual_time_s,total_usd,learner_usd,gpu_utilization,mean_staleness\n",
+    );
     let mut baseline_cost = None;
     for (name, cfg) in [
-        ("Stellaris (async serverless)", SimConfig::stellaris_paper_mujoco()),
+        (
+            "Stellaris (async serverless)",
+            SimConfig::stellaris_paper_mujoco(),
+        ),
         (
             "w/o async (sync serverless)",
             SimConfig {
@@ -36,7 +44,10 @@ fn main() {
                 ..SimConfig::stellaris_paper_mujoco()
             },
         ),
-        ("serverful sync (vanilla PPO)", SimConfig::sync_serverful_paper_mujoco()),
+        (
+            "serverful sync (vanilla PPO)",
+            SimConfig::sync_serverful_paper_mujoco(),
+        ),
     ] {
         let r = simulate(&cfg);
         println!(
@@ -65,7 +76,10 @@ fn main() {
         let st = simulate(&SimConfig::stellaris_paper_mujoco());
         println!(
             "  => Stellaris saves {:.0}% vs the serverful synchronous baseline",
-            (1.0 - st.cost.total() / simulate(&SimConfig::sync_serverful_paper_mujoco()).cost.total())
+            (1.0 - st.cost.total()
+                / simulate(&SimConfig::sync_serverful_paper_mujoco())
+                    .cost
+                    .total())
                 * 100.0
         );
         let _ = base;
@@ -73,7 +87,10 @@ fn main() {
 
     // ----- Fig. 3(a): learners x actors grid ---------------------------------
     println!("\n(2) Learning time & GPU utilisation vs learners x actors (paper grid)");
-    println!("  {:>8} {:>7} {:>15} {:>15}", "learners", "actors", "learn-time(s)", "utilisation");
+    println!(
+        "  {:>8} {:>7} {:>15} {:>15}",
+        "learners", "actors", "learn-time(s)", "utilisation"
+    );
     let mut csv3a = String::from("learners,actors,virtual_time_s,gpu_utilization\n");
     for learners in [2usize, 4, 6, 8] {
         for actors in [8usize, 16, 24, 32] {
@@ -121,8 +138,14 @@ fn main() {
 
     // ----- Fig. 12 scale: HPC cluster ---------------------------------------
     println!("\n(4) HPC testbed (16 V100s, 960 cores), Atari-class workload");
-    let st = simulate(&SimConfig { rounds: 10, ..SimConfig::stellaris_hpc_atari() });
-    let pr = simulate(&SimConfig { rounds: 10, ..SimConfig::parrl_hpc_atari() });
+    let st = simulate(&SimConfig {
+        rounds: 10,
+        ..SimConfig::stellaris_hpc_atari()
+    });
+    let pr = simulate(&SimConfig {
+        rounds: 10,
+        ..SimConfig::parrl_hpc_atari()
+    });
     println!(
         "  Stellaris(HPC): {:.0}s virtual, ${:.2}; PAR-RL-style: {:.0}s, ${:.2} (saving {:.0}%)",
         st.virtual_time_s,

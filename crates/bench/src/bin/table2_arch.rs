@@ -9,7 +9,11 @@ fn main() {
     println!("Table II: Neural network architecture used in DRL training\n");
     for (label, id, cfg) in [
         ("MuJoCo (Hopper)", EnvId::Hopper, EnvConfig::default()),
-        ("Atari (SpaceInvaders, paper 84x84)", EnvId::SpaceInvaders, EnvConfig::paper()),
+        (
+            "Atari (SpaceInvaders, paper 84x84)",
+            EnvId::SpaceInvaders,
+            EnvConfig::paper(),
+        ),
     ] {
         let mut env = make_env(id, cfg);
         env.reset(0);
@@ -23,7 +27,11 @@ fn main() {
                         "  fully-connected {:>4} -> {:<4} ({})",
                         layer.w.shape()[0],
                         layer.w.shape()[1],
-                        if i + 1 < m.layers.len() { "Tanh" } else { "linear head" }
+                        if i + 1 < m.layers.len() {
+                            "Tanh"
+                        } else {
+                            "linear head"
+                        }
                     );
                 }
             }

@@ -9,19 +9,55 @@ fn main() {
     println!("Table III: PPO's and IMPACT's hyperparameters\n");
     println!("{:<30} {:>10} {:>10}", "Parameter", "PPO", "IMPACT");
     let row = |name: &str, a: String, b: String| println!("{name:<30} {a:>10} {b:>10}");
-    row("Learning rate", format!("{}", ppo.lr), format!("{}", imp.lr));
-    row("Discount factor (gamma)", format!("{}", ppo.gamma), format!("{}", imp.gamma));
-    row("Batch size (MuJoCo)", format!("{}", ppo.batch_mujoco), format!("{}", imp.batch_mujoco));
-    row("Batch size (Atari)", format!("{}", ppo.batch_atari), format!("{}", imp.batch_atari));
-    row("Clip parameter", format!("{}", ppo.clip), format!("{}", imp.clip));
-    row("KL coefficient", format!("{}", ppo.kl_coeff), format!("{}", imp.kl_coeff));
-    row("KL target", format!("{}", ppo.kl_target), format!("{}", imp.kl_target));
+    row(
+        "Learning rate",
+        format!("{}", ppo.lr),
+        format!("{}", imp.lr),
+    );
+    row(
+        "Discount factor (gamma)",
+        format!("{}", ppo.gamma),
+        format!("{}", imp.gamma),
+    );
+    row(
+        "Batch size (MuJoCo)",
+        format!("{}", ppo.batch_mujoco),
+        format!("{}", imp.batch_mujoco),
+    );
+    row(
+        "Batch size (Atari)",
+        format!("{}", ppo.batch_atari),
+        format!("{}", imp.batch_atari),
+    );
+    row(
+        "Clip parameter",
+        format!("{}", ppo.clip),
+        format!("{}", imp.clip),
+    );
+    row(
+        "KL coefficient",
+        format!("{}", ppo.kl_coeff),
+        format!("{}", imp.kl_coeff),
+    );
+    row(
+        "KL target",
+        format!("{}", ppo.kl_target),
+        format!("{}", imp.kl_target),
+    );
     row(
         "Entropy coefficient",
         format!("{}", ppo.entropy_coeff),
         format!("{}", imp.entropy_coeff),
     );
-    row("Value function coefficient", format!("{}", ppo.vf_coeff), format!("{}", imp.vf_coeff));
-    row("Target update frequency", "N/A".into(), format!("{}", imp.target_update_freq));
+    row(
+        "Value function coefficient",
+        format!("{}", ppo.vf_coeff),
+        format!("{}", imp.vf_coeff),
+    );
+    row(
+        "Target update frequency",
+        "N/A".into(),
+        format!("{}", imp.target_update_freq),
+    );
     println!("\nBoth algorithms train with the Adam optimizer (as in §VIII-B).");
 }

@@ -34,7 +34,13 @@ pub struct ExpOpts {
 
 impl Default for ExpOpts {
     fn default() -> Self {
-        Self { rounds: None, seeds: 3, envs: Vec::new(), paper_scale: false, positional: Vec::new() }
+        Self {
+            rounds: None,
+            seeds: 3,
+            envs: Vec::new(),
+            paper_scale: false,
+            positional: Vec::new(),
+        }
     }
 }
 
@@ -61,8 +67,7 @@ impl ExpOpts {
                 "--env" => {
                     let name = args.next().expect("--env needs a name");
                     opts.envs.push(
-                        EnvId::parse(&name)
-                            .unwrap_or_else(|| panic!("unknown environment {name}")),
+                        EnvId::parse(&name).unwrap_or_else(|| panic!("unknown environment {name}")),
                     );
                 }
                 "--paper-scale" => opts.paper_scale = true,
@@ -155,7 +160,10 @@ pub fn print_series(label: &str, values: impl IntoIterator<Item = f64>) {
 
 /// Renders a numeric series as a unicode sparkline (`▁▂▃▄▅▆▇█`).
 pub fn sparkline(values: &[f64]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in values {
         if v.is_finite() {
@@ -185,7 +193,6 @@ pub fn banner(fig: &str, what: &str) {
     println!("================================================================");
 }
 
-
 /// A named configuration constructor used by [`run_pairwise`].
 pub type Variant<'a> = (&'a str, &'a dyn Fn(EnvId, u64) -> TrainConfig);
 
@@ -204,7 +211,11 @@ pub fn run_pairwise(fig: &str, envs: &[EnvId], variants: &[Variant<'_>], opts: &
                     if opts.rounds.is_none() && !opts.paper_scale {
                         // Pixel-observation tasks cost ~10x more per round on
                         // CPU; keep default figure runtime balanced.
-                        cfg.rounds = if EnvId::ATARI_SET.contains(&env) { 8 } else { 30 };
+                        cfg.rounds = if EnvId::ATARI_SET.contains(&env) {
+                            8
+                        } else {
+                            30
+                        };
                     }
                     cfg
                 },
@@ -218,9 +229,16 @@ pub fn run_pairwise(fig: &str, envs: &[EnvId], variants: &[Variant<'_>], opts: &
             for (i, (r, c)) in curve.iter().enumerate() {
                 csv.push_str(&format!("{label},{i},{r:.3},{c:.6}\n"));
             }
-            summaries.push((label.to_string(), mean_final_reward(&results), mean_cost(&results)));
+            summaries.push((
+                label.to_string(),
+                mean_final_reward(&results),
+                mean_cost(&results),
+            ));
         }
-        println!("  {:<20} {:>12} {:>14}", "variant", "final-reward", "total-cost($)");
+        println!(
+            "  {:<20} {:>12} {:>14}",
+            "variant", "final-reward", "total-cost($)"
+        );
         for (label, reward, cost) in &summaries {
             println!("  {label:<20} {reward:>12.2} {cost:>14.6}");
         }
@@ -257,7 +275,10 @@ mod tests {
 
     #[test]
     fn opts_apply_rounds_override() {
-        let opts = ExpOpts { rounds: Some(7), ..ExpOpts::default() };
+        let opts = ExpOpts {
+            rounds: Some(7),
+            ..ExpOpts::default()
+        };
         let cfg = opts.apply(frameworks::stellaris(EnvId::Hopper, 1));
         assert_eq!(cfg.rounds, 7);
     }

@@ -291,7 +291,10 @@ mod tests {
         let mut buf = BytesMut::new();
         5u32.encode(&mut buf);
         buf.put_u8(0xff);
-        assert_eq!(u32::from_bytes(&buf), Err(CodecError::Corrupt("trailing bytes")));
+        assert_eq!(
+            u32::from_bytes(&buf),
+            Err(CodecError::Corrupt("trailing bytes"))
+        );
     }
 
     #[test]

@@ -14,5 +14,5 @@ pub mod queue;
 pub mod store;
 
 pub use codec::{decode_seq, encode_seq, Codec, CodecError};
-pub use queue::BlockingQueue;
+pub use queue::{BlockingQueue, GradientQueue};
 pub use store::{Cache, CacheError, CacheStats, LatencyMode, LatencyModel};

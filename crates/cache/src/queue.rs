@@ -118,6 +118,116 @@ impl<T> BlockingQueue<T> {
     }
 }
 
+/// The gradient stream (workflow Step ②→③): a blocking FIFO that tracks
+/// each payload's policy base version so the consumer can reason about the
+/// queue's staleness profile before aggregating.
+///
+/// ```
+/// use stellaris_cache::GradientQueue;
+/// let q = GradientQueue::new();
+/// q.push("grad:0", 0);
+/// q.push("grad:1", 2);
+/// assert_eq!(q.staleness_average(3), Some(2.0)); // ((3-0) + (3-2)) / 2
+/// assert_eq!(q.pop(), Some(("grad:0", 0)));
+/// ```
+pub struct GradientQueue<T> {
+    inner: Mutex<VecDeque<(T, u64)>>,
+    cond: Condvar,
+    closed: AtomicBool,
+}
+
+impl<T> Default for GradientQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> GradientQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues a payload computed against policy version `base_version`
+    /// (no-op if closed, like [`BlockingQueue::push`]).
+    pub fn push(&self, item: T, base_version: u64) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        self.inner.lock().push_back((item, base_version));
+        self.cond.notify_one();
+    }
+
+    /// Dequeues the oldest payload and its base version, blocking until an
+    /// item arrives or the queue is closed (then `None` once drained).
+    pub fn pop(&self) -> Option<(T, u64)> {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(entry) = q.pop_front() {
+                return Some(entry);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_pop(&self) -> Option<(T, u64)> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Mean staleness of everything queued, measured against the current
+    /// policy `clock`; `None` when the queue is empty. Staleness saturates
+    /// at zero for payloads based on versions the clock has not reached
+    /// (a producer may snapshot between the consumer's update and read).
+    pub fn staleness_average(&self, clock: u64) -> Option<f64> {
+        let q = self.inner.lock();
+        if q.is_empty() {
+            return None;
+        }
+        let sum: u64 = q.iter().map(|(_, base)| clock.saturating_sub(*base)).sum();
+        let avg = sum as f64 / q.len() as f64;
+        debug_assert!(
+            avg >= 0.0 && avg.is_finite(),
+            "queue staleness average must be a finite non-negative number, got {avg}"
+        );
+        Some(avg)
+    }
+
+    /// Largest staleness currently queued (None when empty).
+    pub fn staleness_max(&self, clock: u64) -> Option<u64> {
+        let q = self.inner.lock();
+        q.iter().map(|(_, base)| clock.saturating_sub(*base)).max()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Closes the queue, waking all blocked consumers.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cond.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +327,46 @@ mod tests {
         }
         assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn gradient_queue_tracks_base_versions() {
+        let q = GradientQueue::new();
+        q.push("a", 0);
+        q.push("b", 3);
+        q.push("c", 5);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.staleness_average(5), Some((5.0 + 2.0) / 3.0)); // stalenesses 5, 2, 0
+        assert_eq!(q.staleness_max(5), Some(5));
+        assert_eq!(q.pop(), Some(("a", 0)));
+        assert_eq!(q.staleness_average(5), Some(1.0));
+    }
+
+    #[test]
+    fn gradient_queue_staleness_saturates_at_zero() {
+        let q = GradientQueue::new();
+        q.push((), 9);
+        // Clock behind the base version (producer raced an update).
+        assert_eq!(q.staleness_average(4), Some(0.0));
+    }
+
+    #[test]
+    fn gradient_queue_empty_has_no_average() {
+        let q = GradientQueue::<u8>::new();
+        assert_eq!(q.staleness_average(10), None);
+        assert_eq!(q.staleness_max(10), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn gradient_queue_close_semantics_match_blocking_queue() {
+        let q = Arc::new(GradientQueue::<u8>::new());
+        q.push(1, 0);
+        q.close();
+        assert_eq!(q.pop(), Some((1, 0)), "drains before reporting closed");
+        assert_eq!(q.pop(), None);
+        q.push(2, 0);
+        assert_eq!(q.try_pop(), None, "pushes after close are dropped");
+        assert!(q.is_closed());
     }
 }

@@ -44,12 +44,20 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// No latency at all.
     pub fn off() -> Self {
-        Self { base_us: 0, per_kb_us: 0, mode: LatencyMode::Off }
+        Self {
+            base_us: 0,
+            per_kb_us: 0,
+            mode: LatencyMode::Off,
+        }
     }
 
     /// A LAN-like profile (100 µs RTT, ~1 GB/s), recorded not slept.
     pub fn lan_recorded() -> Self {
-        Self { base_us: 100, per_kb_us: 1, mode: LatencyMode::Record }
+        Self {
+            base_us: 100,
+            per_kb_us: 1,
+            mode: LatencyMode::Record,
+        }
     }
 
     fn cost_us(&self, bytes: usize) -> u64 {
@@ -151,7 +159,10 @@ impl Cache {
         assert!(shards >= 1, "cache needs at least one shard");
         Self {
             shards: (0..shards)
-                .map(|_| Shard { map: Mutex::new(HashMap::new()), cond: Condvar::new() })
+                .map(|_| Shard {
+                    map: Mutex::new(HashMap::new()),
+                    cond: Condvar::new(),
+                })
                 .collect(),
             latency,
             counters: Mutex::new(HashMap::new()),
@@ -302,11 +313,7 @@ impl Cache {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
-            if shard
-                .cond
-                .wait_until(&mut map, deadline)
-                .timed_out()
-            {
+            if shard.cond.wait_until(&mut map, deadline).timed_out() {
                 // Re-check once after timeout, then give up on next loop.
             }
         }

@@ -68,19 +68,24 @@ impl AggregationRule {
 
     /// Decides whether a queue with `pending` gradient stalenesses may
     /// aggregate now (given the schedule for StalenessAware rules).
-    pub fn admits(
-        &self,
-        pending_staleness: &[u64],
-        schedule: Option<&StalenessSchedule>,
-    ) -> bool {
+    pub fn admits(&self, pending_staleness: &[u64], schedule: Option<&StalenessSchedule>) -> bool {
         if pending_staleness.is_empty() {
             return false;
         }
         match self {
             AggregationRule::StalenessAware { .. } => {
-                let avg = pending_staleness.iter().sum::<u64>() as f64
-                    / pending_staleness.len() as f64;
-                schedule.expect("staleness-aware rule requires a schedule").admits(avg)
+                let avg =
+                    pending_staleness.iter().sum::<u64>() as f64 / pending_staleness.len() as f64;
+                debug_assert!(avg >= 0.0, "average staleness must be non-negative");
+                // A staleness-aware rule is always paired with a schedule by
+                // `make_schedule`; a missing one means the caller bypassed
+                // that constructor, and the calibration-round semantics
+                // (admit everything) are the safe degradation.
+                debug_assert!(
+                    schedule.is_some(),
+                    "staleness-aware rule requires a schedule"
+                );
+                schedule.is_none_or(|s| s.admits(avg))
             }
             AggregationRule::Softsync { c } => pending_staleness.len() >= *c,
             AggregationRule::Ssp { .. } | AggregationRule::PureAsync => true,

@@ -24,7 +24,10 @@ pub struct LearnerAutoscaler {
 impl LearnerAutoscaler {
     /// Creates an autoscaler bounded to `[min, max]` active learners.
     pub fn new(min: usize, max: usize) -> Self {
-        assert!(min >= 1 && min <= max, "invalid autoscaler bounds {min}..{max}");
+        assert!(
+            min >= 1 && min <= max,
+            "invalid autoscaler bounds {min}..{max}"
+        );
         Self {
             min,
             max,

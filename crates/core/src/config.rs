@@ -149,7 +149,9 @@ impl TrainConfig {
             env_id,
             env_cfg: EnvConfig::default(),
             algo: Algo::Ppo(PpoConfig::scaled()),
-            learner_mode: LearnerMode::Async { rule: AggregationRule::stellaris_default() },
+            learner_mode: LearnerMode::Async {
+                rule: AggregationRule::stellaris_default(),
+            },
             n_actors: 4,
             actor_steps: 128,
             max_learners: 4,
@@ -263,8 +265,7 @@ mod tests {
 
     #[test]
     fn with_impact_switches_algo() {
-        let c = TrainConfig::stellaris_scaled(EnvId::Hopper, 0)
-            .with_impact(ImpactConfig::scaled());
+        let c = TrainConfig::stellaris_scaled(EnvId::Hopper, 0).with_impact(ImpactConfig::scaled());
         assert_eq!(c.algo.name(), "IMPACT");
         assert!(c.algo.lr() > 0.0);
         assert_eq!(c.algo.gamma(), 0.99);

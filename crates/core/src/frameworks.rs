@@ -20,7 +20,9 @@ pub fn stellaris(env: EnvId, seed: u64) -> TrainConfig {
 pub fn ppo_vanilla(env: EnvId, seed: u64) -> TrainConfig {
     let mut cfg = TrainConfig::stellaris_scaled(env, seed);
     cfg.algo = Algo::Ppo(PpoConfig::scaled());
-    cfg.learner_mode = LearnerMode::Sync { n: cfg.max_learners };
+    cfg.learner_mode = LearnerMode::Sync {
+        n: cfg.max_learners,
+    };
     cfg.deployment = Deployment::Serverful;
     cfg.truncation_rho = None;
     cfg
@@ -36,7 +38,9 @@ pub fn ppo_stellaris(env: EnvId, seed: u64) -> TrainConfig {
 /// synchronous serverful learners with a target network) — Figs. 7 and 8.
 pub fn impact_vanilla(env: EnvId, seed: u64) -> TrainConfig {
     let mut cfg = TrainConfig::stellaris_scaled(env, seed).with_impact(ImpactConfig::scaled());
-    cfg.learner_mode = LearnerMode::Sync { n: cfg.max_learners };
+    cfg.learner_mode = LearnerMode::Sync {
+        n: cfg.max_learners,
+    };
     cfg.deployment = Deployment::Serverful;
     cfg.truncation_rho = None;
     cfg
@@ -52,7 +56,9 @@ pub fn impact_stellaris(env: EnvId, seed: u64) -> TrainConfig {
 /// synchronous serverful learners like the other vanilla baselines.
 pub fn impala_vanilla(env: EnvId, seed: u64) -> TrainConfig {
     let mut cfg = TrainConfig::stellaris_scaled(env, seed).with_impala(ImpalaConfig::scaled());
-    cfg.learner_mode = LearnerMode::Sync { n: cfg.max_learners };
+    cfg.learner_mode = LearnerMode::Sync {
+        n: cfg.max_learners,
+    };
     cfg.deployment = Deployment::Serverful;
     cfg.truncation_rho = None;
     cfg
@@ -67,7 +73,9 @@ pub fn impala_stellaris(env: EnvId, seed: u64) -> TrainConfig {
 /// serverful infrastructure (Fig. 9 baseline).
 pub fn rllib(env: EnvId, seed: u64) -> TrainConfig {
     let mut cfg = ppo_vanilla(env, seed);
-    cfg.learner_mode = LearnerMode::Sync { n: 4.min(cfg.max_learners.max(1)) };
+    cfg.learner_mode = LearnerMode::Sync {
+        n: 4.min(cfg.max_learners.max(1)),
+    };
     cfg
 }
 
@@ -115,7 +123,9 @@ pub fn stellaris_hpc(env: EnvId, seed: u64) -> TrainConfig {
 /// learners, still serverless billing).
 pub fn stellaris_no_async(env: EnvId, seed: u64) -> TrainConfig {
     let mut cfg = TrainConfig::stellaris_scaled(env, seed);
-    cfg.learner_mode = LearnerMode::Sync { n: cfg.max_learners };
+    cfg.learner_mode = LearnerMode::Sync {
+        n: cfg.max_learners,
+    };
     cfg
 }
 
@@ -157,13 +167,55 @@ pub struct Capabilities {
 /// The rows of Table I.
 pub fn table1() -> Vec<Capabilities> {
     vec![
-        Capabilities { name: "Ray RLlib", async_learners: false, scalable_actors: false, on_and_off_policy: true, serverless: false },
-        Capabilities { name: "MSRL", async_learners: false, scalable_actors: false, on_and_off_policy: true, serverless: false },
-        Capabilities { name: "SEED RL", async_learners: false, scalable_actors: false, on_and_off_policy: true, serverless: false },
-        Capabilities { name: "SRL", async_learners: false, scalable_actors: false, on_and_off_policy: true, serverless: false },
-        Capabilities { name: "PQL", async_learners: false, scalable_actors: false, on_and_off_policy: false, serverless: false },
-        Capabilities { name: "MinionsRL", async_learners: false, scalable_actors: true, on_and_off_policy: false, serverless: true },
-        Capabilities { name: "Stellaris", async_learners: true, scalable_actors: true, on_and_off_policy: true, serverless: true },
+        Capabilities {
+            name: "Ray RLlib",
+            async_learners: false,
+            scalable_actors: false,
+            on_and_off_policy: true,
+            serverless: false,
+        },
+        Capabilities {
+            name: "MSRL",
+            async_learners: false,
+            scalable_actors: false,
+            on_and_off_policy: true,
+            serverless: false,
+        },
+        Capabilities {
+            name: "SEED RL",
+            async_learners: false,
+            scalable_actors: false,
+            on_and_off_policy: true,
+            serverless: false,
+        },
+        Capabilities {
+            name: "SRL",
+            async_learners: false,
+            scalable_actors: false,
+            on_and_off_policy: true,
+            serverless: false,
+        },
+        Capabilities {
+            name: "PQL",
+            async_learners: false,
+            scalable_actors: false,
+            on_and_off_policy: false,
+            serverless: false,
+        },
+        Capabilities {
+            name: "MinionsRL",
+            async_learners: false,
+            scalable_actors: true,
+            on_and_off_policy: false,
+            serverless: true,
+        },
+        Capabilities {
+            name: "Stellaris",
+            async_learners: true,
+            scalable_actors: true,
+            on_and_off_policy: true,
+            serverless: true,
+        },
     ]
 }
 
@@ -231,7 +283,9 @@ mod tests {
             LearnerMode::Async { rule } => assert_eq!(rule.name(), "pure-async"),
             _ => panic!("must stay async"),
         }
-        assert!(without_truncation(stellaris(EnvId::Hopper, 0)).truncation_rho.is_none());
+        assert!(without_truncation(stellaris(EnvId::Hopper, 0))
+            .truncation_rho
+            .is_none());
     }
 
     #[test]
@@ -240,7 +294,12 @@ mod tests {
         assert_eq!(rows.len(), 7);
         let stellaris_row = rows.last().unwrap();
         assert!(stellaris_row.async_learners && stellaris_row.serverless);
-        assert!(rows.iter().filter(|r| r.serverless).count() == 2, "MinionsRL + Stellaris");
-        assert!(rows.iter().all(|r| r.name != "Stellaris" || r.on_and_off_policy));
+        assert!(
+            rows.iter().filter(|r| r.serverless).count() == 2,
+            "MinionsRL + Stellaris"
+        );
+        assert!(rows
+            .iter()
+            .all(|r| r.name != "Stellaris" || r.on_and_off_policy));
     }
 }

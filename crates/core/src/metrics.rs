@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn csv_roundtrips_field_count() {
         let line = row().to_csv();
-        assert_eq!(line.split(',').count(), TrainRow::CSV_HEADER.split(',').count());
+        assert_eq!(
+            line.split(',').count(),
+            TrainRow::CSV_HEADER.split(',').count()
+        );
         let csv = rows_to_csv(&[row(), row()]);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("round,"));

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use stellaris_cache::{BlockingQueue, Cache, LatencyModel};
+use stellaris_cache::{BlockingQueue, Cache, GradientQueue, LatencyModel};
 use stellaris_envs::make_env;
 use stellaris_nn::Tensor;
 use stellaris_rl::{
@@ -188,7 +188,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
 
     let traj_q: Arc<BlockingQueue<SampleBatch>> = Arc::new(BlockingQueue::new());
     let work_q: Arc<BlockingQueue<Arc<SampleBatch>>> = Arc::new(BlockingQueue::new());
-    let grad_q: Arc<BlockingQueue<String>> = Arc::new(BlockingQueue::new());
+    let grad_q: Arc<GradientQueue<String>> = Arc::new(GradientQueue::new());
     let stop = Arc::new(AtomicBool::new(false));
     let steps = Arc::new(AtomicU64::new(0));
     // Actors sample up to the current round's data budget and then idle,
@@ -246,15 +246,10 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         continue;
                     }
                     // Claim one collect's worth of this round's quota.
-                    let claimed = claims.fetch_update(
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                        |c| {
-                            (c + cfg.actor_steps as u64
-                                <= target_steps.load(Ordering::Acquire))
+                    let claimed = claims.fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                        (c + cfg.actor_steps as u64 <= target_steps.load(Ordering::Acquire))
                             .then_some(c + cfg.actor_steps as u64)
-                        },
-                    );
+                    });
                     if claimed.is_err() {
                         std::thread::sleep(Duration::from_millis(1));
                         continue;
@@ -349,6 +344,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         let t0 = Instant::now();
                         let snap: PolicySnapshot = cache
                             .get_obj(POLICY_KEY)
+                            // lint:allow(L1): POLICY_KEY is seeded before any learner spawns and never deleted
                             .expect("policy snapshot must exist");
                         let cap = board.cap();
                         let msg = learner_compute(
@@ -371,7 +367,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                     let key = format!("grad:{}", cache.incr("grad_seq"));
                     cache.put_obj(&key, &msg);
                     Timers::add(&timers.cache_us, t1.elapsed());
-                    grad_q.push(key);
+                    grad_q.push(key, msg.base_version);
                 }
             });
         }
@@ -383,7 +379,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let server = server.clone();
             let timers = timers.clone();
             s.spawn(move |_| {
-                while let Some(key) = grad_q.pop() {
+                while let Some((key, _base_version)) = grad_q.pop() {
                     let t0 = Instant::now();
                     let Ok(msg) = cache.take_obj::<GradientMsg>(&key) else {
                         continue;
@@ -488,6 +484,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         work_q.close();
         grad_q.close();
     })
+    // lint:allow(L1): re-raising a child thread's panic is the intended failure path
     .expect("orchestrator thread panicked");
 
     let guard = server.lock();
@@ -517,7 +514,9 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     let mut server = ParameterServer::new(
         policy0,
         cfg.optimizer.build(cfg.algo.lr()),
-        AggregationRule::FullSync { n: n_learners.max(1) },
+        AggregationRule::FullSync {
+            n: n_learners.max(1),
+        },
     );
     cache.put_obj(POLICY_KEY, &server.snapshot());
 
@@ -550,13 +549,13 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     let mut prev_episodes = 0u64;
     let mut prev_updates = 0u64;
     let mut last_round_end = Instant::now();
-    let collects_per_round =
-        cfg.round_timesteps.div_ceil(cfg.n_actors * cfg.actor_steps);
+    let collects_per_round = cfg.round_timesteps.div_ceil(cfg.n_actors * cfg.actor_steps);
 
     for round in 0..cfg.rounds {
         // Synchronous actor wave(s).
         let mut batches: Vec<SampleBatch> = Vec::new();
         for _ in 0..collects_per_round.max(1) {
+            // lint:allow(L1): POLICY_KEY is seeded before the first wave and never deleted
             let snap: PolicySnapshot = cache.get_obj(POLICY_KEY).expect("policy must exist");
             let serverless_actor = cfg.deployment != Deployment::Serverful;
             let wave: Vec<SampleBatch> = crossbeam::thread::scope(|s| {
@@ -584,8 +583,10 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                         })
                     })
                     .collect();
+                // lint:allow(L1): join() errs only if the actor panicked; propagate it
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             })
+            // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("actor wave panicked");
             batches.extend(wave);
         }
@@ -662,8 +663,10 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                         })
                     })
                     .collect();
+                // lint:allow(L1): join() errs only if the learner panicked; propagate it
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             })
+            // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("learner wave panicked");
             let t1 = Instant::now();
             let wave_n = msgs.len();
@@ -813,7 +816,10 @@ mod tests {
         let cfg = TrainConfig::test_tiny(EnvId::PointMass, 1);
         let res = train(&cfg);
         assert_eq!(res.rows.len(), 3);
-        assert!(res.learner_invocations > 0, "learners must have been invoked");
+        assert!(
+            res.learner_invocations > 0,
+            "learners must have been invoked"
+        );
         assert!(res.policy_updates > 0, "policy must have been updated");
         assert!(res.final_reward.is_finite());
         assert!(res.cost.total() > 0.0);
@@ -836,9 +842,15 @@ mod tests {
         let res = train(&cfg);
         assert_eq!(res.rows.len(), 3);
         assert!(res.policy_updates > 0);
-        assert_eq!(res.staleness_log.iter().max().copied().unwrap_or(0), 0,
-            "synchronous learners never see staleness");
-        assert!(res.cost.total() > 0.0, "serverful billing charges wall time");
+        assert_eq!(
+            res.staleness_log.iter().max().copied().unwrap_or(0),
+            0,
+            "synchronous learners never see staleness"
+        );
+        assert!(
+            res.cost.total() > 0.0,
+            "serverful billing charges wall time"
+        );
     }
 
     #[test]
@@ -852,14 +864,19 @@ mod tests {
     #[test]
     fn async_staleness_emerges_with_multiple_learners() {
         let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 4);
-        cfg.learner_mode = LearnerMode::Async { rule: AggregationRule::PureAsync };
+        cfg.learner_mode = LearnerMode::Async {
+            rule: AggregationRule::PureAsync,
+        };
         cfg.max_learners = 4;
         cfg.rounds = 4;
         let res = train(&cfg);
         assert!(!res.staleness_log.is_empty());
         // With four racing learners some gradient should arrive stale.
         let max_staleness = res.staleness_log.iter().max().copied().unwrap();
-        assert!(max_staleness >= 1, "expected some staleness, got {max_staleness}");
+        assert!(
+            max_staleness >= 1,
+            "expected some staleness, got {max_staleness}"
+        );
     }
 
     #[test]

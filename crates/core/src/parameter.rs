@@ -60,6 +60,12 @@ impl ParameterServer {
     /// Offers a gradient; returns how many policy updates it triggered
     /// (0 when the rule delays aggregation).
     pub fn offer(&mut self, msg: GradientMsg) -> usize {
+        debug_assert!(
+            msg.base_version <= self.clock(),
+            "gradient from the future: base {} > clock {} (staleness would go negative)",
+            msg.base_version,
+            self.clock()
+        );
         let staleness = msg.staleness(self.clock());
         if let Some(s) = &mut self.schedule {
             s.observe(staleness);
@@ -100,6 +106,7 @@ impl ParameterServer {
             .map(|p| p.shape().to_vec())
             .collect();
         let mut agg: Vec<Tensor> = shapes.iter().map(|s| Tensor::zeros(s)).collect();
+        // lint:allow(L4): batch sizes are far below 2^24, exact in f32
         let h = batch.len() as f32;
         for msg in batch {
             assert_eq!(
@@ -149,6 +156,7 @@ impl ParameterServer {
         if tail.is_empty() {
             0.0
         } else {
+            // lint:allow(L4): staleness sums and lengths stay far below 2^53, exact in f64
             tail.iter().sum::<u64>() as f64 / tail.len() as f64
         }
     }
@@ -257,7 +265,10 @@ mod tests {
         let stale = grad_msg(&ps.policy, 1, 0, 1.0);
         ps.offer(stale);
         let after = ps.policy.flatten();
-        assert!((before[0] - 0.5 - after[0]).abs() < 1e-5, "weight 1/δ = 0.5");
+        assert!(
+            (before[0] - 0.5 - after[0]).abs() < 1e-5,
+            "weight 1/δ = 0.5"
+        );
         assert_eq!(ps.staleness_log.last(), Some(&2));
     }
 

@@ -33,8 +33,15 @@ pub struct StalenessSchedule {
 impl StalenessSchedule {
     /// Creates the schedule with decay factor `d` (paper default 0.96).
     pub fn new(d: f64) -> Self {
-        assert!(d > 0.0 && d <= 1.0, "decay factor must be in (0, 1], got {d}");
-        Self { d, delta_max: None, round: 0 }
+        assert!(
+            d > 0.0 && d <= 1.0,
+            "decay factor must be in (0, 1], got {d}"
+        );
+        Self {
+            d,
+            delta_max: None,
+            round: 0,
+        }
     }
 
     /// Feeds an observed staleness value; during round 0 this grows the
@@ -42,6 +49,7 @@ impl StalenessSchedule {
     /// the first training round to obtain the maximum staleness").
     pub fn observe(&mut self, staleness: u64) {
         if self.round == 0 {
+            // lint:allow(L4): u64 -> f64 is exact below 2^53; staleness counts policy updates
             let s = staleness as f64;
             self.delta_max = Some(self.delta_max.map_or(s, |m| m.max(s)));
         }
@@ -94,7 +102,13 @@ pub fn staleness_weight(delta: u64, v: u32) -> f32 {
         return 1.0;
     }
     assert!(v >= 1, "root factor v must be >= 1");
-    1.0 / (delta as f32).powf(1.0 / v as f32)
+    // lint:allow(L4): delta and v are update counts far below 2^24, exact in f32
+    let w = 1.0 / (delta as f32).powf(1.0 / v as f32);
+    debug_assert!(
+        w.is_finite() && w > 0.0 && w <= 1.0,
+        "Eq. 4 weight must be in (0, 1]: delta={delta} v={v} -> {w}"
+    );
+    w
 }
 
 #[cfg(test)]

@@ -37,13 +37,21 @@ impl RatioBoard {
     /// Creates an enabled board with threshold `rho`.
     pub fn new(rho: f32) -> Self {
         assert!(rho > 0.0, "truncation threshold must be positive");
-        Self { rho, enabled: true, ratios: RwLock::new(HashMap::new()) }
+        Self {
+            rho,
+            enabled: true,
+            ratios: RwLock::new(HashMap::new()),
+        }
     }
 
     /// A disabled board: [`RatioBoard::cap`] returns `None`, so learners run
     /// vanilla (local-clip-only) objectives. Used by the Fig. 11(b) ablation.
     pub fn disabled() -> Self {
-        Self { rho: f32::INFINITY, enabled: false, ratios: RwLock::new(HashMap::new()) }
+        Self {
+            rho: f32::INFINITY,
+            enabled: false,
+            ratios: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Whether global truncation is active.
@@ -72,10 +80,14 @@ impl RatioBoard {
             return None;
         }
         let ratios = self.ratios.read();
-        let group_min = ratios
-            .values()
-            .fold(f32::INFINITY, |m, &r| m.min(r));
-        Some(group_min.min(self.rho))
+        let group_min = ratios.values().fold(f32::INFINITY, |m, &r| m.min(r));
+        let cap = group_min.min(self.rho);
+        debug_assert!(
+            cap <= self.rho && cap >= 0.0,
+            "Eq. 2 cap must stay within [0, rho={}]: got {cap}",
+            self.rho
+        );
+        Some(cap)
     }
 
     /// Number of learners currently contributing to the group view.

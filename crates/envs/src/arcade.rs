@@ -23,7 +23,10 @@ pub struct Canvas {
 impl Canvas {
     /// Creates a black canvas of `size x size`.
     pub fn new(size: usize) -> Self {
-        Self { size, px: vec![0.0; size * size] }
+        Self {
+            size,
+            px: vec![0.0; size * size],
+        }
     }
 
     /// Clears to black.
@@ -176,7 +179,8 @@ impl SpaceInvaders {
         let shields = self.shields.clone();
         for (x, hp) in shields {
             if hp > 0 {
-                self.canvas.fill_rect(x, SHIELD_Y, 0.1, 0.04, 0.2 + 0.1 * hp as f32);
+                self.canvas
+                    .fill_rect(x, SHIELD_Y, 0.1, 0.04, 0.2 + 0.1 * hp as f32);
             }
         }
         self.canvas.fill_rect(self.player_x, 0.93, 0.09, 0.05, 1.0);
@@ -217,10 +221,9 @@ impl Env for SpaceInvaders {
         match action.discrete() {
             1 => self.player_x = (self.player_x - 0.035).max(0.06),
             2 => self.player_x = (self.player_x + 0.035).min(0.94),
-            3
-                if self.bullet.is_none() => {
-                    self.bullet = Some((self.player_x, 0.9));
-                }
+            3 if self.bullet.is_none() => {
+                self.bullet = Some((self.player_x, 0.9));
+            }
             _ => {}
         }
         // March the grid.
@@ -261,7 +264,11 @@ impl Env for SpaceInvaders {
                 .flat_map(|r| (0..SI_COLS).map(move |c| (r, c)))
                 .filter(|&(r, c)| self.alive[r][c])
                 .collect();
-            if let Some(&(r, c)) = live.get(self.rng.gen_range(0..live.len().max(1)).min(live.len().saturating_sub(1))) {
+            if let Some(&(r, c)) = live.get(
+                self.rng
+                    .gen_range(0..live.len().max(1))
+                    .min(live.len().saturating_sub(1)),
+            ) {
                 let (x, y) = self.alien_pos(r, c);
                 self.bombs.push((x, y));
             }
@@ -315,7 +322,11 @@ impl Env for SpaceInvaders {
         }
         self.render();
         self.stack.push(&self.canvas);
-        Step { obs: self.stack.observation(), reward, done }
+        Step {
+            obs: self.stack.observation(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -428,10 +439,8 @@ impl Env for Qbert {
             2 => (r as isize + 1, c as isize),     // down-left
             _ => (r as isize + 1, c as isize + 1), // down-right
         };
-        let on_pyramid = target.0 >= 0
-            && (target.0 as usize) < QB_ROWS
-            && target.1 >= 0
-            && target.1 <= target.0;
+        let on_pyramid =
+            target.0 >= 0 && (target.0 as usize) < QB_ROWS && target.1 >= 0 && target.1 <= target.0;
         if on_pyramid {
             let (nr, nc) = (target.0 as usize, target.1 as usize);
             self.player = (nr, nc);
@@ -484,7 +493,11 @@ impl Env for Qbert {
         }
         self.render();
         self.stack.push(&self.canvas);
-        Step { obs: self.stack.observation(), reward, done }
+        Step {
+            obs: self.stack.observation(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -555,8 +568,13 @@ impl Gravitar {
 
     fn render(&mut self) {
         self.canvas.clear();
-        self.canvas
-            .fill_rect(GRAV_PLANET.0, GRAV_PLANET.1, GRAV_RADIUS * 2.0, GRAV_RADIUS * 2.0, 0.35);
+        self.canvas.fill_rect(
+            GRAV_PLANET.0,
+            GRAV_PLANET.1,
+            GRAV_RADIUS * 2.0,
+            GRAV_RADIUS * 2.0,
+            0.35,
+        );
         let bunkers = self.bunkers.clone();
         for (x, y, alive) in bunkers {
             if alive {
@@ -611,16 +629,15 @@ impl Env for Gravitar {
             }
             2 => self.heading += 0.25,
             3 => self.heading -= 0.25,
-            4
-                if self.bullets.len() < 2 => {
-                    self.bullets.push((
-                        self.pos.0,
-                        self.pos.1,
-                        0.04 * self.heading.cos(),
-                        -0.04 * self.heading.sin(),
-                        25,
-                    ));
-                }
+            4 if self.bullets.len() < 2 => {
+                self.bullets.push((
+                    self.pos.0,
+                    self.pos.1,
+                    0.04 * self.heading.cos(),
+                    -0.04 * self.heading.sin(),
+                    25,
+                ));
+            }
             _ => {}
         }
         // Gravity toward the planet.
@@ -677,7 +694,11 @@ impl Env for Gravitar {
         }
         self.render();
         self.stack.push(&self.canvas);
-        Step { obs: self.stack.observation(), reward, done }
+        Step {
+            obs: self.stack.observation(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -692,7 +713,10 @@ mod tests {
 
     #[test]
     fn obs_is_stacked_frames() {
-        let cfg = EnvConfig { frame_size: 24, ..EnvConfig::default() };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            ..EnvConfig::default()
+        };
         for id in EnvId::ATARI_SET {
             let mut env = make_env(id, cfg);
             let obs = env.reset(0);
@@ -704,7 +728,10 @@ mod tests {
 
     #[test]
     fn frames_shift_through_stack() {
-        let cfg = EnvConfig { frame_size: 24, ..EnvConfig::default() };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            ..EnvConfig::default()
+        };
         let mut env = SpaceInvaders::new(cfg);
         let o0 = env.reset(0);
         let o1 = env.step(&Action::Discrete(1)).obs;
@@ -715,7 +742,10 @@ mod tests {
 
     #[test]
     fn space_invaders_shooting_straight_up_scores() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 400 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 400,
+        };
         let mut env = SpaceInvaders::new(cfg);
         env.reset(1);
         let mut total = 0.0;
@@ -732,7 +762,10 @@ mod tests {
 
     #[test]
     fn shields_absorb_bombs_until_destroyed() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 50 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 50,
+        };
         let mut env = SpaceInvaders::new(cfg);
         env.reset(0);
         // Plant a bomb directly above the middle shield, just before its row.
@@ -750,7 +783,10 @@ mod tests {
 
     #[test]
     fn player_bullet_is_absorbed_by_own_shield() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 50 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 50,
+        };
         let mut env = SpaceInvaders::new(cfg);
         env.reset(0);
         // Line the player up under the middle shield and fire.
@@ -763,12 +799,18 @@ mod tests {
                 break;
             }
         }
-        assert!(env.shields[1].1 < hp0, "bullet should chip the shield overhead");
+        assert!(
+            env.shields[1].1 < hp0,
+            "bullet should chip the shield overhead"
+        );
     }
 
     #[test]
     fn qbert_coloring_rewards() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 100 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 100,
+        };
         let mut env = Qbert::new(cfg);
         env.reset(0);
         // First hop down-left lands on an uncoloured cube: +25.
@@ -778,7 +820,10 @@ mod tests {
 
     #[test]
     fn qbert_jumping_off_costs_a_life() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 100 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 100,
+        };
         let mut env = Qbert::new(cfg);
         env.reset(0);
         // From the apex, hopping up-left leaves the pyramid (3 lives -> done on 3rd).
@@ -791,7 +836,10 @@ mod tests {
 
     #[test]
     fn gravitar_idle_ship_eventually_crashes() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 3000 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 3000,
+        };
         let mut env = Gravitar::new(cfg);
         env.reset(0);
         let mut steps = 0;
@@ -808,7 +856,10 @@ mod tests {
 
     #[test]
     fn gravitar_rewards_are_sparse() {
-        let cfg = EnvConfig { frame_size: 24, max_steps: 60 };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            max_steps: 60,
+        };
         let mut env = Gravitar::new(cfg);
         env.reset(0);
         let mut total = 0.0;
@@ -832,7 +883,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed_and_actions() {
-        let cfg = EnvConfig { frame_size: 24, ..EnvConfig::default() };
+        let cfg = EnvConfig {
+            frame_size: 24,
+            ..EnvConfig::default()
+        };
         let mut a = SpaceInvaders::new(cfg);
         let mut b = SpaceInvaders::new(cfg);
         assert_eq!(a.reset(9), b.reset(9));

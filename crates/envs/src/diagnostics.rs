@@ -23,7 +23,13 @@ pub struct PointMass {
 impl PointMass {
     /// Creates the environment.
     pub fn new(cfg: EnvConfig) -> Self {
-        Self { cfg, pos: (0.0, 0.0), vel: (0.0, 0.0), target: (1.0, 0.0), t: 0 }
+        Self {
+            cfg,
+            pos: (0.0, 0.0),
+            vel: (0.0, 0.0),
+            target: (1.0, 0.0),
+            t: 0,
+        }
     }
 }
 
@@ -48,13 +54,21 @@ impl Env for PointMass {
         self.target = (ang.cos(), ang.sin());
         self.t = 0;
         vec![
-            self.pos.0, self.pos.1, self.vel.0, self.vel.1, self.target.0, self.target.1,
+            self.pos.0,
+            self.pos.1,
+            self.vel.0,
+            self.vel.1,
+            self.target.0,
+            self.target.1,
         ]
     }
 
     fn step(&mut self, action: &Action) -> Step {
         let a = action.continuous();
-        let (fx, fy) = (a[0].clamp(-1.0, 1.0), a.get(1).copied().unwrap_or(0.0).clamp(-1.0, 1.0));
+        let (fx, fy) = (
+            a[0].clamp(-1.0, 1.0),
+            a.get(1).copied().unwrap_or(0.0).clamp(-1.0, 1.0),
+        );
         self.vel.0 = (self.vel.0 + 0.1 * fx) * 0.95;
         self.vel.1 = (self.vel.1 + 0.1 * fy) * 0.95;
         self.pos.0 = (self.pos.0 + self.vel.0).clamp(-5.0, 5.0);
@@ -67,7 +81,12 @@ impl Env for PointMass {
         let done = self.t >= self.cfg.max_steps;
         Step {
             obs: vec![
-                self.pos.0, self.pos.1, self.vel.0, self.vel.1, self.target.0, self.target.1,
+                self.pos.0,
+                self.pos.1,
+                self.vel.0,
+                self.vel.1,
+                self.target.0,
+                self.target.1,
             ],
             reward,
             done,
@@ -91,7 +110,12 @@ pub struct ChainMdp {
 impl ChainMdp {
     /// Creates a 10-state chain.
     pub fn new(cfg: EnvConfig) -> Self {
-        Self { cfg, n: 10, state: 0, t: 0 }
+        Self {
+            cfg,
+            n: 10,
+            state: 0,
+            t: 0,
+        }
     }
 
     fn obs(&self) -> Vec<f32> {
@@ -140,7 +164,11 @@ impl Env for ChainMdp {
             }
         }
         let done = self.t >= self.cfg.max_steps;
-        Step { obs: self.obs(), reward, done }
+        Step {
+            obs: self.obs(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -154,7 +182,10 @@ mod tests {
 
     #[test]
     fn point_mass_reward_improves_when_moving_to_target() {
-        let mut env = PointMass::new(EnvConfig { max_steps: 50, ..EnvConfig::default() });
+        let mut env = PointMass::new(EnvConfig {
+            max_steps: 50,
+            ..EnvConfig::default()
+        });
         let obs = env.reset(0);
         let (tx, ty) = (obs[4], obs[5]);
         let first = env.step(&Action::Continuous(vec![0.0, 0.0])).reward;
@@ -164,15 +195,24 @@ mod tests {
             let fx = 2.0 * (tx - env.pos.0) - 3.0 * env.vel.0;
             let fy = 2.0 * (ty - env.pos.1) - 3.0 * env.vel.1;
             last = env
-                .step(&Action::Continuous(vec![fx.clamp(-1.0, 1.0), fy.clamp(-1.0, 1.0)]))
+                .step(&Action::Continuous(vec![
+                    fx.clamp(-1.0, 1.0),
+                    fy.clamp(-1.0, 1.0),
+                ]))
                 .reward;
         }
-        assert!(last > first + 0.1, "controller should close distance: {first} -> {last}");
+        assert!(
+            last > first + 0.1,
+            "controller should close distance: {first} -> {last}"
+        );
     }
 
     #[test]
     fn chain_rewards_right_march() {
-        let mut env = ChainMdp::new(EnvConfig { max_steps: 20, ..EnvConfig::default() });
+        let mut env = ChainMdp::new(EnvConfig {
+            max_steps: 20,
+            ..EnvConfig::default()
+        });
         env.reset(0);
         let mut total = 0.0;
         for _ in 0..12 {

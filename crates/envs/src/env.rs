@@ -184,8 +184,7 @@ impl EnvId {
             EnvId::PointMass,
             EnvId::ChainMdp,
         ];
-        all.into_iter()
-            .find(|e| e.name().eq_ignore_ascii_case(s))
+        all.into_iter().find(|e| e.name().eq_ignore_ascii_case(s))
     }
 
     /// True for continuous-action environments.
@@ -211,19 +210,28 @@ impl Default for EnvConfig {
     fn default() -> Self {
         // Laptop-scale defaults; the paper's 84x84 frames are available via
         // `EnvConfig { frame_size: 84, .. }`.
-        Self { frame_size: 42, max_steps: 500 }
+        Self {
+            frame_size: 42,
+            max_steps: 500,
+        }
     }
 }
 
 impl EnvConfig {
     /// Paper-scale configuration (84x84 frames, 1000-step episodes).
     pub fn paper() -> Self {
-        Self { frame_size: 84, max_steps: 1000 }
+        Self {
+            frame_size: 84,
+            max_steps: 1000,
+        }
     }
 
     /// Tiny configuration for unit tests.
     pub fn tiny() -> Self {
-        Self { frame_size: 20, max_steps: 80 }
+        Self {
+            frame_size: 20,
+            max_steps: 80,
+        }
     }
 }
 

@@ -16,7 +16,5 @@ pub mod mujoco;
 pub mod physics2d;
 pub mod wrappers;
 
-pub use env::{
-    env_rng, make_env, Action, ActionSpace, Env, EnvConfig, EnvId, EnvRng, Step,
-};
+pub use env::{env_rng, make_env, Action, ActionSpace, Env, EnvConfig, EnvId, EnvRng, Step};
 pub use wrappers::{ActionRepeat, NormalizedEnv, RunningStat, VecEnv};

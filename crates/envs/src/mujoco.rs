@@ -84,10 +84,12 @@ fn build_leg(
         masses.0,
     ));
     bodies.push(thigh);
-    joints.push(w.add_joint(
-        RevoluteJoint::new(parent, thigh, parent_local, Vec2::new(thigh_len * 0.5, 0.0))
-            .with_limits(-1.2, 1.2),
-    ));
+    joints.push(
+        w.add_joint(
+            RevoluteJoint::new(parent, thigh, parent_local, Vec2::new(thigh_len * 0.5, 0.0))
+                .with_limits(-1.2, 1.2),
+        ),
+    );
     let knee_y = hip_y - thigh_len;
     let shin = w.add_body(Body::segment(
         Vec2::new(x, knee_y - shin_len * 0.5),
@@ -96,15 +98,17 @@ fn build_leg(
         masses.1,
     ));
     bodies.push(shin);
-    joints.push(w.add_joint(
-        RevoluteJoint::new(
-            thigh,
-            shin,
-            Vec2::new(-thigh_len * 0.5, 0.0),
-            Vec2::new(shin_len * 0.5, 0.0),
-        )
-        .with_limits(-2.2, 0.1),
-    ));
+    joints.push(
+        w.add_joint(
+            RevoluteJoint::new(
+                thigh,
+                shin,
+                Vec2::new(-thigh_len * 0.5, 0.0),
+                Vec2::new(shin_len * 0.5, 0.0),
+            )
+            .with_limits(-2.2, 0.1),
+        ),
+    );
     if let Some(foot_len) = foot_len {
         let ankle_y = knee_y - shin_len;
         // Foot is horizontal, extending forward from the ankle.
@@ -115,16 +119,18 @@ fn build_leg(
             masses.2,
         ));
         bodies.push(foot);
-        joints.push(w.add_joint(
-            RevoluteJoint::new(
-                shin,
-                foot,
-                Vec2::new(-shin_len * 0.5, 0.0),
-                Vec2::new(-foot_len * 0.25, 0.04),
-            )
-            .with_ref_angle(-UP)
-            .with_limits(-0.8, 0.8),
-        ));
+        joints.push(
+            w.add_joint(
+                RevoluteJoint::new(
+                    shin,
+                    foot,
+                    Vec2::new(-shin_len * 0.5, 0.0),
+                    Vec2::new(-foot_len * 0.25, 0.04),
+                )
+                .with_ref_angle(-UP)
+                .with_limits(-0.8, 0.8),
+            ),
+        );
     }
     (joints, bodies)
 }
@@ -155,13 +161,22 @@ pub struct Hopper {
 impl Hopper {
     /// Creates the environment (call [`Env::reset`] before stepping).
     pub fn new(cfg: EnvConfig) -> Self {
-        Self { figure: Self::build(), cfg, t: 0 }
+        Self {
+            figure: Self::build(),
+            cfg,
+            t: 0,
+        }
     }
 
     fn build() -> Figure {
         let mut w = World::new(WorldConfig::default());
         let torso_len = 0.4;
-        let torso = w.add_body(Body::segment(Vec2::new(0.0, 1.05 + torso_len * 0.5), UP, torso_len, 3.7));
+        let torso = w.add_body(Body::segment(
+            Vec2::new(0.0, 1.05 + torso_len * 0.5),
+            UP,
+            torso_len,
+            3.7,
+        ));
         let (joints, _) = build_leg(
             &mut w,
             torso,
@@ -173,7 +188,12 @@ impl Hopper {
             0.0,
             (4.0, 2.7, 5.3),
         );
-        Figure { world: w, torso, joints, gears: vec![55.0, 55.0, 35.0] }
+        Figure {
+            world: w,
+            torso,
+            joints,
+            gears: vec![55.0, 55.0, 35.0],
+        }
     }
 
     fn healthy(&self) -> bool {
@@ -212,7 +232,11 @@ impl Env for Hopper {
         let healthy = self.healthy();
         let reward = vx + 1.0 - 1e-3 * action.sq_norm();
         let done = !healthy || self.t >= self.cfg.max_steps;
-        Step { obs: self.figure.observe(), reward, done }
+        Step {
+            obs: self.figure.observe(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -234,13 +258,22 @@ pub struct Walker2d {
 impl Walker2d {
     /// Creates the environment.
     pub fn new(cfg: EnvConfig) -> Self {
-        Self { figure: Self::build(), cfg, t: 0 }
+        Self {
+            figure: Self::build(),
+            cfg,
+            t: 0,
+        }
     }
 
     fn build() -> Figure {
         let mut w = World::new(WorldConfig::default());
         let torso_len = 0.4;
-        let torso = w.add_body(Body::segment(Vec2::new(0.0, 1.05 + torso_len * 0.5), UP, torso_len, 3.5));
+        let torso = w.add_body(Body::segment(
+            Vec2::new(0.0, 1.05 + torso_len * 0.5),
+            UP,
+            torso_len,
+            3.5,
+        ));
         let mut joints = Vec::new();
         for dx in [0.0f32, 0.0] {
             let (leg_joints, _) = build_leg(
@@ -256,7 +289,12 @@ impl Walker2d {
             );
             joints.extend(leg_joints);
         }
-        Figure { world: w, torso, joints, gears: vec![55.0, 55.0, 35.0, 55.0, 55.0, 35.0] }
+        Figure {
+            world: w,
+            torso,
+            joints,
+            gears: vec![55.0, 55.0, 35.0, 55.0, 55.0, 35.0],
+        }
     }
 
     fn healthy(&self) -> bool {
@@ -294,7 +332,11 @@ impl Env for Walker2d {
         let vx = (x1 - x0) / (SUB_DT * SUBSTEPS as f32);
         let reward = vx + 1.0 - 1e-3 * action.sq_norm();
         let done = !self.healthy() || self.t >= self.cfg.max_steps;
-        Step { obs: self.figure.observe(), reward, done }
+        Step {
+            obs: self.figure.observe(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -317,7 +359,11 @@ pub struct Humanoid {
 impl Humanoid {
     /// Creates the environment.
     pub fn new(cfg: EnvConfig) -> Self {
-        Self { figure: Self::build(), cfg, t: 0 }
+        Self {
+            figure: Self::build(),
+            cfg,
+            t: 0,
+        }
     }
 
     fn build() -> Figure {
@@ -350,23 +396,21 @@ impl Humanoid {
         for _ in 0..2 {
             let arm_len = 0.55;
             let shoulder_y = hip_y + torso_len - 0.05;
-            let mut arm = Body::segment(
-                Vec2::new(0.0, shoulder_y - arm_len * 0.5),
-                UP,
-                arm_len,
-                1.6,
-            );
+            let mut arm =
+                Body::segment(Vec2::new(0.0, shoulder_y - arm_len * 0.5), UP, arm_len, 1.6);
             arm.collide_ground = false;
             let arm = w.add_body(arm);
-            joints.push(w.add_joint(
-                RevoluteJoint::new(
-                    torso,
-                    arm,
-                    Vec2::new(torso_len * 0.5 - 0.05, 0.0),
-                    Vec2::new(arm_len * 0.5, 0.0),
-                )
-                .with_limits(-1.5, 1.5),
-            ));
+            joints.push(
+                w.add_joint(
+                    RevoluteJoint::new(
+                        torso,
+                        arm,
+                        Vec2::new(torso_len * 0.5 - 0.05, 0.0),
+                        Vec2::new(arm_len * 0.5, 0.0),
+                    )
+                    .with_limits(-1.5, 1.5),
+                ),
+            );
         }
         Figure {
             world: w,
@@ -412,7 +456,11 @@ impl Env for Humanoid {
         // Gym Humanoid weights survival heavily; mirror that shape.
         let reward = 1.25 * vx + 2.0 - 0.01 * action.sq_norm();
         let done = !self.healthy() || self.t >= self.cfg.max_steps;
-        Step { obs: self.figure.observe(), reward, done }
+        Step {
+            obs: self.figure.observe(),
+            reward,
+            done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -476,7 +524,10 @@ mod tests {
 
     #[test]
     fn random_actions_eventually_terminate_or_cap() {
-        let mut env = Hopper::new(EnvConfig { max_steps: 200, ..EnvConfig::default() });
+        let mut env = Hopper::new(EnvConfig {
+            max_steps: 200,
+            ..EnvConfig::default()
+        });
         let mut rng = env_rng(42);
         env.reset(7);
         let mut steps = 0;
@@ -516,7 +567,10 @@ mod tests {
         // Constant torque pattern should displace the hopper horizontally
         // relative to standing still (in either direction — we only check
         // that actuation has mechanical effect).
-        let mut env = Hopper::new(EnvConfig { max_steps: 60, ..EnvConfig::default() });
+        let mut env = Hopper::new(EnvConfig {
+            max_steps: 60,
+            ..EnvConfig::default()
+        });
         env.reset(3);
         let mut disp = 0.0f32;
         for _ in 0..40 {
@@ -531,7 +585,10 @@ mod tests {
 
     #[test]
     fn episode_cap_truncates() {
-        let mut env = Hopper::new(EnvConfig { max_steps: 5, ..EnvConfig::default() });
+        let mut env = Hopper::new(EnvConfig {
+            max_steps: 5,
+            ..EnvConfig::default()
+        });
         env.reset(0);
         let a = Action::Continuous(vec![0.0; 3]);
         let mut done = false;

@@ -254,7 +254,11 @@ pub struct World {
 impl World {
     /// Creates an empty world.
     pub fn new(config: WorldConfig) -> Self {
-        Self { bodies: Vec::new(), joints: Vec::new(), config }
+        Self {
+            bodies: Vec::new(),
+            joints: Vec::new(),
+            config,
+        }
     }
 
     /// Adds a body, returning its handle.
@@ -321,10 +325,9 @@ impl World {
             let tau = j.motor_torque;
             let mut limit_tau = 0.0f32;
             if let Some((lo, hi)) = j.limits {
-                let rel = self.bodies[j.body_b.0].angle - self.bodies[j.body_a.0].angle
-                    - j.ref_angle;
-                let relv =
-                    self.bodies[j.body_b.0].angvel - self.bodies[j.body_a.0].angvel;
+                let rel =
+                    self.bodies[j.body_b.0].angle - self.bodies[j.body_a.0].angle - j.ref_angle;
+                let relv = self.bodies[j.body_b.0].angvel - self.bodies[j.body_a.0].angvel;
                 if rel < lo {
                     limit_tau = cfg.limit_stiffness * (lo - rel) - 2.0 * relv;
                 } else if rel > hi {
@@ -491,13 +494,19 @@ mod tests {
         // Joint anchor must stay near the static anchor point.
         let rb = w.body(r);
         let anchor_world = rb.world_point(Vec2::new(0.5, 0.0));
-        assert!((anchor_world - Vec2::new(0.0, 2.0)).len() < 0.05, "{anchor_world:?}");
+        assert!(
+            (anchor_world - Vec2::new(0.0, 2.0)).len() < 0.05,
+            "{anchor_world:?}"
+        );
         assert!(!w.is_unstable());
     }
 
     #[test]
     fn motor_torque_spins_free_body_pair() {
-        let mut w = World::new(WorldConfig { gravity: 0.0, ..WorldConfig::default() });
+        let mut w = World::new(WorldConfig {
+            gravity: 0.0,
+            ..WorldConfig::default()
+        });
         let a = w.add_body(Body::segment(Vec2::new(0.0, 5.0), 0.0, 1.0, 1.0));
         let b = w.add_body(Body::segment(Vec2::new(1.0, 5.0), 0.0, 1.0, 1.0));
         let j = w.add_joint(RevoluteJoint::new(
@@ -516,7 +525,10 @@ mod tests {
 
     #[test]
     fn soft_limits_bound_joint_angle() {
-        let mut w = World::new(WorldConfig { gravity: 0.0, ..WorldConfig::default() });
+        let mut w = World::new(WorldConfig {
+            gravity: 0.0,
+            ..WorldConfig::default()
+        });
         let a = w.add_body(Body::segment(Vec2::new(0.0, 5.0), 0.0, 1.0, 1.0));
         let b = w.add_body(Body::segment(Vec2::new(1.0, 5.0), 0.0, 1.0, 1.0));
         let j = w.add_joint(

@@ -90,7 +90,11 @@ pub struct RunningStat {
 impl RunningStat {
     /// Creates a tracker for `dim`-dimensional vectors.
     pub fn new(dim: usize) -> Self {
-        Self { count: 0.0, mean: vec![0.0; dim], m2: vec![0.0; dim] }
+        Self {
+            count: 0.0,
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+        }
     }
 
     /// Feeds one observation.
@@ -144,7 +148,11 @@ impl<E: Env> NormalizedEnv<E> {
     /// Wraps an environment.
     pub fn new(inner: E) -> Self {
         let dim = inner.obs_dim();
-        Self { inner, stat: RunningStat::new(dim), frozen: false }
+        Self {
+            inner,
+            stat: RunningStat::new(dim),
+            frozen: false,
+        }
     }
 
     /// Read access to the running statistics.
@@ -181,7 +189,11 @@ impl<E: Env> Env for NormalizedEnv<E> {
 
     fn step(&mut self, action: &Action) -> Step {
         let step = self.inner.step(action);
-        Step { obs: self.process(step.obs), reward: step.reward, done: step.done }
+        Step {
+            obs: self.process(step.obs),
+            reward: step.reward,
+            done: step.done,
+        }
     }
 
     fn max_steps(&self) -> usize {
@@ -269,7 +281,15 @@ mod tests {
     #[test]
     fn vec_env_auto_resets_done_envs() {
         let envs: Vec<Box<dyn Env>> = (0..2)
-            .map(|_| make_env(EnvId::ChainMdp, EnvConfig { max_steps: 3, ..EnvConfig::tiny() }))
+            .map(|_| {
+                make_env(
+                    EnvId::ChainMdp,
+                    EnvConfig {
+                        max_steps: 3,
+                        ..EnvConfig::tiny()
+                    },
+                )
+            })
             .collect();
         let mut v = VecEnv::new(envs);
         v.reset_all(0);
@@ -287,8 +307,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one action per environment")]
     fn vec_env_rejects_wrong_action_count() {
-        let envs: Vec<Box<dyn Env>> =
-            vec![make_env(EnvId::PointMass, EnvConfig::tiny())];
+        let envs: Vec<Box<dyn Env>> = vec![make_env(EnvId::PointMass, EnvConfig::tiny())];
         let mut v = VecEnv::new(envs);
         v.reset_all(0);
         v.step_all(&[], 0);
@@ -320,7 +339,10 @@ mod tests {
             all.extend(s.obs);
         }
         let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
-        assert!(mean.abs() < 1.0, "normalised stream should be near zero mean: {mean}");
+        assert!(
+            mean.abs() < 1.0,
+            "normalised stream should be near zero mean: {mean}"
+        );
         assert!(all.iter().all(|x| x.abs() <= 10.0), "clamped to +-10");
     }
 
@@ -328,7 +350,10 @@ mod tests {
     fn action_repeat_sums_rewards_and_stops_at_done() {
         use crate::diagnostics::ChainMdp;
         let mut env = ActionRepeat::new(
-            ChainMdp::new(EnvConfig { max_steps: 20, ..EnvConfig::tiny() }),
+            ChainMdp::new(EnvConfig {
+                max_steps: 20,
+                ..EnvConfig::tiny()
+            }),
             4,
         );
         env.reset(0);
@@ -341,7 +366,10 @@ mod tests {
         assert!(total >= 10.0, "{total}");
         // Done propagates as soon as the inner episode ends.
         let mut env = ActionRepeat::new(
-            ChainMdp::new(EnvConfig { max_steps: 2, ..EnvConfig::tiny() }),
+            ChainMdp::new(EnvConfig {
+                max_steps: 2,
+                ..EnvConfig::tiny()
+            }),
             8,
         );
         env.reset(0);

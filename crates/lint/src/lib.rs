@@ -1,0 +1,178 @@
+//! `stellaris-lint`: repo-specific invariant linter for the Stellaris
+//! workspace.
+//!
+//! Four rules (see [`rules`]): panic-freedom (L1), determinism (L2),
+//! lock-discipline (L3), and lossy-cast (L4). Rules are scoped per file by
+//! [`rules_for`]; violations carry `file:line` and can be suppressed with a
+//! justified `// lint:allow(<rule>): <why>` comment.
+//!
+//! Run as a binary (`cargo run -p stellaris-lint`) for CI, or through
+//! [`lint_workspace`] from the test suite so `cargo test` enforces the
+//! invariants too.
+
+mod rules;
+mod source;
+
+pub use rules::{lint_text, Diagnostic, Rule, RuleSet};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Library crates that must be panic-free (L1) outside tests.
+const L1_CRATES: [&str; 6] = [
+    "crates/cache/src/",
+    "crates/core/src/",
+    "crates/nn/src/",
+    "crates/rl/src/",
+    "crates/serverless/src/",
+    "crates/simcluster/src/",
+];
+
+/// Deterministic code: math must not read ambient RNGs or clocks (L2).
+const L2_SCOPES: [&str; 6] = [
+    "crates/nn/src/",
+    "crates/rl/src/",
+    "crates/core/src/aggregation.rs",
+    "crates/core/src/truncation.rs",
+    "crates/core/src/staleness.rs",
+    "crates/core/src/parameter.rs",
+];
+
+/// Gradient/staleness math where `as` float casts need justification (L4).
+const L4_MODULES: [&str; 7] = [
+    "crates/core/src/staleness.rs",
+    "crates/core/src/truncation.rs",
+    "crates/core/src/parameter.rs",
+    "crates/nn/src/optim.rs",
+    "crates/rl/src/gae.rs",
+    "crates/rl/src/vtrace.rs",
+    "crates/rl/src/ppo.rs",
+];
+
+/// Decides which rules apply to a repo-relative path (forward slashes).
+pub fn rules_for(rel: &str) -> RuleSet {
+    if !rel.ends_with(".rs") {
+        return RuleSet::none();
+    }
+    // Vendored stand-ins for registry crates and non-library code are out of
+    // scope; test/bench/example trees are covered by their own review bar.
+    let excluded = rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/");
+    if excluded {
+        return RuleSet::none();
+    }
+    let in_workspace_src =
+        rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
+    if !in_workspace_src {
+        return RuleSet::none();
+    }
+    RuleSet {
+        l1: L1_CRATES.iter().any(|p| rel.starts_with(p)),
+        l2: L2_SCOPES.iter().any(|p| rel.starts_with(p)),
+        // Lock discipline holds everywhere in first-party sources,
+        // including the CLI and this linter itself.
+        l3: true,
+        l4: L4_MODULES.contains(&rel),
+    }
+}
+
+/// Lints every first-party source file under `root`. Diagnostics come back
+/// sorted by path and line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let rules = rules_for(&rel);
+        if !rules.any() {
+            continue;
+        }
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_text(&rel, &text, rules));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "vendor" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_matches_policy() {
+        let r = rules_for("crates/core/src/aggregation.rs");
+        assert!(r.l1 && r.l2 && r.l3 && !r.l4);
+        let r = rules_for("crates/core/src/staleness.rs");
+        assert!(r.l1 && r.l2 && r.l3 && r.l4);
+        let r = rules_for("crates/envs/src/mujoco.rs");
+        assert!(!r.l1 && !r.l2 && r.l3, "envs: lock discipline only");
+        let r = rules_for("src/main.rs");
+        assert!(!r.l1 && r.l3, "CLI may panic but must respect locks");
+    }
+
+    #[test]
+    fn out_of_scope_paths_get_no_rules() {
+        for rel in [
+            "vendor/rand/src/lib.rs",
+            "tests/train_e2e.rs",
+            "crates/bench/benches/aggregation.rs",
+            "examples/custom_env.rs",
+            "crates/cache/src/notes.md",
+            "target/debug/build/foo.rs",
+        ] {
+            assert!(!rules_for(rel).any(), "{rel} must be unscoped");
+        }
+    }
+
+    #[test]
+    fn lint_crate_is_in_l3_scope_but_not_l1() {
+        let r = rules_for("crates/lint/src/rules.rs");
+        assert!(!r.l1 && r.l3);
+    }
+}

@@ -1,0 +1,53 @@
+//! CLI for the Stellaris invariant linter.
+//!
+//! ```text
+//! cargo run -p stellaris-lint            # lint the enclosing workspace
+//! cargo run -p stellaris-lint -- <root>  # lint an explicit tree
+//! ```
+//!
+//! Prints one `file:line: rule: message` diagnostic per violation and exits
+//! nonzero when any are found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match stellaris_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "stellaris-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match stellaris_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stellaris-lint: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if diags.is_empty() {
+        println!(
+            "stellaris-lint: clean ({} rules over {})",
+            4,
+            root.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("stellaris-lint: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,556 @@
+//! The four Stellaris invariant rules and the `lint:allow` escape hatch.
+//!
+//! | id | name            | guards                                            |
+//! |----|-----------------|---------------------------------------------------|
+//! | L1 | panic-freedom   | no `unwrap()`/`expect()`/`panic!` in library code |
+//! | L2 | determinism     | no ambient RNG or wall-clock in deterministic code|
+//! | L3 | lock-discipline | no guard held across send/recv or a second lock   |
+//! | L4 | lossy-cast      | no `as f32`/`as f64` in gradient/staleness math   |
+//!
+//! Any diagnostic can be suppressed with a justified comment on the same
+//! line or the line above:
+//!
+//! ```text
+//! // lint:allow(L1): join() only errs if the wave panicked, which aborts anyway
+//! ```
+//!
+//! An allow without a justification is itself a diagnostic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::source::{statement_spans, SourceFile};
+
+/// A lint rule identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `unwrap()`/`expect()`/`panic!` in non-test library code.
+    L1,
+    /// No ambient nondeterminism in deterministic crates.
+    L2,
+    /// No lock guard held across a channel op or second lock.
+    L3,
+    /// No lossy `as` float casts in gradient/staleness math.
+    L4,
+}
+
+impl Rule {
+    /// Short id, e.g. `L1`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "panic-freedom",
+            Rule::L2 => "determinism",
+            Rule::L3 => "lock-discipline",
+            Rule::L4 => "lossy-cast",
+        }
+    }
+
+    /// Parses `L1` / `panic-freedom` style spellings.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "L1" | "l1" | "panic-freedom" => Some(Rule::L1),
+            "L2" | "l2" | "determinism" => Some(Rule::L2),
+            "L3" | "l3" | "lock-discipline" => Some(Rule::L3),
+            "L4" | "l4" | "lossy-cast" => Some(Rule::L4),
+            _ => None,
+        }
+    }
+}
+
+/// Which rules run on a given file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuleSet {
+    /// Run L1 (panic-freedom).
+    pub l1: bool,
+    /// Run L2 (determinism).
+    pub l2: bool,
+    /// Run L3 (lock-discipline).
+    pub l3: bool,
+    /// Run L4 (lossy-cast).
+    pub l4: bool,
+}
+
+impl RuleSet {
+    /// All four rules.
+    pub fn all() -> Self {
+        Self {
+            l1: true,
+            l2: true,
+            l3: true,
+            l4: true,
+        }
+    }
+
+    /// No rules (useful as a base).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when at least one rule is enabled.
+    pub fn any(self) -> bool {
+        self.l1 || self.l2 || self.l3 || self.l4
+    }
+}
+
+/// One finding, pointing at `file:line`.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Violated rule.
+    pub rule: Rule,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} ({}): {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Parsed `lint:allow` markers: line -> allowed rules (with justification?).
+struct Allows {
+    by_line: HashMap<usize, Vec<(Rule, bool)>>,
+    /// Malformed allows discovered while parsing.
+    errors: Vec<(usize, String)>,
+}
+
+fn parse_allows(src: &SourceFile) -> Allows {
+    let mut by_line: HashMap<usize, Vec<(Rule, bool)>> = HashMap::new();
+    let mut errors = Vec::new();
+    for line_no in 1..=src.line_count() {
+        let Some(comment) = src.comment_text(line_no) else {
+            continue;
+        };
+        let Some(tag_at) = comment.find("lint:allow(") else {
+            continue;
+        };
+        if src.test_lines.get(line_no - 1).copied().unwrap_or(false) {
+            // Test code may quote or exercise allow syntax freely.
+            continue;
+        }
+        let rest = &comment[tag_at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            errors.push((line_no, "malformed lint:allow: missing `)`".to_string()));
+            continue;
+        };
+        let Some(rule) = Rule::parse(&rest[..close]) else {
+            errors.push((
+                line_no,
+                format!("unknown lint rule `{}` in lint:allow", &rest[..close]),
+            ));
+            continue;
+        };
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        let justified = !justification.is_empty();
+        if !justified {
+            errors.push((
+                line_no,
+                format!(
+                    "lint:allow({}) requires a justification: `// lint:allow({}): <why>`",
+                    rule.id(),
+                    rule.id()
+                ),
+            ));
+        }
+        by_line.entry(line_no).or_default().push((rule, justified));
+    }
+    Allows { by_line, errors }
+}
+
+impl Allows {
+    /// Whether `rule` is suppressed at `line` (same line or line above).
+    fn suppressed(&self, rule: Rule, line: usize) -> bool {
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if let Some(entries) = self.by_line.get(&l) {
+                if entries.iter().any(|&(r, justified)| r == rule && justified) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Lints one file's text under the given rule set. `file` is the label used
+/// in diagnostics (typically the repo-relative path).
+pub fn lint_text(file: &str, text: &str, rules: RuleSet) -> Vec<Diagnostic> {
+    let src = SourceFile::parse(text);
+    let allows = parse_allows(&src);
+    let mut out = Vec::new();
+
+    for (line, msg) in &allows.errors {
+        out.push(Diagnostic {
+            rule: Rule::L1, // allow-syntax errors are reported under L1's banner
+            file: file.to_string(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+
+    if rules.l1 {
+        check_tokens(
+            file,
+            &src,
+            &allows,
+            Rule::L1,
+            &[
+                (
+                    ".unwrap()",
+                    "`.unwrap()` in library code; return a Result or justify",
+                ),
+                (
+                    ".expect(",
+                    "`.expect(..)` in library code; return a Result or justify",
+                ),
+                (
+                    "panic!",
+                    "`panic!` in library code; return an error or justify",
+                ),
+            ],
+            &mut out,
+        );
+    }
+    if rules.l2 {
+        check_tokens(
+            file,
+            &src,
+            &allows,
+            Rule::L2,
+            &[
+                (
+                    "thread_rng",
+                    "ambient `thread_rng()`; use a config-seeded ChaCha8Rng",
+                ),
+                (
+                    "from_entropy",
+                    "entropy-seeded RNG; use a config-seeded ChaCha8Rng",
+                ),
+                (
+                    "rand::random",
+                    "ambient `rand::random`; use a config-seeded ChaCha8Rng",
+                ),
+                (
+                    "SystemTime::now()",
+                    "wall-clock read in deterministic code; inject a clock",
+                ),
+                (
+                    "Instant::now()",
+                    "monotonic-clock read in deterministic code; inject a clock",
+                ),
+            ],
+            &mut out,
+        );
+    }
+    if rules.l3 {
+        check_lock_discipline(file, &src, &allows, &mut out);
+    }
+    if rules.l4 {
+        check_tokens(
+            file,
+            &src,
+            &allows,
+            Rule::L4,
+            &[
+                (
+                    "as f32",
+                    "lossy `as f32` cast in numeric-critical code; justify exactness",
+                ),
+                (
+                    "as f64",
+                    "lossy `as f64` cast in numeric-critical code; justify exactness",
+                ),
+            ],
+            &mut out,
+        );
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
+    out
+}
+
+/// True when `token` at `at` in `hay` sits on identifier boundaries, so
+/// `.unwrap()` does not match `.unwrap_or()` and `as f32` does not match
+/// `has f32x`.
+fn boundary_ok(hay: &str, at: usize, token: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let first = token.as_bytes()[0];
+    let last = token.as_bytes()[token.len() - 1];
+    if ident(first) && at > 0 && ident(bytes[at - 1]) {
+        return false;
+    }
+    let end = at + token.len();
+    if ident(last) && end < bytes.len() && ident(bytes[end]) {
+        return false;
+    }
+    true
+}
+
+fn check_tokens(
+    file: &str,
+    src: &SourceFile,
+    allows: &Allows,
+    rule: Rule,
+    tokens: &[(&str, &str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for &(token, message) in tokens {
+        let mut from = 0;
+        while let Some(pos) = src.masked[from..].find(token) {
+            let at = from + pos;
+            from = at + token.len();
+            if !boundary_ok(&src.masked, at, token) || src.in_test(at) {
+                continue;
+            }
+            let line = src.line_of(at);
+            if allows.suppressed(rule, line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule,
+                file: file.to_string(),
+                line,
+                message: message.to_string(),
+            });
+        }
+    }
+}
+
+const LOCK_TOKENS: [&str; 3] = [".lock()", ".read()", ".write()"];
+const CHANNEL_TOKENS: [&str; 3] = [".send(", ".recv()", ".recv_timeout("];
+
+fn check_lock_discipline(file: &str, src: &SourceFile, allows: &Allows, out: &mut Vec<Diagnostic>) {
+    for (start, end) in statement_spans(&src.masked) {
+        let span = &src.masked[start..end];
+        let mut locks: Vec<usize> = Vec::new();
+        let mut chans: Vec<usize> = Vec::new();
+        for token in LOCK_TOKENS {
+            collect(span, token, start, &mut locks);
+        }
+        for token in CHANNEL_TOKENS {
+            collect(span, token, start, &mut chans);
+        }
+        locks.retain(|&at| !src.in_test(at));
+        chans.retain(|&at| !src.in_test(at));
+        if locks.is_empty() {
+            continue;
+        }
+        locks.sort_unstable();
+        if locks.len() >= 2 {
+            let at = locks[1];
+            let line = src.line_of(at);
+            if !allows.suppressed(Rule::L3, line) {
+                out.push(Diagnostic {
+                    rule: Rule::L3,
+                    file: file.to_string(),
+                    line,
+                    message: "second lock acquired while a guard from the same expression is \
+                              still live; split the statement or justify"
+                        .to_string(),
+                });
+            }
+        }
+        if !chans.is_empty() {
+            let at = *chans.iter().min().expect("nonempty");
+            let line = src.line_of(at);
+            if !allows.suppressed(Rule::L3, line) {
+                out.push(Diagnostic {
+                    rule: Rule::L3,
+                    file: file.to_string(),
+                    line,
+                    message: "channel send/recv in the same expression as a live lock guard; \
+                              drop the guard first or justify"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn collect(span: &str, token: &str, base: usize, out: &mut Vec<usize>) {
+    let mut from = 0;
+    while let Some(pos) = span[from..].find(token) {
+        let at = from + pos;
+        from = at + token.len();
+        out.push(base + at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_all(text: &str) -> Vec<Diagnostic> {
+        lint_text("test.rs", text, RuleSet::all())
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule.id()).collect()
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic() {
+        let d = lint_all("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"z\"); }");
+        assert_eq!(rules_of(&d), ["L1", "L1", "L1"]);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_family() {
+        let d =
+            lint_all("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); x.unwrap_or_default(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l1_ignores_test_code_and_comments_and_strings() {
+        let src = r#"
+// a comment mentioning panic! and x.unwrap()
+fn f() { let s = "panic!"; }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); panic!("fine in tests"); }
+}
+"#;
+        assert!(lint_all(src).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_ambient_nondeterminism() {
+        let d =
+            lint_all("fn f() { let r = rand::thread_rng(); let t = std::time::Instant::now(); }");
+        assert_eq!(rules_of(&d), ["L2", "L2"]);
+    }
+
+    #[test]
+    fn l2_allows_seeded_and_injected() {
+        let d = lint_all(
+            "fn f(clock: &dyn Clock) { let r = ChaCha8Rng::seed_from_u64(7); let t = clock.now(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l3_flags_double_lock_in_one_expression() {
+        let d = lint_all("fn f() { a.lock().merge(b.lock()); }");
+        assert_eq!(rules_of(&d), ["L3"]);
+    }
+
+    #[test]
+    fn l3_flags_send_under_guard() {
+        let d = lint_all("fn f() { tx.send(state.lock().snapshot()); }");
+        assert_eq!(rules_of(&d), ["L3"]);
+    }
+
+    #[test]
+    fn l3_accepts_sequential_locks() {
+        let d = lint_all("fn f() { let a = m1.lock(); drop(a); let b = m2.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l3_accepts_locks_in_separate_match_arms() {
+        let d = lint_all("fn f() { match x { A => a.lock().v(), B => b.lock().w(), } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l4_flags_float_casts() {
+        let d = lint_all("fn f(n: u64) -> f32 { n as f32 + (n as f64) as f32 }");
+        assert_eq!(rules_of(&d), ["L4", "L4", "L4"]);
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses_same_line() {
+        let d =
+            lint_all("fn f() { x.unwrap(); } // lint:allow(L1): invariant: x was just inserted");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses_next_line() {
+        let src = "// lint:allow(L4): delta is bounded by cfg.rounds << 2^24\nfn f(n: u64) -> f32 { n as f32 }";
+        assert!(lint_all(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_an_error() {
+        let d = lint_all("fn f() { x.unwrap(); } // lint:allow(L1)");
+        assert!(
+            d.iter()
+                .any(|d| d.message.contains("requires a justification")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let d = lint_all("fn f() { x.unwrap(); } // lint:allow(L2): not the right rule");
+        assert_eq!(rules_of(&d), ["L1"]);
+    }
+
+    #[test]
+    fn allow_accepts_rule_names() {
+        let d = lint_all(
+            "fn f() { x.unwrap(); } // lint:allow(panic-freedom): checked two lines above",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_an_error() {
+        let d = lint_all("fn f() {} // lint:allow(L9): nope");
+        assert!(d.iter().any(|d| d.message.contains("unknown lint rule")));
+    }
+
+    #[test]
+    fn rule_set_gates_rules() {
+        let only_l1 = RuleSet {
+            l1: true,
+            ..RuleSet::none()
+        };
+        let d = lint_text(
+            "t.rs",
+            "fn f(n: u64) -> f32 { thread_rng(); n as f32 }",
+            only_l1,
+        );
+        assert!(d.is_empty(), "L2/L4 disabled: {d:?}");
+    }
+
+    #[test]
+    fn diagnostics_point_at_lines() {
+        let src = "fn a() {}\nfn b() { x.unwrap(); }\n";
+        let d = lint_all(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        let shown = d[0].to_string();
+        assert!(shown.starts_with("test.rs:2: L1"), "{shown}");
+    }
+}

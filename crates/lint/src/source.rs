@@ -1,0 +1,493 @@
+//! Lexical preprocessing for the linter: comment/string masking, test-region
+//! detection, and statement spans.
+//!
+//! The linter is token-based rather than AST-based (the build environment
+//! has no registry access for `syn`), so every rule runs over a *masked*
+//! view of the file in which comments and string/char literals are replaced
+//! by spaces. Token searches therefore never match inside literals or
+//! docs, and byte offsets in the masked text line up exactly with the
+//! original source.
+
+/// A preprocessed source file.
+pub struct SourceFile {
+    /// Original text, for extracting `lint:allow` comments.
+    pub text: String,
+    /// Same length as `text`, with comments and string/char literal
+    /// contents replaced by spaces (newlines preserved).
+    pub masked: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// For each line (0-based), whether it falls inside `#[cfg(test)]` /
+    /// `#[test]` code.
+    pub test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Preprocesses `text`.
+    pub fn parse(text: &str) -> Self {
+        let masked = mask(text);
+        let line_starts = line_starts(text);
+        let test_lines = test_regions(&masked, &line_starts);
+        Self {
+            text: text.to_string(),
+            masked,
+            line_starts,
+            test_lines,
+        }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether byte `offset` is inside a test region.
+    pub fn in_test(&self, offset: usize) -> bool {
+        let line = self.line_of(offset);
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The original text of 1-based line `line` (without trailing newline).
+    pub fn line_text(&self, line: usize) -> &str {
+        let (start, end) = self.line_span(line);
+        self.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// The line-comment text (`// ...` onward) of 1-based line `line`, if
+    /// the line carries a *real* comment — `//` in masked text means the
+    /// marker is not inside a string literal. Doc comments (`///`, `//!`)
+    /// are documentation, not directives, and return `None`.
+    pub fn comment_text(&self, line: usize) -> Option<&str> {
+        let (start, end) = self.line_span(line);
+        let masked_line = &self.masked[start..end];
+        let at = masked_line.find("//")?;
+        let comment = self.text[start + at..end].trim_end_matches(['\n', '\r']);
+        if comment.starts_with("///") || comment.starts_with("//!") {
+            return None;
+        }
+        Some(comment)
+    }
+
+    fn line_span(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|e| e - 1)
+            .unwrap_or(self.text.len());
+        (start, end.max(start))
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' && i + 1 < text.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Replaces comments and string/char literal contents with spaces.
+fn mask(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let n = bytes.len();
+    let mut i = 0;
+    let mut prev_ident = false; // previous emitted byte was an identifier char
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                // Keep the `//` marker so allow-comment parsing can locate
+                // real comments in the masked view; mask the body.
+                out[i] = b'/';
+                out[i + 1] = b'/';
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                prev_ident = false;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if i + 1 < n && bytes[i] == b'/' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                prev_ident = false;
+            }
+            b'r' | b'b' if !prev_ident => {
+                // Possible raw/byte string prefix: r", r#", br", b", b'.
+                let mut j = i + 1;
+                if c == b'b' && j < n && bytes[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while j < n && bytes[j] == b'#' && (bytes[i] == b'r' || bytes[i + 1] == b'r') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && bytes[j] == b'"' && (hashes > 0 || bytes[j - 1] == b'r') {
+                    // Raw (byte) string: ends at `"` followed by `hashes` #s.
+                    i = skip_raw_string(bytes, &mut out, j, hashes);
+                    prev_ident = false;
+                    continue;
+                }
+                if c == b'b' && i + 1 < n && bytes[i + 1] == b'"' {
+                    out[i] = c;
+                    i = skip_string(bytes, &mut out, i + 1);
+                    prev_ident = false;
+                    continue;
+                }
+                if c == b'b' && i + 1 < n && bytes[i + 1] == b'\'' {
+                    out[i] = c;
+                    i = skip_char(bytes, &mut out, i + 1);
+                    prev_ident = false;
+                    continue;
+                }
+                out[i] = c;
+                prev_ident = true;
+                i += 1;
+            }
+            b'"' => {
+                i = skip_string(bytes, &mut out, i);
+                prev_ident = false;
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if is_char_literal(bytes, i) {
+                    i = skip_char(bytes, &mut out, i);
+                } else {
+                    out[i] = c;
+                    i += 1;
+                }
+                prev_ident = false;
+            }
+            _ => {
+                out[i] = c;
+                prev_ident = c == b'_' || c.is_ascii_alphanumeric();
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("masking preserves UTF-8: non-ASCII only inside masked spans")
+}
+
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // 'x' or '\..'; a lifetime is 'ident NOT closed by a quote.
+    let n = bytes.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if bytes[i + 1] == b'\\' {
+        return true;
+    }
+    // Multi-byte UTF-8 scalar, e.g. 'é': not a lifetime either way.
+    if bytes[i + 1] >= 0x80 {
+        return true;
+    }
+    let ident_start = bytes[i + 1] == b'_' || bytes[i + 1].is_ascii_alphabetic();
+    if !ident_start {
+        // e.g. '3', ' ', '(' — chars, or stray quote; treat as literal.
+        return i + 2 < n && bytes[i + 2] == b'\'';
+    }
+    // 'a' (char) iff closed immediately; 'a.. / 'static are lifetimes.
+    i + 2 < n && bytes[i + 2] == b'\''
+}
+
+fn skip_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    // start points at the opening quote.
+    out[start] = b'"';
+    let n = bytes.len();
+    let mut i = start + 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' => {
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b'"';
+                return i + 1;
+            }
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_string(bytes: &[u8], out: &mut [u8], quote: usize, hashes: usize) -> usize {
+    out[quote] = b'"';
+    let n = bytes.len();
+    let mut i = quote + 1;
+    while i < n {
+        if bytes[i] == b'\n' {
+            out[i] = b'\n';
+        }
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                out[i] = b'"';
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn skip_char(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    out[start] = b'\'';
+    let n = bytes.len();
+    let mut i = start + 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                out[i] = b'\'';
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Marks lines covered by `#[cfg(test)]` items and `#[test]` functions.
+fn test_regions(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; line_starts.len()];
+    let bytes = masked.as_bytes();
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(attr) {
+            let at = from + pos;
+            from = at + attr.len();
+            // Scan forward for the item's opening brace; a `;` first means
+            // the attribute decorates a braceless item (e.g. `use`).
+            let mut i = at + attr.len();
+            let mut open = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' => break,
+                    _ => i += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            let close = match_brace(bytes, open);
+            let first = line_of(line_starts, at);
+            let last = line_of(line_starts, close.min(bytes.len().saturating_sub(1)));
+            for line in first..=last {
+                if let Some(f) = flags.get_mut(line - 1) {
+                    *f = true;
+                }
+            }
+        }
+    }
+    flags
+}
+
+/// Byte offset of the `}` matching the `{` at `open` (or EOF).
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Splits the masked text into expression-level statement spans for the
+/// lock-discipline rule. Boundaries: `;`, `{`, `}`, `=>`, and commas at
+/// top-level paren/bracket depth relative to the span start (so match arms
+/// separate, but arguments of one call — where temporaries coexist — do
+/// not).
+pub fn statement_spans(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    let mut depth = 0i64;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' | b'{' | b'}' => {
+                spans.push((start, i));
+                start = i + 1;
+                depth = 0;
+            }
+            b',' if depth <= 0 => {
+                spans.push((start, i));
+                start = i + 1;
+            }
+            b'=' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                spans.push((start, i));
+                start = i + 2;
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < bytes.len() {
+        spans.push((start, bytes.len()));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let a = 1; // unwrap()\nlet b = /* panic! */ 2;\n";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let b ="));
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_strings_and_chars_but_not_lifetimes() {
+        let src = r#"fn f<'a>(x: &'a str) { let s = "unwrap()"; let c = 'u'; }"#;
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("fn f<'a>(x: &'a str)"));
+        assert!(m.contains("let c = '"));
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let src = r###"let a = r#"panic!("x")"#; let b = b"unwrap()"; let c = br"expect(";"###;
+        let m = mask(src);
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("expect"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"unwrap()\""; s.len();"#;
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("s.len();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner panic! */ still comment */ let x = 1;";
+        let m = mask(src);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn detects_cfg_test_module_region() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.test_lines[0], "prod line not test");
+        assert!(f.test_lines[2], "mod tests body is test");
+        assert!(f.test_lines[3]);
+        assert!(!f.test_lines[5], "after region not test");
+    }
+
+    #[test]
+    fn detects_test_fn_region() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    boom();\n}\nfn b() {}\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.test_lines[0]);
+        assert!(f.test_lines[2]);
+        assert!(f.test_lines[3]);
+        assert!(!f.test_lines[5]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_is_ignored() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { body(); }\n";
+        let f = SourceFile::parse(src);
+        assert!(
+            !f.test_lines[2],
+            "fn after cfg(test) use must not be marked"
+        );
+    }
+
+    #[test]
+    fn statement_spans_split_on_arrows_and_semis() {
+        let m = "let a = x.lock(); match y { A => p.lock(), B => q.send(r) }".to_string();
+        let spans = statement_spans(&m);
+        let texts: Vec<&str> = spans.iter().map(|&(s, e)| m[s..e].trim()).collect();
+        assert!(texts.contains(&"let a = x.lock()"));
+        assert!(texts
+            .iter()
+            .any(|t| t.contains("p.lock()") && !t.contains("q.send")));
+    }
+
+    #[test]
+    fn call_arguments_stay_in_one_span() {
+        let m = "f(a.lock(), b.recv())".to_string();
+        let spans = statement_spans(&m);
+        assert!(spans
+            .iter()
+            .any(|&(s, e)| m[s..e].contains("a.lock()") && m[s..e].contains("b.recv()")));
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let f = SourceFile::parse("a\nb\nc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(4), 3);
+        assert_eq!(f.line_count(), 3);
+    }
+}

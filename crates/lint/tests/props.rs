@@ -1,0 +1,103 @@
+//! Property tests for the lint rules: the masking lexer and the allow
+//! escape hatch must behave identically across arbitrary identifier names,
+//! literal contents, and justification strings.
+
+use proptest::prelude::*;
+
+use stellaris_lint::{lint_text, RuleSet};
+
+/// An identifier-shaped string from a constrained alphabet.
+fn ident_from(seed: &str) -> String {
+    let cleaned: String = seed
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .take(12)
+        .collect();
+    format!("v{cleaned}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unwrap_on_any_receiver_is_flagged(name in ".{0,12}") {
+        let receiver = ident_from(&name);
+        let src = format!("fn f() {{ {receiver}.unwrap(); }}");
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert_eq!(diags.len(), 1);
+        prop_assert_eq!(diags[0].rule.id(), "L1");
+    }
+
+    #[test]
+    fn tokens_inside_string_literals_never_fire(payload in ".{0,40}") {
+        // Whatever the literal contains — including `.unwrap()`, `panic!`,
+        // `thread_rng` — masking must hide it from every rule.
+        let escaped = payload.replace(['\\', '"'], "");
+        let src = format!(
+            "fn f() -> String {{ format!(\"{escaped}.unwrap() panic! thread_rng as f32\") }}"
+        );
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert!(diags.is_empty(), "{:?}", diags);
+    }
+
+    #[test]
+    fn tokens_inside_comments_never_fire(payload in ".{0,40}") {
+        let line = payload.replace('\n', " ").replace("lint:allow", "lint allow");
+        let src = format!("// {line} .unwrap() panic! Instant::now() as f64\nfn f() {{}}\n");
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert!(diags.is_empty(), "{:?}", diags);
+    }
+
+    #[test]
+    fn any_nonempty_justification_suppresses(reason in ".{1,40}") {
+        let reason = reason.trim().to_string();
+        if reason.is_empty() || reason.contains(')') {
+            return Ok(());
+        }
+        let src = format!("fn f() {{ x.unwrap(); }} // lint:allow(L1): {reason}");
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert!(diags.is_empty(), "justified allow must suppress: {:?}", diags);
+    }
+
+    #[test]
+    fn unjustified_allow_never_suppresses(pad in 0usize..8) {
+        let spaces = " ".repeat(pad);
+        let src = format!("fn f() {{ x.unwrap(); }} // lint:allow(L1){spaces}");
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        // Both the violation and the malformed-allow error must surface.
+        prop_assert!(diags.iter().any(|d| d.message.contains("unwrap")), "{:?}", diags);
+        prop_assert!(
+            diags.iter().any(|d| d.message.contains("requires a justification")),
+            "{:?}",
+            diags
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt_for_all_rules(name in ".{0,12}") {
+        let receiver = ident_from(&name);
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{\n        {receiver}.unwrap();\n        panic!(\"x\");\n        let _ = rand::thread_rng();\n        let _ = 3u64 as f32;\n        a.lock().merge(b.lock());\n    }}\n}}\n"
+        );
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert!(diags.is_empty(), "{:?}", diags);
+    }
+
+    #[test]
+    fn cast_count_matches_occurrences(n in 1usize..6) {
+        let body: String = (0..n).map(|i| format!("let _{i} = {i}u64 as f32; ")).collect();
+        let src = format!("fn f() {{ {body} }}");
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert_eq!(diags.len(), n);
+        prop_assert!(diags.iter().all(|d| d.rule.id() == "L4"));
+    }
+
+    #[test]
+    fn double_lock_flagged_regardless_of_names(a in ".{0,10}", b in ".{0,10}") {
+        let (ma, mb) = (ident_from(&a), ident_from(&b));
+        let src = format!("fn f() {{ {ma}.lock().fold({mb}.lock()); }}");
+        let diags = lint_text("x.rs", &src, RuleSet::all());
+        prop_assert_eq!(diags.len(), 1, "{:?}", &diags);
+        prop_assert_eq!(diags[0].rule.id(), "L3");
+    }
+}

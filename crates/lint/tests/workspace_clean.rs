@@ -1,0 +1,72 @@
+//! The linter runs as part of `cargo test`: the workspace must stay clean,
+//! and a seeded violation must be caught with a `file:line` diagnostic.
+
+use std::path::PathBuf;
+
+use stellaris_lint::{lint_text, lint_workspace, rules_for, RuleSet};
+
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = lint_workspace(&repo_root()).expect("workspace must be readable");
+    assert!(
+        diags.is_empty(),
+        "stellaris-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_violation_in_core_module_is_caught() {
+    // Simulates the acceptance check: an unwrap added to core::aggregation
+    // must produce a nonzero-exit diagnostic with the right file and line.
+    let rel = "crates/core/src/aggregation.rs";
+    let mut text =
+        std::fs::read_to_string(repo_root().join(rel)).expect("aggregation.rs must exist");
+    text.push_str("\npub fn seeded() { let _ = std::env::var(\"X\").unwrap(); }\n");
+    let seeded_line = text.lines().count();
+    let diags = lint_text(rel, &text, rules_for(rel));
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].file, rel);
+    assert_eq!(diags[0].line, seeded_line);
+    assert!(diags[0].to_string().contains("aggregation.rs"));
+}
+
+#[test]
+fn seeded_nondeterminism_in_deterministic_crate_is_caught() {
+    let rel = "crates/nn/src/optim.rs";
+    let mut text = std::fs::read_to_string(repo_root().join(rel)).expect("optim.rs must exist");
+    text.push_str("\npub fn jitter() -> u64 { rand::thread_rng().next_u64() }\n");
+    let diags = lint_text(rel, &text, rules_for(rel));
+    assert!(
+        diags.iter().any(|d| d.rule.id() == "L2"),
+        "thread_rng must trip L2: {diags:?}"
+    );
+}
+
+#[test]
+fn scoping_excludes_vendor_and_tests() {
+    assert!(!rules_for("vendor/rand/src/lib.rs").any());
+    assert!(!rules_for("tests/train_e2e.rs").any());
+    assert!(rules_for("crates/cache/src/queue.rs").any());
+}
+
+#[test]
+fn ruleset_all_enables_everything() {
+    let r = RuleSet::all();
+    assert!(r.l1 && r.l2 && r.l3 && r.l4 && r.any());
+    assert!(!RuleSet::none().any());
+}

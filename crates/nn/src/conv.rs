@@ -43,11 +43,25 @@ impl Conv2dSpec {
         assert!(stride >= 1, "conv2d stride must be >= 1");
         let (batch, in_c, in_h, in_w) = (input[0], input[1], input[2], input[3]);
         let (out_c, wc, kh, kw) = (weight[0], weight[1], weight[2], weight[3]);
-        assert_eq!(in_c, wc, "conv2d channel mismatch: input {in_c}, weight {wc}");
+        assert_eq!(
+            in_c, wc,
+            "conv2d channel mismatch: input {in_c}, weight {wc}"
+        );
         assert!(kh <= in_h && kw <= in_w, "kernel larger than input");
         let out_h = (in_h - kh) / stride + 1;
         let out_w = (in_w - kw) / stride + 1;
-        Self { batch, in_c, in_h, in_w, out_c, kh, kw, stride, out_h, out_w }
+        Self {
+            batch,
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            kh,
+            kw,
+            stride,
+            out_h,
+            out_w,
+        }
     }
 
     /// Column height: `C * kh * kw`.

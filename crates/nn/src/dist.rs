@@ -132,16 +132,17 @@ pub fn sample_categorical<R: Rng + ?Sized>(logits: &[f32], rng: &mut R) -> (usiz
 /// Greedy (argmax) categorical action; returns `(action, log_prob)`.
 pub fn argmax_categorical(logits: &[f32]) -> (usize, f32) {
     let lp = log_softmax_1d(logits);
-    let (i, _) = logits
-        .iter()
-        .enumerate()
-        .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-            if v > bv {
-                (i, v)
-            } else {
-                (bi, bv)
-            }
-        });
+    let (i, _) =
+        logits
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
     (i, lp[i])
 }
 
@@ -189,12 +190,7 @@ pub fn gaussian_logp_value(mu: &[f32], log_std: &[f32], action: &[f32]) -> f32 {
 }
 
 /// KL(old ‖ new) between two diagonal Gaussians (single sample row).
-pub fn gaussian_kl_value(
-    mu_old: &[f32],
-    ls_old: &[f32],
-    mu_new: &[f32],
-    ls_new: &[f32],
-) -> f32 {
+pub fn gaussian_kl_value(mu_old: &[f32], ls_old: &[f32], mu_new: &[f32], ls_new: &[f32]) -> f32 {
     let mut kl = 0.0f32;
     for i in 0..mu_old.len() {
         let vo = (2.0 * ls_old[i]).exp();
@@ -224,12 +220,12 @@ mod tests {
         let lp = gaussian_log_prob(&g, muv, lsv, &actions);
         let got = g.value(lp);
         for i in 0..4 {
-            let want = gaussian_logp_value(
-                mu.row(i).data(),
-                ls.data(),
-                actions.row(i).data(),
+            let want = gaussian_logp_value(mu.row(i).data(), ls.data(), actions.row(i).data());
+            assert!(
+                (got.data()[i] - want).abs() < 1e-4,
+                "{} vs {want}",
+                got.data()[i]
             );
-            assert!((got.data()[i] - want).abs() < 1e-4, "{} vs {want}", got.data()[i]);
         }
     }
 

@@ -42,7 +42,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: RefCell::new(Vec::with_capacity(64)) }
+        Self {
+            nodes: RefCell::new(Vec::with_capacity(64)),
+        }
     }
 
     fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
@@ -327,7 +329,11 @@ impl Graph {
 
     /// Elementwise `min(a, c)` against a constant; gradient flows where `a < c`.
     pub fn min_scalar(&self, a: Var, c: f32) -> Var {
-        self.unary(a, move |x| x.min(c), move |x, _| if x <= c { 1.0 } else { 0.0 })
+        self.unary(
+            a,
+            move |x| x.min(c),
+            move |x, _| if x <= c { 1.0 } else { 0.0 },
+        )
     }
 
     // ----- reductions ---------------------------------------------------------------
@@ -551,11 +557,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Central-difference gradient check for a scalar function of one tensor.
-    fn grad_check(
-        build: impl Fn(&Graph, Var) -> Var,
-        x0: &Tensor,
-        tol: f32,
-    ) {
+    fn grad_check(build: impl Fn(&Graph, Var) -> Var, x0: &Tensor, tol: f32) {
         let g = Graph::new();
         let x = g.input(x0.clone());
         let loss = build(&g, x);

@@ -123,7 +123,10 @@ impl Mlp {
         out_gain: f32,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "Mlp needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "Mlp needs at least input and output sizes"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
             let gain = if i == sizes.len() - 2 { out_gain } else { 1.0 };
@@ -139,6 +142,7 @@ impl Mlp {
 
     /// Output feature dimension.
     pub fn out_dim(&self) -> usize {
+        // lint:allow(L1): `new` asserts sizes.len() >= 2, so layers is never empty
         self.layers.last().unwrap().out_dim()
     }
 
@@ -161,7 +165,11 @@ impl Mlp {
     /// Forward pass; `params` must come from [`bind_params`] over
     /// [`ParamSet::params`] (order: `w0, b0, w1, b1, ...`).
     pub fn forward(&self, g: &Graph, x: Var, params: &[Var]) -> Var {
-        assert_eq!(params.len(), self.layers.len() * 2, "param var count mismatch");
+        assert_eq!(
+            params.len(),
+            self.layers.len() * 2,
+            "param var count mismatch"
+        );
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(g, h, params[2 * i], params[2 * i + 1]);
@@ -324,7 +332,8 @@ impl Cnn {
         let base = self.convs.len() * 2;
         let feat = self.fc.forward(g, flat_v, params[base], params[base + 1]);
         let feat = self.activation.apply(g, feat);
-        self.head.forward(g, feat, params[base + 2], params[base + 3])
+        self.head
+            .forward(g, feat, params[base + 2], params[base + 3])
     }
 }
 
@@ -341,7 +350,12 @@ impl ParamSet for Cnn {
             .iter_mut()
             .flat_map(|l| [&mut l.w, &mut l.b])
             .collect();
-        out.extend([&mut self.fc.w, &mut self.fc.b, &mut self.head.w, &mut self.head.b]);
+        out.extend([
+            &mut self.fc.w,
+            &mut self.fc.b,
+            &mut self.head.w,
+            &mut self.head.b,
+        ]);
         out
     }
 }

@@ -29,7 +29,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate and momentum (0 disables).
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -83,7 +87,15 @@ impl Adam {
 
     /// Fully parameterised Adam.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
-        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -141,7 +153,12 @@ pub struct RmsProp {
 impl RmsProp {
     /// RMSProp with decay `alpha` (typically 0.99).
     pub fn new(lr: f32, alpha: f32) -> Self {
-        Self { lr, alpha, eps: 1e-8, sq: Vec::new() }
+        Self {
+            lr,
+            alpha,
+            eps: 1e-8,
+            sq: Vec::new(),
+        }
     }
 }
 
@@ -277,7 +294,10 @@ mod tests {
         let mut small = vec![Tensor::from_vec(vec![0.3, 0.4], &[2])];
         let pre2 = clip_grad_norm(&mut small, 1.0);
         assert!((pre2 - 0.5).abs() < 1e-6);
-        assert!((small[0].norm() - 0.5).abs() < 1e-6, "unchanged when under bound");
+        assert!(
+            (small[0].norm() - 0.5).abs() < 1e-6,
+            "unchanged when under bound"
+        );
     }
 
     #[test]

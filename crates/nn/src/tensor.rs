@@ -32,13 +32,19 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// A tensor filled with ones.
@@ -49,12 +55,18 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; numel] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
     }
 
     /// A scalar (shape `[1]`) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![1], data: vec![value] }
+        Self {
+            shape: vec![1],
+            data: vec![value],
+        }
     }
 
     /// Standard-normal initialised tensor scaled by `std`.
@@ -72,14 +84,20 @@ impl Tensor {
                 data.push(r * theta.sin() * std);
             }
         }
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Uniformly initialised tensor over `[lo, hi)`.
     pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -136,7 +154,10 @@ impl Tensor {
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let numel: usize = shape.iter().product();
         assert_eq!(numel, self.data.len(), "reshape element count mismatch");
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape (no data copy beyond the shape vector).
@@ -157,7 +178,10 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor { shape: vec![c, r], data: out }
+        Tensor {
+            shape: vec![c, r],
+            data: out,
+        }
     }
 
     /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`).
@@ -189,7 +213,10 @@ impl Tensor {
         } else {
             out.chunks_mut(n).enumerate().for_each(row_op);
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Elementwise binary operation against a same-shaped tensor.
@@ -201,12 +228,18 @@ impl Tensor {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise unary map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Elementwise addition.
@@ -255,7 +288,10 @@ impl Tensor {
                 data[i * n + j] += row.data[j];
             }
         }
-        Tensor { shape: vec![m, n], data }
+        Tensor {
+            shape: vec![m, n],
+            data,
+        }
     }
 
     /// Sum of all elements.
@@ -296,7 +332,10 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Tensor {
         assert_eq!(self.shape.len(), 2, "row() requires a 2-D tensor");
         let n = self.shape[1];
-        Tensor { shape: vec![n], data: self.data[i * n..(i + 1) * n].to_vec() }
+        Tensor {
+            shape: vec![n],
+            data: self.data[i * n..(i + 1) * n].to_vec(),
+        }
     }
 
     /// Stacks `[n]`-shaped rows into a `[m,n]` matrix.
@@ -308,7 +347,10 @@ impl Tensor {
             assert_eq!(r.len(), n, "stack_rows ragged input");
             data.extend_from_slice(r);
         }
-        Tensor { shape: vec![rows.len(), n], data }
+        Tensor {
+            shape: vec![rows.len(), n],
+            data,
+        }
     }
 }
 
@@ -407,7 +449,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let t = Tensor::randn(&[10_000], 1.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -31,10 +31,7 @@ pub fn fill_gae(batch: &mut SampleBatch, gamma: f32, lambda: f32) {
 
 /// Plain discounted episodic return of a reward sequence (diagnostics).
 pub fn discounted_return(rewards: &[f32], gamma: f32) -> f32 {
-    rewards
-        .iter()
-        .rev()
-        .fold(0.0f32, |acc, &r| r + gamma * acc)
+    rewards.iter().rev().fold(0.0f32, |acc, &r| r + gamma * acc)
 }
 
 #[cfg(test)]
@@ -88,12 +85,7 @@ mod tests {
     #[test]
     fn gae_with_lambda_zero_is_one_step_td() {
         let gamma = 0.99;
-        let mut b = batch(
-            vec![2.0, 3.0],
-            vec![1.0, 4.0],
-            vec![false, false],
-            5.0,
-        );
+        let mut b = batch(vec![2.0, 3.0], vec![1.0, 4.0], vec![false, false], 5.0);
         fill_gae(&mut b, gamma, 0.0);
         assert!((b.advantages[0] - (2.0 + gamma * 4.0 - 1.0)).abs() < 1e-5);
         assert!((b.advantages[1] - (3.0 + gamma * 5.0 - 4.0)).abs() < 1e-5);
@@ -102,12 +94,7 @@ mod tests {
     #[test]
     fn done_resets_accumulation() {
         let gamma = 0.9;
-        let mut b = batch(
-            vec![1.0, 10.0],
-            vec![0.0, 0.0],
-            vec![true, false],
-            0.0,
-        );
+        let mut b = batch(vec![1.0, 10.0], vec![0.0, 0.0], vec![true, false], 0.0);
         fill_gae(&mut b, gamma, 0.95);
         // First step terminal: advantage is just its reward.
         assert!((b.advantages[0] - 1.0).abs() < 1e-5);

@@ -67,7 +67,12 @@ impl ImpactConfig {
 
     /// Laptop-scale variant (smaller batches, hotter lr).
     pub fn scaled() -> Self {
-        Self { lr: 1e-3, batch_mujoco: 512, batch_atari: 128, ..Self::paper() }
+        Self {
+            lr: 1e-3,
+            batch_mujoco: 512,
+            batch_atari: 128,
+            ..Self::paper()
+        }
     }
 }
 
@@ -84,7 +89,10 @@ impl ImpactLearner {
     /// Initialises the target as a copy of the live policy.
     pub fn new(policy: &PolicyNet) -> Self {
         use stellaris_nn::ParamSet;
-        Self { target_flat: policy.flatten(), since_refresh: 0 }
+        Self {
+            target_flat: policy.flatten(),
+            since_refresh: 0,
+        }
     }
 
     /// Refreshes the target from the live policy if due.
@@ -117,7 +125,10 @@ pub fn impact_gradients(
     cfg: &ImpactConfig,
     ratio_cap: Option<f32>,
 ) -> (Vec<Tensor>, LossStats) {
-    assert!(!batch.is_empty(), "cannot compute gradients on an empty batch");
+    assert!(
+        !batch.is_empty(),
+        "cannot compute gradients on an empty batch"
+    );
     let b = batch.len();
     // V-trace off-policy correction between behaviour and target policies.
     let target_logp = target.logp_plain(batch);
@@ -243,9 +254,12 @@ mod tests {
         let (policy, batch) = setup(EnvId::PointMass);
         let learner = ImpactLearner::new(&policy);
         let target = learner.target_net(&policy);
-        let (_, stats) =
-            impact_gradients(&policy, &target, &batch, &ImpactConfig::scaled(), None);
-        assert!((stats.mean_ratio - 1.0).abs() < 1e-2, "{}", stats.mean_ratio);
+        let (_, stats) = impact_gradients(&policy, &target, &batch, &ImpactConfig::scaled(), None);
+        assert!(
+            (stats.mean_ratio - 1.0).abs() < 1e-2,
+            "{}",
+            stats.mean_ratio
+        );
     }
 
     #[test]
@@ -253,15 +267,21 @@ mod tests {
         let (policy, batch) = setup(EnvId::PointMass);
         // Target from a different seed: ratios deviate from 1.
         let other = PolicyNet::new(policy.spec.clone(), 99);
-        let (_, stats) =
-            impact_gradients(&policy, &other, &batch, &ImpactConfig::scaled(), None);
-        assert!((stats.mean_ratio - 1.0).abs() > 1e-3, "{}", stats.mean_ratio);
+        let (_, stats) = impact_gradients(&policy, &other, &batch, &ImpactConfig::scaled(), None);
+        assert!(
+            (stats.mean_ratio - 1.0).abs() > 1e-3,
+            "{}",
+            stats.mean_ratio
+        );
     }
 
     #[test]
     fn target_refresh_honours_frequency() {
         let (policy, _) = setup(EnvId::PointMass);
-        let cfg = ImpactConfig { target_update_freq: 3, ..ImpactConfig::scaled() };
+        let cfg = ImpactConfig {
+            target_update_freq: 3,
+            ..ImpactConfig::scaled()
+        };
         let mut learner = ImpactLearner::new(&policy);
         let mut moved = PolicyNet::new(policy.spec.clone(), 5);
         moved.version = 10;
@@ -278,9 +298,11 @@ mod tests {
         let other = PolicyNet::new(policy.spec.clone(), 99);
         let (_, capped) =
             impact_gradients(&policy, &other, &batch, &ImpactConfig::scaled(), Some(0.3));
-        let (_, free) =
-            impact_gradients(&policy, &other, &batch, &ImpactConfig::scaled(), None);
-        assert!((capped.mean_ratio - free.mean_ratio).abs() < 1e-6, "raw stats");
+        let (_, free) = impact_gradients(&policy, &other, &batch, &ImpactConfig::scaled(), None);
+        assert!(
+            (capped.mean_ratio - free.mean_ratio).abs() < 1e-6,
+            "raw stats"
+        );
         assert!(capped.surrogate != free.surrogate, "cap must bite");
     }
 }

@@ -61,7 +61,10 @@ pub fn impala_gradients(
     cfg: &ImpalaConfig,
     ratio_cap: Option<f32>,
 ) -> (Vec<Tensor>, LossStats) {
-    assert!(!batch.is_empty(), "cannot compute gradients on an empty batch");
+    assert!(
+        !batch.is_empty(),
+        "cannot compute gradients on an empty batch"
+    );
     let b = batch.len();
     // V-trace against the *current* policy (IMPALA has no target network).
     let current_logp = policy.logp_plain(batch);
@@ -149,8 +152,7 @@ mod tests {
     fn gradients_finite_both_kinds() {
         for id in [EnvId::PointMass, EnvId::ChainMdp] {
             let (policy, batch) = setup(id);
-            let (grads, stats) =
-                impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
+            let (grads, stats) = impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
             assert_eq!(grads.len(), policy.params().len());
             assert!(grads.iter().all(|g| g.is_finite()));
             assert!(stats.entropy > 0.0 || id == EnvId::PointMass);
@@ -161,7 +163,11 @@ mod tests {
     fn on_policy_ratio_near_one() {
         let (policy, batch) = setup(EnvId::ChainMdp);
         let (_, stats) = impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
-        assert!((stats.mean_ratio - 1.0).abs() < 0.05, "{}", stats.mean_ratio);
+        assert!(
+            (stats.mean_ratio - 1.0).abs() < 0.05,
+            "{}",
+            stats.mean_ratio
+        );
     }
 
     #[test]
@@ -189,8 +195,10 @@ mod tests {
     fn ratio_cap_tightens_clip() {
         let (policy, batch) = setup(EnvId::PointMass);
         let (_, free) = impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), None);
-        let (_, capped) =
-            impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), Some(0.5));
-        assert!(capped.clip_frac >= free.clip_frac, "a tighter cap clips more");
+        let (_, capped) = impala_gradients(&policy, &batch, &ImpalaConfig::scaled(), Some(0.5));
+        assert!(
+            capped.clip_frac >= free.clip_frac,
+            "a tighter cap clips more"
+        );
     }
 }

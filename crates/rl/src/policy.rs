@@ -200,7 +200,13 @@ impl PolicyNet {
             ActionSpace::Continuous { dim, .. } => Some(Tensor::full(&[dim], -0.5)),
             ActionSpace::Discrete(_) => None,
         };
-        Self { spec, actor, critic, log_std, version: 0 }
+        Self {
+            spec,
+            actor,
+            critic,
+            log_std,
+            version: 0,
+        }
     }
 
     /// Number of actor parameter tensors (prefix of [`ParamSet::params`]).
@@ -212,7 +218,10 @@ impl PolicyNet {
     pub fn dist_params(&self, obs: &Tensor) -> DistParams {
         let out = self.actor.forward_plain(obs);
         match &self.log_std {
-            Some(ls) => DistParams::Gaussian { mu: out, log_std: ls.data().to_vec() },
+            Some(ls) => DistParams::Gaussian {
+                mu: out,
+                log_std: ls.data().to_vec(),
+            },
             None => DistParams::Categorical { logits: out },
         }
     }
@@ -229,11 +238,19 @@ impl PolicyNet {
         match self.dist_params(&x) {
             DistParams::Gaussian { mu, log_std } => {
                 let (a, logp) = dist::sample_gaussian(mu.data(), &log_std, rng);
-                ActOutput { action: Action::Continuous(a), logp, value }
+                ActOutput {
+                    action: Action::Continuous(a),
+                    logp,
+                    value,
+                }
             }
             DistParams::Categorical { logits } => {
                 let (a, logp) = dist::sample_categorical(logits.data(), rng);
-                ActOutput { action: Action::Discrete(a), logp, value }
+                ActOutput {
+                    action: Action::Discrete(a),
+                    logp,
+                    value,
+                }
             }
         }
     }
@@ -257,14 +274,11 @@ impl PolicyNet {
                 let actions = batch
                     .actions_cont
                     .as_ref()
+                    // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                     .expect("continuous batch missing actions");
                 (0..batch.len())
                     .map(|i| {
-                        dist::gaussian_logp_value(
-                            mu.row(i).data(),
-                            &log_std,
-                            actions.row(i).data(),
-                        )
+                        dist::gaussian_logp_value(mu.row(i).data(), &log_std, actions.row(i).data())
                     })
                     .collect()
             }
@@ -291,10 +305,12 @@ impl PolicyNet {
         let b = batch.len();
         let value = g.reshape(value_raw, &[b]);
         let (logp_new, entropy, kl) = if has_ls {
+            // lint:allow(L1): has_ls guarantees the log-std var was appended to param_vars
             let ls_var = *param_vars.last().unwrap();
             let actions = batch
                 .actions_cont
                 .as_ref()
+                // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                 .expect("continuous batch missing actions");
             let dim = actions.shape()[1];
             let logp = dist::gaussian_log_prob(g, actor_out, ls_var, actions);
@@ -302,11 +318,13 @@ impl PolicyNet {
             let mu_old = batch
                 .behaviour_mu
                 .as_ref()
+                // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                 .expect("continuous batch missing behaviour means");
             let ls_old = Tensor::from_vec(
                 batch
                     .behaviour_log_std
                     .clone()
+                    // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                     .expect("continuous batch missing behaviour log-stds"),
                 &[dim],
             );
@@ -318,11 +336,18 @@ impl PolicyNet {
             let old_logits = batch
                 .behaviour_logits
                 .as_ref()
+                // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                 .expect("discrete batch missing behaviour logits");
             let kl = dist::categorical_kl_mean(g, old_logits, actor_out);
             (logp, ent, kl)
         };
-        LossParts { logp_new, value, entropy, kl, param_vars }
+        LossParts {
+            logp_new,
+            value,
+            entropy,
+            kl,
+            param_vars,
+        }
     }
 
     /// Mean KL(self ‖ other) over an observation batch — the metric behind
@@ -331,8 +356,14 @@ impl PolicyNet {
         let b = obs.shape()[0];
         match (self.dist_params(obs), other.dist_params(obs)) {
             (
-                DistParams::Gaussian { mu: mu_a, log_std: ls_a },
-                DistParams::Gaussian { mu: mu_b, log_std: ls_b },
+                DistParams::Gaussian {
+                    mu: mu_a,
+                    log_std: ls_a,
+                },
+                DistParams::Gaussian {
+                    mu: mu_b,
+                    log_std: ls_b,
+                },
             ) => {
                 (0..b)
                     .map(|i| {
@@ -346,22 +377,23 @@ impl PolicyNet {
                     .sum::<f32>()
                     / b as f32
             }
-            (
-                DistParams::Categorical { logits: la },
-                DistParams::Categorical { logits: lb },
-            ) => {
+            (DistParams::Categorical { logits: la }, DistParams::Categorical { logits: lb }) => {
                 (0..b)
                     .map(|i| dist::categorical_kl_value(la.row(i).data(), lb.row(i).data()))
                     .sum::<f32>()
                     / b as f32
             }
+            // lint:allow(L1): comparing policies over different action spaces is caller error, not a runtime state
             _ => panic!("mean_kl_to: mismatched distribution kinds"),
         }
     }
 
     /// Serialises weights + version.
     pub fn snapshot(&self) -> PolicySnapshot {
-        PolicySnapshot { version: self.version, flat: self.flatten() }
+        PolicySnapshot {
+            version: self.version,
+            flat: self.flatten(),
+        }
     }
 
     /// Loads weights + version from a snapshot (shapes must match).
@@ -387,7 +419,10 @@ impl Codec for PolicySnapshot {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
-        Ok(Self { version: u64::decode(buf)?, flat: Vec::<f32>::decode(buf)? })
+        Ok(Self {
+            version: u64::decode(buf)?,
+            flat: Vec::<f32>::decode(buf)?,
+        })
     }
 }
 
@@ -495,6 +530,9 @@ mod tests {
         assert_eq!(g.shape_of(parts.logp_new), vec![12]);
         assert_eq!(g.shape_of(parts.value), vec![12]);
         assert!(g.value(parts.entropy).data()[0] > 0.0);
-        assert!(g.value(parts.kl).data()[0].abs() < 1e-4, "same policy -> ~0 KL");
+        assert!(
+            g.value(parts.kl).data()[0].abs() < 1e-4,
+            "same policy -> ~0 KL"
+        );
     }
 }

@@ -86,12 +86,12 @@ impl RolloutWorker {
 
         let obs = Tensor::from_vec(obs_rows, &[steps, obs_dim]);
         // Behaviour distribution parameters over the whole batch in one pass.
-        let (behaviour_mu, behaviour_log_std, behaviour_logits) =
-            match policy.dist_params(&obs) {
-                DistParams::Gaussian { mu, log_std } => (Some(mu), Some(log_std), None),
-                DistParams::Categorical { logits } => (None, None, Some(logits)),
-            };
-        let bootstrap_value = if *dones.last().unwrap() {
+        let (behaviour_mu, behaviour_log_std, behaviour_logits) = match policy.dist_params(&obs) {
+            DistParams::Gaussian { mu, log_std } => (Some(mu), Some(log_std), None),
+            DistParams::Categorical { logits } => (None, None, Some(logits)),
+        };
+        let bootstrap_value = if dones.last().copied().unwrap_or(true) {
+            // Terminal (or degenerate empty) rollout: nothing to bootstrap.
             0.0
         } else {
             let last = Tensor::from_vec(self.obs.clone(), &[1, obs_dim]);

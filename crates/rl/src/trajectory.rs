@@ -161,7 +161,10 @@ impl Codec for SampleBatch {
             actions_disc: Vec::<usize>::decode(buf)?,
             actions_cont: Option::<Tensor>::decode(buf)?,
             rewards: Vec::<f32>::decode(buf)?,
-            dones: Vec::<u64>::decode(buf)?.into_iter().map(|d| d != 0).collect(),
+            dones: Vec::<u64>::decode(buf)?
+                .into_iter()
+                .map(|d| d != 0)
+                .collect(),
             behaviour_logp: Vec::<f32>::decode(buf)?,
             values: Vec::<f32>::decode(buf)?,
             bootstrap_value: f32::decode(buf)?,
@@ -184,7 +187,11 @@ mod tests {
         SampleBatch {
             env: "Test".into(),
             obs: Tensor::from_vec((0..t * obs_dim).map(|x| x as f32).collect(), &[t, obs_dim]),
-            actions_disc: if continuous { vec![] } else { (0..t).map(|i| i % 3).collect() },
+            actions_disc: if continuous {
+                vec![]
+            } else {
+                (0..t).map(|i| i % 3).collect()
+            },
             actions_cont: continuous.then(|| Tensor::ones(&[t, 2])),
             rewards: (0..t).map(|i| i as f32).collect(),
             dones: (0..t).map(|i| i == t - 1).collect(),

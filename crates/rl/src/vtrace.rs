@@ -72,8 +72,7 @@ pub fn vtrace(input: &VtraceInput<'_>) -> VtraceOutput {
             } else {
                 input.bootstrap_value
             };
-            clipped_rho[i]
-                * (input.rewards[i] + input.gamma * vs_next * not_done - input.values[i])
+            clipped_rho[i] * (input.rewards[i] + input.gamma * vs_next * not_done - input.values[i])
         })
         .collect();
 
@@ -158,7 +157,11 @@ mod tests {
             c_bar: 1.0,
         };
         let out = vtrace(&input);
-        assert!((out.vs[0] - 2.0).abs() < 0.01, "vs ~ V when rho ~ 0: {}", out.vs[0]);
+        assert!(
+            (out.vs[0] - 2.0).abs() < 0.01,
+            "vs ~ V when rho ~ 0: {}",
+            out.vs[0]
+        );
     }
 
     #[test]

@@ -122,7 +122,12 @@ mod tests {
         let records: Vec<_> = (0..60).map(|_| rec(FunctionKind::Learner, 1.0)).collect();
         let sl = bill_serverless(&c, &records);
         let sf = bill_serverful(&c, Duration::from_secs(3600));
-        assert!(sl.total() < sf.total() * 0.05, "{} vs {}", sl.total(), sf.total());
+        assert!(
+            sl.total() < sf.total() * 0.05,
+            "{} vs {}",
+            sl.total(),
+            sf.total()
+        );
     }
 
     #[test]

@@ -32,12 +32,18 @@ mod imp {
     const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
 
     pub fn thread_cpu_time() -> Option<Duration> {
-        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
         // SAFETY: `ts` is a valid, writable Timespec and the clock id is a
         // POSIX constant; clock_gettime only writes through the pointer.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc == 0 {
-            Some(Duration::new(ts.tv_sec.max(0) as u64, ts.tv_nsec.clamp(0, 999_999_999) as u32))
+            Some(Duration::new(
+                ts.tv_sec.max(0) as u64,
+                ts.tv_nsec.clamp(0, 999_999_999) as u32,
+            ))
         } else {
             None
         }
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn cpu_clock_is_available_on_linux() {
-        assert!(thread_cpu_time().is_some(), "CLOCK_THREAD_CPUTIME_ID must work");
+        assert!(
+            thread_cpu_time().is_some(),
+            "CLOCK_THREAD_CPUTIME_ID must work"
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ struct Semaphore {
 
 impl Semaphore {
     fn new(n: usize) -> Self {
-        Self { permits: Mutex::new(n), cond: Condvar::new() }
+        Self {
+            permits: Mutex::new(n),
+            cond: Condvar::new(),
+        }
     }
 
     fn acquire(&self) {
@@ -156,7 +159,9 @@ impl Platform {
             actor_slots: Semaphore::new(actor_slots.max(1)),
             profile,
             mode,
-            pools: std::array::from_fn(|_| Pool { warm: Mutex::new(Vec::new()) }),
+            pools: std::array::from_fn(|_| Pool {
+                warm: Mutex::new(Vec::new()),
+            }),
             records: Mutex::new(Vec::new()),
             cold_starts: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
@@ -207,7 +212,11 @@ impl Platform {
         sem.acquire();
         let start = self.epoch.elapsed();
         let cold = !self.try_claim_warm(kind);
-        let startup = if cold { self.profile.cold } else { self.profile.warm };
+        let startup = if cold {
+            self.profile.cold
+        } else {
+            self.profile.warm
+        };
         if cold {
             self.cold_starts.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -222,7 +231,14 @@ impl Platform {
         self.release_container(kind);
         sem.release();
         self.busy_us[kind_index(kind)].fetch_add(cpu.as_micros() as u64, Ordering::Relaxed);
-        let record = InvocationRecord { kind, start, exec: cpu, wall, startup, cold };
+        let record = InvocationRecord {
+            kind,
+            start,
+            exec: cpu,
+            wall,
+            startup,
+            cold,
+        };
         self.records.lock().push(record);
         (out, record)
     }
@@ -288,8 +304,7 @@ impl Platform {
     /// window, given the number of slots (0..=1 scale, can exceed 1 only on
     /// timer skew).
     pub fn gpu_utilization(&self, learner_slots: usize) -> f64 {
-        let busy = self.busy_time(FunctionKind::Learner)
-            + self.busy_time(FunctionKind::Parameter);
+        let busy = self.busy_time(FunctionKind::Learner) + self.busy_time(FunctionKind::Parameter);
         let total = self.elapsed().as_secs_f64() * learner_slots.max(1) as f64;
         if total <= 0.0 {
             0.0
@@ -364,7 +379,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
         assert_eq!(p.records().len(), 8);
     }
 
@@ -383,7 +402,11 @@ mod tests {
         let t0 = Instant::now();
         let (_, r) = p.invoke(FunctionKind::Learner, || ());
         assert!(t0.elapsed() < Duration::from_secs(1));
-        assert_eq!(r.startup, Duration::from_secs(30), "overhead still recorded");
+        assert_eq!(
+            r.startup,
+            Duration::from_secs(30),
+            "overhead still recorded"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl FunctionProfiler {
     /// default: recent invocations dominate without thrashing).
     pub fn new(alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
-        Self { alpha, stats: Mutex::new([ProfileEntry::default(); 3]) }
+        Self {
+            alpha,
+            stats: Mutex::new([ProfileEntry::default(); 3]),
+        }
     }
 
     /// Feeds one completed invocation.
@@ -97,7 +100,10 @@ pub struct PrewarmController {
 impl PrewarmController {
     /// Creates a controller with 1.2x headroom and the given slot cap.
     pub fn new(max_containers: usize) -> Self {
-        Self { safety_factor: 1.2, max_containers }
+        Self {
+            safety_factor: 1.2,
+            max_containers,
+        }
     }
 
     /// Containers to keep warm for an expected invocation arrival rate
@@ -145,7 +151,10 @@ mod tests {
     fn profiler_tracks_moving_mean() {
         let p = FunctionProfiler::new(0.5);
         p.observe(&record(FunctionKind::Learner, 100, true));
-        assert_eq!(p.mean_exec(FunctionKind::Learner), Some(Duration::from_millis(100)));
+        assert_eq!(
+            p.mean_exec(FunctionKind::Learner),
+            Some(Duration::from_millis(100))
+        );
         p.observe(&record(FunctionKind::Learner, 200, false));
         let m = p.mean_exec(FunctionKind::Learner).unwrap();
         assert!((m.as_secs_f64() - 0.150).abs() < 1e-9, "{m:?}");
@@ -158,11 +167,17 @@ mod tests {
     fn plan_follows_littles_law() {
         let p = FunctionProfiler::new(1.0);
         p.observe(&record(FunctionKind::Learner, 500, false)); // 0.5 s service
-        let c = PrewarmController { safety_factor: 1.0, max_containers: 32 };
+        let c = PrewarmController {
+            safety_factor: 1.0,
+            max_containers: 32,
+        };
         // 8 invocations/s x 0.5 s = 4 concurrent containers.
         assert_eq!(c.plan(&p, FunctionKind::Learner, 8.0), 4);
         // Headroom rounds up.
-        let c2 = PrewarmController { safety_factor: 1.2, max_containers: 32 };
+        let c2 = PrewarmController {
+            safety_factor: 1.2,
+            max_containers: 32,
+        };
         assert_eq!(c2.plan(&p, FunctionKind::Learner, 8.0), 5);
     }
 

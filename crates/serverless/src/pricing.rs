@@ -19,20 +19,36 @@ pub struct InstanceType {
 }
 
 /// `p3.2xlarge`: 1x V100, $3.06/h.
-pub const P3_2XLARGE: InstanceType =
-    InstanceType { name: "p3.2xlarge", hourly_usd: 3.06, gpus: 1, cpu_cores: 8 };
+pub const P3_2XLARGE: InstanceType = InstanceType {
+    name: "p3.2xlarge",
+    hourly_usd: 3.06,
+    gpus: 1,
+    cpu_cores: 8,
+};
 
 /// `c6a.32xlarge`: CPU actor host, $4.896/h.
-pub const C6A_32XLARGE: InstanceType =
-    InstanceType { name: "c6a.32xlarge", hourly_usd: 4.896, gpus: 0, cpu_cores: 128 };
+pub const C6A_32XLARGE: InstanceType = InstanceType {
+    name: "c6a.32xlarge",
+    hourly_usd: 4.896,
+    gpus: 0,
+    cpu_cores: 128,
+};
 
 /// `p3.16xlarge`: 8x V100 (HPC testbed), $24.48/h.
-pub const P3_16XLARGE: InstanceType =
-    InstanceType { name: "p3.16xlarge", hourly_usd: 24.48, gpus: 8, cpu_cores: 64 };
+pub const P3_16XLARGE: InstanceType = InstanceType {
+    name: "p3.16xlarge",
+    hourly_usd: 24.48,
+    gpus: 8,
+    cpu_cores: 64,
+};
 
 /// `hpc7a.96xlarge`: 192-core HPC actor host, $7.2/h.
-pub const HPC7A_96XLARGE: InstanceType =
-    InstanceType { name: "hpc7a.96xlarge", hourly_usd: 7.2, gpus: 0, cpu_cores: 192 };
+pub const HPC7A_96XLARGE: InstanceType = InstanceType {
+    name: "hpc7a.96xlarge",
+    hourly_usd: 7.2,
+    gpus: 0,
+    cpu_cores: 192,
+};
 
 impl InstanceType {
     /// Price per second for the whole VM.
@@ -74,8 +90,14 @@ impl Cluster {
     /// (2 V100s, 128 actor cores).
     pub fn regular() -> Self {
         Self {
-            gpu_vms: VmGroup { itype: P3_2XLARGE, count: 2 },
-            cpu_vms: VmGroup { itype: C6A_32XLARGE, count: 1 },
+            gpu_vms: VmGroup {
+                itype: P3_2XLARGE,
+                count: 2,
+            },
+            cpu_vms: VmGroup {
+                itype: C6A_32XLARGE,
+                count: 1,
+            },
             learners_per_gpu: 4,
         }
     }
@@ -84,8 +106,14 @@ impl Cluster {
     /// (16 V100s, 960 actor cores).
     pub fn hpc() -> Self {
         Self {
-            gpu_vms: VmGroup { itype: P3_16XLARGE, count: 2 },
-            cpu_vms: VmGroup { itype: HPC7A_96XLARGE, count: 5 },
+            gpu_vms: VmGroup {
+                itype: P3_16XLARGE,
+                count: 2,
+            },
+            cpu_vms: VmGroup {
+                itype: HPC7A_96XLARGE,
+                count: 5,
+            },
             learners_per_gpu: 4,
         }
     }
@@ -93,8 +121,14 @@ impl Cluster {
     /// A tiny cluster for unit tests (1 GPU VM, 1 CPU VM).
     pub fn tiny() -> Self {
         Self {
-            gpu_vms: VmGroup { itype: P3_2XLARGE, count: 1 },
-            cpu_vms: VmGroup { itype: C6A_32XLARGE, count: 1 },
+            gpu_vms: VmGroup {
+                itype: P3_2XLARGE,
+                count: 1,
+            },
+            cpu_vms: VmGroup {
+                itype: C6A_32XLARGE,
+                count: 1,
+            },
             learners_per_gpu: 2,
         }
     }

@@ -80,8 +80,17 @@ mod tests {
     fn profiles_are_ordered_sensibly() {
         let m = TimingProfile::mujoco_v100();
         let a = TimingProfile::atari_v100();
-        assert!(a.actor_step_us > m.actor_step_us, "pixels cost more to produce");
-        assert!(a.learner_us_per_sample > m.learner_us_per_sample, "convs cost more");
-        assert!(m.cold_start_us > 100.0 * m.warm_start_us, "cold starts dominate");
+        assert!(
+            a.actor_step_us > m.actor_step_us,
+            "pixels cost more to produce"
+        );
+        assert!(
+            a.learner_us_per_sample > m.learner_us_per_sample,
+            "convs cost more"
+        );
+        assert!(
+            m.cold_start_us > 100.0 * m.warm_start_us,
+            "cold starts dominate"
+        );
     }
 }

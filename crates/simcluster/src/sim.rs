@@ -81,7 +81,9 @@ impl SimConfig {
     pub fn sync_serverful_paper_mujoco() -> Self {
         let base = Self::stellaris_paper_mujoco();
         Self {
-            rule: AggregationRule::FullSync { n: base.max_learners },
+            rule: AggregationRule::FullSync {
+                n: base.max_learners,
+            },
             sync_barrier: true,
             billing: SimBilling::Serverful,
             ..base
@@ -114,7 +116,9 @@ impl SimConfig {
     pub fn parrl_hpc_atari() -> Self {
         let base = Self::stellaris_hpc_atari();
         Self {
-            rule: AggregationRule::FullSync { n: base.max_learners },
+            rule: AggregationRule::FullSync {
+                n: base.max_learners,
+            },
             sync_barrier: true,
             billing: SimBilling::Serverful,
             ..base
@@ -289,33 +293,35 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
     macro_rules! push_event {
         ($t:expr, $kind:expr) => {{
             seq += 1;
-            heap.push(Event { t: $t, seq, kind: $kind });
+            heap.push(Event {
+                t: $t,
+                seq,
+                kind: $kind,
+            });
         }};
     }
 
-    let cost_at = |learner_busy: f64,
-                   actor_busy: f64,
-                   parameter_busy: f64,
-                   now: f64|
-     -> CostBreakdown {
-        match cfg.billing {
-            SimBilling::Serverless => CostBreakdown {
-                learner_usd: (learner_busy + parameter_busy) / 1e6 * cfg.cluster.learner_fn_price(),
-                actor_usd: actor_busy / 1e6 * cfg.cluster.actor_fn_price(),
-            },
-            SimBilling::Serverful => {
-                let secs = now / 1e6;
-                CostBreakdown {
-                    learner_usd: cfg.cluster.gpu_vms.itype.per_second()
-                        * cfg.cluster.gpu_vms.count as f64
-                        * secs,
-                    actor_usd: cfg.cluster.cpu_vms.itype.per_second()
-                        * cfg.cluster.cpu_vms.count as f64
-                        * secs,
+    let cost_at =
+        |learner_busy: f64, actor_busy: f64, parameter_busy: f64, now: f64| -> CostBreakdown {
+            match cfg.billing {
+                SimBilling::Serverless => CostBreakdown {
+                    learner_usd: (learner_busy + parameter_busy) / 1e6
+                        * cfg.cluster.learner_fn_price(),
+                    actor_usd: actor_busy / 1e6 * cfg.cluster.actor_fn_price(),
+                },
+                SimBilling::Serverful => {
+                    let secs = now / 1e6;
+                    CostBreakdown {
+                        learner_usd: cfg.cluster.gpu_vms.itype.per_second()
+                            * cfg.cluster.gpu_vms.count as f64
+                            * secs,
+                        actor_usd: cfg.cluster.cpu_vms.itype.per_second()
+                            * cfg.cluster.cpu_vms.count as f64
+                            * secs,
+                    }
                 }
             }
-        }
-    };
+        };
 
     // Kick off as many actor cycles as the first round's quota allows.
     macro_rules! start_actors {
@@ -329,14 +335,16 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                         actor_free[a] = false;
                         quota_left -= cfg.actor_steps;
                         inflight_steps += cfg.actor_steps;
-                        let sample = cfg.actor_steps as f64
-                            * cfg.timing.actor_step_us
-                            * jit(&mut rng);
+                        let sample =
+                            cfg.actor_steps as f64 * cfg.timing.actor_step_us * jit(&mut rng);
                         let dur = cfg.timing.policy_pull_us + sample + cfg.timing.traj_push_us;
                         actor_busy += dur;
                         push_event!(
                             now + dur,
-                            EventKind::ActorBatch { actor: a, steps: cfg.actor_steps }
+                            EventKind::ActorBatch {
+                                actor: a,
+                                steps: cfg.actor_steps
+                            }
                         );
                     }
                 }
@@ -356,12 +364,17 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                 } else {
                     cfg.timing.cold_start_us
                 };
-                let exec =
-                    job_samples as f64 * cfg.timing.learner_us_per_sample * jit(&mut rng);
+                let exec = job_samples as f64 * cfg.timing.learner_us_per_sample * jit(&mut rng);
                 learner_busy += exec; // startup is unbilled, as in §VIII-A
                 learner_exec += exec;
                 let done_t = now + startup + cfg.timing.policy_pull_us + exec;
-                push_event!(done_t, EventKind::LearnerDone { base_clock: clock, done_t });
+                push_event!(
+                    done_t,
+                    EventKind::LearnerDone {
+                        base_clock: clock,
+                        done_t
+                    }
+                );
             }
         };
     }
@@ -522,7 +535,11 @@ mod tests {
         // 3 rounds x 256 steps / 64 minibatch = 12 gradient jobs; the tail
         // of the final round may still be queued at shutdown, exactly like
         // the real orchestrator closing its work queue.
-        assert!(res.invocations >= 8 && res.invocations <= 12, "{}", res.invocations);
+        assert!(
+            res.invocations >= 8 && res.invocations <= 12,
+            "{}",
+            res.invocations
+        );
         assert!(res.cost.total() > 0.0);
     }
 
@@ -589,17 +606,32 @@ mod tests {
 
     #[test]
     fn hpc_presets_reproduce_fig12_direction() {
-        let st = simulate(&SimConfig { rounds: 5, ..SimConfig::stellaris_hpc_atari() });
-        let pr = simulate(&SimConfig { rounds: 5, ..SimConfig::parrl_hpc_atari() });
-        assert!(st.cost.total() < pr.cost.total(), "Stellaris must be cheaper on HPC");
-        assert!(st.virtual_time_s < pr.virtual_time_s, "and faster wall-clock");
+        let st = simulate(&SimConfig {
+            rounds: 5,
+            ..SimConfig::stellaris_hpc_atari()
+        });
+        let pr = simulate(&SimConfig {
+            rounds: 5,
+            ..SimConfig::parrl_hpc_atari()
+        });
+        assert!(
+            st.cost.total() < pr.cost.total(),
+            "Stellaris must be cheaper on HPC"
+        );
+        assert!(
+            st.virtual_time_s < pr.virtual_time_s,
+            "and faster wall-clock"
+        );
     }
 
     #[test]
     fn utilization_is_a_fraction() {
         let res = simulate(&SimConfig::stellaris_paper_mujoco());
         assert!(res.gpu_utilization > 0.0 && res.gpu_utilization <= 1.0);
-        assert!(res.actor_busy_s > res.learner_busy_s, "sampling dominates MuJoCo");
+        assert!(
+            res.actor_busy_s > res.learner_busy_s,
+            "sampling dominates MuJoCo"
+        );
     }
 
     #[test]

@@ -7,7 +7,10 @@ use stellaris_core::AggregationRule;
 use stellaris_simcluster::{simulate, SimBilling, SimConfig, TimingProfile};
 
 fn base(seed: u64) -> SimConfig {
-    SimConfig { seed, ..SimConfig::test_small() }
+    SimConfig {
+        seed,
+        ..SimConfig::test_small()
+    }
 }
 
 proptest! {

@@ -24,8 +24,8 @@ fn main() {
         cfg.rounds = 12;
         cfg.learner_mode = LearnerMode::Async { rule };
         let r = train(&cfg);
-        let mean_stale = r.staleness_log.iter().sum::<u64>() as f64
-            / r.staleness_log.len().max(1) as f64;
+        let mean_stale =
+            r.staleness_log.iter().sum::<u64>() as f64 / r.staleness_log.len().max(1) as f64;
         let max_stale = r.staleness_log.iter().max().copied().unwrap_or(0);
         println!(
             "{:<16} {:>10.1} {:>9} {:>12.2} {:>14}",

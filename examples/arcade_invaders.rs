@@ -25,7 +25,11 @@ fn main() {
             row.round, row.reward, row.policy_updates, row.learner_invocations, row.mean_staleness
         );
     }
-    println!("\nfinal reward {:.1}, cost ${:.6}", result.final_reward, result.cost.total());
+    println!(
+        "\nfinal reward {:.1}, cost ${:.6}",
+        result.final_reward,
+        result.cost.total()
+    );
 
     // Show what the policy actually sees: run one greedy episode.
     let mut env = make_env(EnvId::SpaceInvaders, cfg.env_cfg);

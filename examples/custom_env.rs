@@ -21,7 +21,12 @@ struct Thermostat {
 
 impl Thermostat {
     fn new() -> Self {
-        Self { temp: 15.0, setpoint: 21.0, t: 0, rng: env_rng(0) }
+        Self {
+            temp: 15.0,
+            setpoint: 21.0,
+            t: 0,
+            rng: env_rng(0),
+        }
     }
 }
 
@@ -49,8 +54,7 @@ impl Env for Thermostat {
         use rand::Rng;
         let heat = action.continuous()[0].clamp(-1.0, 1.0);
         // Heater power, ambient leakage toward 10C, and sensor noise.
-        self.temp += 0.8 * heat - 0.05 * (self.temp - 10.0)
-            + self.rng.gen_range(-0.1..0.1);
+        self.temp += 0.8 * heat - 0.05 * (self.temp - 10.0) + self.rng.gen_range(-0.1f32..0.1);
         self.t += 1;
         let err = (self.temp - self.setpoint).abs();
         Step {

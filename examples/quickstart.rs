@@ -10,8 +10,14 @@ use stellaris::prelude::*;
 fn main() {
     let mut cfg = TrainConfig::stellaris_scaled(EnvId::Hopper, 42);
     cfg.rounds = 15;
-    println!("Training {} on {} ({} actors, {} learner slots, rule: {})",
-        cfg.algo.name(), cfg.env_id.name(), cfg.n_actors, cfg.max_learners, cfg.label());
+    println!(
+        "Training {} on {} ({} actors, {} learner slots, rule: {})",
+        cfg.algo.name(),
+        cfg.env_id.name(),
+        cfg.n_actors,
+        cfg.max_learners,
+        cfg.label()
+    );
     println!();
     println!("{}", TrainRow::CSV_HEADER);
     let result = train(&cfg);
@@ -23,7 +29,10 @@ fn main() {
     println!("policy updates          : {}", result.policy_updates);
     println!("learner invocations     : {}", result.learner_invocations);
     println!("cold starts paid        : {}", result.cold_starts);
-    println!("GPU-slot utilisation    : {:.1}%", result.gpu_utilization * 100.0);
+    println!(
+        "GPU-slot utilisation    : {:.1}%",
+        result.gpu_utilization * 100.0
+    );
     println!(
         "training cost           : ${:.6} (learners ${:.6}, actors ${:.6})",
         result.cost.total(),
@@ -32,7 +41,6 @@ fn main() {
     );
     println!(
         "mean gradient staleness : {:.2}",
-        result.staleness_log.iter().sum::<u64>() as f64
-            / result.staleness_log.len().max(1) as f64
+        result.staleness_log.iter().sum::<u64>() as f64 / result.staleness_log.len().max(1) as f64
     );
 }

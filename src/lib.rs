@@ -35,9 +35,9 @@ pub use stellaris_simcluster as simcluster;
 /// The most common imports, one `use` away.
 pub mod prelude {
     pub use stellaris_core::{
-        frameworks, rows_to_csv, smooth, train, AggregationRule, Algo, Deployment,
-        GradientMsg, LearnerMode, ParameterServer, RatioBoard, StalenessSchedule,
-        TrainConfig, TrainResult, TrainRow,
+        frameworks, rows_to_csv, smooth, train, AggregationRule, Algo, Deployment, GradientMsg,
+        LearnerMode, ParameterServer, RatioBoard, StalenessSchedule, TrainConfig, TrainResult,
+        TrainRow,
     };
     pub use stellaris_envs::{make_env, Action, ActionSpace, Env, EnvConfig, EnvId};
     pub use stellaris_nn::{Optimizer, OptimizerKind, Tensor};

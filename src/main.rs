@@ -31,7 +31,15 @@ fn main() -> ExitCode {
         "envs" => {
             println!("available environments:");
             for id in EnvId::PAPER_SET {
-                println!("  {:<15} ({})", id.name(), if id.is_continuous() { "continuous" } else { "discrete" });
+                println!(
+                    "  {:<15} ({})",
+                    id.name(),
+                    if id.is_continuous() {
+                        "continuous"
+                    } else {
+                        "discrete"
+                    }
+                );
             }
             println!("  {:<15} (continuous, diagnostic)", "PointMass");
             println!("  {:<15} (discrete, diagnostic)", "ChainMdp");
@@ -55,7 +63,9 @@ fn usage() {
     eprintln!("           [--learners N] [--actors N] [--rule NAME] [--serverful]");
     eprintln!("           [--no-truncation] [--dynamic-learners] [--checkpoint PATH] [--csv PATH]");
     eprintln!("  eval     --env NAME --checkpoint PATH [--episodes N] [--seed S]");
-    eprintln!("  simulate [--sync] [--serverful] [--atari] [--rounds N] (paper-scale virtual time)");
+    eprintln!(
+        "  simulate [--sync] [--serverful] [--atari] [--rounds N] (paper-scale virtual time)"
+    );
     eprintln!("  envs     list available environments");
 }
 
@@ -138,8 +148,12 @@ fn cmd_train(args: &[String]) -> ExitCode {
             "ssp" => AggregationRule::Ssp { bound: 3 },
             "pure-async" => AggregationRule::PureAsync,
             "sync" => {
-                cfg.learner_mode = LearnerMode::Sync { n: cfg.max_learners };
-                AggregationRule::FullSync { n: cfg.max_learners }
+                cfg.learner_mode = LearnerMode::Sync {
+                    n: cfg.max_learners,
+                };
+                AggregationRule::FullSync {
+                    n: cfg.max_learners,
+                }
             }
             other => {
                 eprintln!("unknown rule: {other}");
@@ -151,7 +165,13 @@ fn cmd_train(args: &[String]) -> ExitCode {
         }
     }
 
-    println!("training {} on {} for {} rounds ({})", cfg.algo.name(), env.name(), cfg.rounds, cfg.label());
+    println!(
+        "training {} on {} for {} rounds ({})",
+        cfg.algo.name(),
+        env.name(),
+        cfg.rounds,
+        cfg.label()
+    );
     let result = train(&cfg);
     println!("{}", TrainRow::CSV_HEADER);
     for row in &result.rows {
@@ -184,7 +204,10 @@ fn cmd_train(args: &[String]) -> ExitCode {
             eprintln!("cannot write checkpoint {path}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote trained checkpoint {path} (policy v{})", policy.version);
+        println!(
+            "wrote trained checkpoint {path} (policy v{})",
+            policy.version
+        );
     }
     ExitCode::SUCCESS
 }

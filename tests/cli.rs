@@ -30,7 +30,11 @@ fn train_eval_checkpoint_roundtrip() {
         ])
         .output()
         .expect("train must run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("final reward"), "{stdout}");
     assert!(stdout.contains("wrote trained checkpoint"));
@@ -50,7 +54,11 @@ fn train_eval_checkpoint_roundtrip() {
         ])
         .output()
         .expect("eval must run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("mean episodic reward"));
 
     std::fs::remove_file(&ckpt).ok();
@@ -73,7 +81,14 @@ fn simulate_reports_virtual_time_and_cost() {
 fn envs_lists_paper_set() {
     let out = bin().arg("envs").output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["Hopper", "Walker2d", "Humanoid", "SpaceInvaders", "Qbert", "Gravitar"] {
+    for name in [
+        "Hopper",
+        "Walker2d",
+        "Humanoid",
+        "SpaceInvaders",
+        "Qbert",
+        "Gravitar",
+    ] {
         assert!(stdout.contains(name), "missing {name}");
     }
 }
@@ -87,7 +102,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn unknown_env_fails_cleanly() {
-    let out = bin().args(["train", "--env", "DoesNotExist"]).output().unwrap();
+    let out = bin()
+        .args(["train", "--env", "DoesNotExist"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown environment"));
 }

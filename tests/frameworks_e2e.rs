@@ -30,7 +30,10 @@ fn every_framework_topology_trains() {
         ("par_rl", frameworks::par_rl),
         ("stellaris_hpc", frameworks::stellaris_hpc),
         ("stellaris_no_async", frameworks::stellaris_no_async),
-        ("stellaris_no_serverless", frameworks::stellaris_no_serverless),
+        (
+            "stellaris_no_serverless",
+            frameworks::stellaris_no_serverless,
+        ),
     ];
     for (name, mk) in mks {
         let cfg = shrink(mk(EnvId::PointMass, 1));
@@ -45,7 +48,10 @@ fn every_framework_topology_trains() {
 #[test]
 fn serverful_costs_more_than_serverless_for_identical_work() {
     let serverless = train(&shrink(frameworks::stellaris(EnvId::PointMass, 2)));
-    let serverful = train(&shrink(frameworks::stellaris_no_serverless(EnvId::PointMass, 2)));
+    let serverful = train(&shrink(frameworks::stellaris_no_serverless(
+        EnvId::PointMass,
+        2,
+    )));
     assert!(
         serverful.cost.total() > serverless.cost.total(),
         "reserved VMs must cost more: {} vs {}",
@@ -80,8 +86,7 @@ fn ablation_variants_only_change_their_axis() {
     let no_trunc = frameworks::without_truncation(base.clone());
     assert!(no_trunc.truncation_rho.is_none());
     assert_eq!(no_trunc.n_actors, base.n_actors);
-    let softsync =
-        frameworks::with_aggregation(base.clone(), AggregationRule::Softsync { c: 2 });
+    let softsync = frameworks::with_aggregation(base.clone(), AggregationRule::Softsync { c: 2 });
     match softsync.learner_mode {
         LearnerMode::Async { rule } => assert_eq!(rule.name(), "softsync"),
         _ => panic!("aggregation swap must stay async"),
@@ -95,5 +100,8 @@ fn ssp_rule_trains_end_to_end() {
         AggregationRule::Ssp { bound: 2 },
     ));
     let result = train(&cfg);
-    assert!(result.policy_updates > 0, "SSP throttling must not deadlock");
+    assert!(
+        result.policy_updates > 0,
+        "SSP throttling must not deadlock"
+    );
 }

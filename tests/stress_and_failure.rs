@@ -33,7 +33,11 @@ fn more_learners_than_minibatches() {
     cfg.max_learners = 8;
     cfg.minibatch = 128; // one minibatch per actor batch
     let result = train(&cfg);
-    assert_eq!(result.rows.len(), cfg.rounds, "idle learners must not hang shutdown");
+    assert_eq!(
+        result.rows.len(),
+        cfg.rounds,
+        "idle learners must not hang shutdown"
+    );
 }
 
 #[test]
@@ -55,7 +59,10 @@ fn cache_interference_does_not_corrupt_training() {
         std::thread::spawn(move || {
             let mut i = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
-                cache.put(&format!("noise:{}", i % 64), bytes::Bytes::from(vec![0u8; 256]));
+                cache.put(
+                    &format!("noise:{}", i % 64),
+                    bytes::Bytes::from(vec![0u8; 256]),
+                );
                 i += 1;
                 if i.is_multiple_of(1024) {
                     std::thread::sleep(Duration::from_micros(50));
@@ -97,7 +104,10 @@ fn zero_reward_environment_trains_without_nan() {
     // Gravitar-style sparse rewards: tiny run where likely no reward at all
     // is collected; advantages normalise against ~zero variance.
     let mut cfg = TrainConfig::test_tiny(EnvId::Gravitar, 6);
-    cfg.env_cfg = EnvConfig { frame_size: 20, max_steps: 40 };
+    cfg.env_cfg = EnvConfig {
+        frame_size: 20,
+        max_steps: 40,
+    };
     cfg.rounds = 1;
     let result = train(&cfg);
     assert!(result.final_reward.is_finite());
@@ -111,7 +121,11 @@ fn dynamic_learner_autoscaling_completes() {
     cfg.max_learners = 4;
     cfg.rounds = 3;
     let result = train(&cfg);
-    assert_eq!(result.rows.len(), 3, "autoscaled pool must not deadlock shutdown");
+    assert_eq!(
+        result.rows.len(),
+        3,
+        "autoscaled pool must not deadlock shutdown"
+    );
     assert!(result.policy_updates > 0);
 }
 
@@ -119,7 +133,12 @@ fn dynamic_learner_autoscaling_completes() {
 fn long_staleness_tail_does_not_stall_aggregation() {
     // A pathological rule setting: tight Softsync count with few learners.
     let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 7);
-    cfg.learner_mode = LearnerMode::Async { rule: AggregationRule::Softsync { c: 2 } };
+    cfg.learner_mode = LearnerMode::Async {
+        rule: AggregationRule::Softsync { c: 2 },
+    };
     let result = train(&cfg);
-    assert!(result.policy_updates > 0, "softsync must keep flushing pairs");
+    assert!(
+        result.policy_updates > 0,
+        "softsync must keep flushing pairs"
+    );
 }

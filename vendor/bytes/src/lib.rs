@@ -1,0 +1,334 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply clonable, immutable, reference-counted byte
+//! buffer; [`BytesMut`] is a growable builder that freezes into one. The
+//! [`Buf`]/[`BufMut`] traits carry the little-endian accessors the codec
+//! layer uses. Unlike upstream there is no zero-copy slicing of sub-ranges
+//! (nothing in this workspace slices), but `clone()` is still an Arc bump.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer; `clone()` is O(1).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static byte slice (copied once; upstream borrows, but no
+    /// caller here is length-sensitive about that).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: Arc::new(data.to_vec()),
+        }
+    }
+
+    /// Copies an arbitrary slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: Arc::new(data.to_vec()),
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::new(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocates `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Clears the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.data),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.len())
+    }
+}
+
+macro_rules! buf_get_impl {
+    ($name:ident, $ty:ty, $size:expr) => {
+        /// Reads a little-endian value, advancing the cursor.
+        fn $name(&mut self) -> $ty {
+            let mut raw = [0u8; $size];
+            raw.copy_from_slice(&self.chunk()[..$size]);
+            self.advance($size);
+            <$ty>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Read access to a cursor over bytes.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The unread portion.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    buf_get_impl!(get_u16_le, u16, 2);
+    buf_get_impl!(get_u32_le, u32, 4);
+    buf_get_impl!(get_u64_le, u64, 8);
+    buf_get_impl!(get_i16_le, i16, 2);
+    buf_get_impl!(get_i32_le, i32, 4);
+    buf_get_impl!(get_i64_le, i64, 8);
+    buf_get_impl!(get_f32_le, f32, 4);
+    buf_get_impl!(get_f64_le, f64, 8);
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! buf_put_impl {
+    ($name:ident, $ty:ty) => {
+        /// Appends a little-endian value.
+        fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Append access to a growable byte sink.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put_impl!(put_u16_le, u16);
+    buf_put_impl!(put_u32_le, u32);
+    buf_put_impl!(put_u64_le, u64);
+    buf_put_impl!(put_i16_le, i16);
+    buf_put_impl!(put_i32_le, i32);
+    buf_put_impl!(put_i64_le, i64);
+    buf_put_impl!(put_f32_le, f32);
+    buf_put_impl!(put_f64_le, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 3);
+        b.put_i64_le(-42);
+        b.put_f32_le(1.25);
+        b.put_f64_le(-0.5);
+        b.put_slice(b"tail");
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f32_le(), 1.25);
+        assert_eq!(r.get_f64_le(), -0.5);
+        assert_eq!(r, b"tail");
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow() {
+        let b = Bytes::from(vec![1u8; 1 << 20]);
+        let c = b.clone();
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), c.as_ref().as_ptr()));
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 3);
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let mut b = BytesMut::with_capacity(3);
+        b.extend_from_slice(&[9, 8, 7]);
+        assert_eq!(b.len(), 3);
+        let f = b.freeze();
+        assert_eq!(&*f, &[9, 8, 7]);
+        assert_eq!(f, Bytes::from(vec![9, 8, 7]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_past_end_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u32_le();
+    }
+}

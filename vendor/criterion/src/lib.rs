@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the authoring surface the workspace benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and both
+//! forms of [`criterion_group!`]/[`criterion_main!`] — but replaces the
+//! statistical machinery with a plain warmup + timed-loop median report.
+//! Benches compile, run under `cargo bench`, and print ns/iter; rigorous
+//! statistics return when the real crate can be fetched.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+
+        // Calibration pass: find an iteration count that takes ~1ms.
+        b.iters_per_sample = 1;
+        loop {
+            b.samples.clear();
+            let start = Instant::now();
+            f(&mut b);
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || b.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            b.iters_per_sample *= 4;
+        }
+
+        // Timed samples.
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+
+        let mut per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, c| a.total_cmp(c));
+        let median = per_iter[per_iter.len() / 2];
+        let low = per_iter.first().copied().unwrap_or(0.0);
+        let high = per_iter.last().copied().unwrap_or(0.0);
+        println!(
+            "{id:<48} time: [{low:>10.1} ns {median:>10.1} ns {high:>10.1} ns]  ({} samples x {} iters)",
+            per_iter.len(),
+            b.iters_per_sample
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing handle passed to the bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters_per_sample` times per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a benchmark group. Supports both upstream forms:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group!(name = benches; config = Criterion::default(); targets = f, g)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        tiny_bench(&mut c);
+    }
+
+    criterion_group!(plain_group, tiny_bench);
+    criterion_group!(
+        name = configured_group;
+        config = Criterion::default().sample_size(2);
+        targets = tiny_bench
+    );
+
+    #[test]
+    fn groups_invoke() {
+        plain_group();
+        configured_group();
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline stand-in for the `crossbeam` crate: only `thread::scope`, which
+//! this workspace uses for fork-join actor/learner waves. Implemented over
+//! `std::thread::scope` (available since Rust 1.63), preserving the
+//! crossbeam calling convention: the spawn closure receives a scope
+//! argument (always ignored by callers here) and `scope` returns a
+//! `Result` that is `Err` if any unjoined child panicked.
+
+/// Scoped-thread module mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`]'s closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope argument
+        /// crossbeam passes (usable for nested spawns via the same API).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the environment.
+    /// All children are joined before this returns. Matches crossbeam's
+    /// signature: `Err` when an unjoined child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("child must not panic"))
+                .sum()
+        })
+        .expect("scope must not panic");
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().expect("nested join"))
+                .join()
+                .expect("outer join")
+        })
+        .expect("scope ok");
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn unjoined_panic_is_err() {
+        let res = super::thread::scope(|s| {
+            let _ = s.spawn(|_| panic!("child panic"));
+            // not joined: scope exit observes the panic
+        });
+        assert!(res.is_err());
+    }
+}

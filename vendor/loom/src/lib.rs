@@ -1,0 +1,129 @@
+//! Offline stand-in for `loom`.
+//!
+//! Real `loom` exhaustively enumerates thread interleavings under the C11
+//! memory model. This vendored shim keeps the *test-authoring API*
+//! (`loom::model`, `loom::thread`, `loom::sync`) but explores schedules
+//! stochastically: each `model` iteration runs the closure with real OS
+//! threads, and [`thread::yield_now`]/[`explore`] points inject random
+//! scheduler perturbations so repeated iterations visit different
+//! interleavings. Swapping in upstream loom (when a registry is available)
+//! upgrades the same tests to exhaustive exploration — test bodies do not
+//! change.
+//!
+//! Iteration count: `LOOM_ITERS` env var, default 64 (a fraction of real
+//! loom's budget, chosen so `--cfg loom` suites stay under seconds).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PERTURB_STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+fn perturb_draw() -> u64 {
+    // Racy fetch-xorshift is fine: we only need schedule noise.
+    let mut x = PERTURB_STATE.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    PERTURB_STATE.store(x, Ordering::Relaxed);
+    x
+}
+
+/// A point where the schedule may be perturbed: occasionally sleeps or
+/// yields so concurrent test threads interleave differently per iteration.
+pub fn explore() {
+    match perturb_draw() % 8 {
+        0 => std::thread::sleep(std::time::Duration::from_micros(50)),
+        1 | 2 => std::thread::yield_now(),
+        _ => {}
+    }
+}
+
+/// Runs `f` repeatedly (LOOM_ITERS times, default 64), perturbing thread
+/// schedules between runs. Panics propagate, failing the surrounding test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        PERTURB_STATE.store(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, Ordering::Relaxed);
+        f();
+    }
+}
+
+/// Mirror of `loom::thread`.
+pub mod thread {
+    pub use std::thread::{sleep, JoinHandle};
+
+    /// Spawns a thread with a schedule perturbation at entry.
+    pub fn spawn<F, T>(f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            crate::explore();
+            f()
+        })
+    }
+
+    /// Yield that may also perturb the schedule.
+    pub fn yield_now() {
+        crate::explore();
+    }
+}
+
+/// Mirror of `loom::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+/// Mirror of `loom::hint`.
+pub mod hint {
+    /// Spin-loop hint with schedule perturbation.
+    pub fn spin_loop() {
+        crate::explore();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_many_iterations() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        super::model(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(count.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn spawned_threads_join() {
+        super::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let v = v.clone();
+                    super::thread::spawn(move || {
+                        v.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("no panic");
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 3);
+        });
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline stand-in for `rayon`: the `par_iter`-family entry points used by
+//! this workspace, lowered to plain sequential `std` iterators.
+//!
+//! Call sites keep the rayon shape (`.par_iter_mut().zip(..).map(..)
+//! .collect()`), so swapping the real crate back in when the registry is
+//! reachable is a one-line Cargo change. Until then parallel sections run
+//! sequentially — correctness-identical, and this workspace's own
+//! `crossbeam::thread::scope` waves provide the actual multicore fan-out.
+
+/// Drop-in import mirror of `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-ins for rayon's parallel slice/vec entry points.
+    pub trait ParallelIteratorExt<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelIteratorExt<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Sequential stand-in for `into_par_iter`.
+    pub trait IntoParallelIterator {
+        /// The underlying iterator type.
+        type Iter: Iterator;
+        /// Consumes `self`, yielding a sequential iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_and_zip() {
+        let mut v = vec![1, 2, 3];
+        let w = [10, 20, 30];
+        v.par_iter_mut()
+            .zip(w.par_iter())
+            .enumerate()
+            .for_each(|(i, (a, b))| *a += b + i as i32);
+        assert_eq!(v, vec![11, 23, 35]);
+    }
+
+    #[test]
+    fn par_chunks_mut_rows() {
+        let mut m = vec![0f32; 6];
+        m.par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(r, row)| row.iter_mut().for_each(|x| *x = r as f32));
+        assert_eq!(m, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+}
