@@ -7,6 +7,7 @@ use stellaris_core::frameworks;
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 10",
@@ -22,5 +23,5 @@ fn main() {
         ],
         &opts,
     );
-    println!("\nExpected shape (paper): up to 1.6x higher final reward.");
+    stellaris_bench::progress!("\nExpected shape (paper): up to 1.6x higher final reward.");
 }

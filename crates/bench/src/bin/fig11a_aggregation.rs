@@ -24,6 +24,7 @@ fn stressed(env: EnvId, seed: u64) -> TrainConfig {
 }
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 11a",
@@ -50,6 +51,8 @@ fn main() {
         ],
         &opts,
     );
-    println!("\nExpected shape (paper): pure async trains fastest per wall-second but");
-    println!("converges worst; Stellaris achieves the best cumulative reward.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): pure async trains fastest per wall-second but"
+    );
+    stellaris_bench::progress!("converges worst; Stellaris achieves the best cumulative reward.");
 }

@@ -22,12 +22,13 @@ fn stressed(env: EnvId, seed: u64) -> TrainConfig {
 }
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner("Fig. 11b", "importance-sampling truncation ablation");
     let envs = opts.envs_or(&[EnvId::Hopper]);
     let mut csv = String::from("variant,round,reward,variance\n");
     for &env in &envs {
-        println!("\n--- {} ---", env.name());
+        stellaris_bench::progress!("\n--- {} ---", env.name());
         for (label, truncated) in [("Stellaris", true), ("w/o truncation", false)] {
             let results = run_seeds(
                 |seed| {
@@ -54,13 +55,15 @@ fn main() {
             let rewards: Vec<f32> = curve.iter().map(|(r, _)| *r).collect();
             let osc: f32 = rewards.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>()
                 / rewards.len().max(2) as f32;
-            println!("  {label}: oscillation (mean |Δreward|) = {osc:.3}");
+            stellaris_bench::progress!("  {label}: oscillation (mean |Δreward|) = {osc:.3}");
             for (i, (r, _)) in curve.iter().enumerate() {
                 csv.push_str(&format!("{label},{i},{r:.3},{osc:.3}\n"));
             }
         }
     }
     write_csv("fig11b_truncation.csv", &csv);
-    println!("\nExpected shape (paper): without the truncation, training is unstable");
-    println!("and oscillates; with it, the curve is smoother and ends higher.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): without the truncation, training is unstable"
+    );
+    stellaris_bench::progress!("and oscillates; with it, the curve is smoother and ends higher.");
 }

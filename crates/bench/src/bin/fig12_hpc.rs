@@ -7,6 +7,7 @@ use stellaris_core::frameworks;
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 12",
@@ -22,6 +23,8 @@ fn main() {
         ],
         &opts,
     );
-    println!("\nExpected shape (paper): 2.4x (Hopper) and 1.1x (Qbert) higher final");
-    println!("reward, with 19% / 34% lower training cost.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): 2.4x (Hopper) and 1.1x (Qbert) higher final"
+    );
+    stellaris_bench::progress!("reward, with 19% / 34% lower training cost.");
 }

@@ -8,8 +8,8 @@ use stellaris_core::{frameworks, AggregationRule, LearnerMode};
 use stellaris_envs::EnvId;
 
 fn sweep_d(opts: &ExpOpts, csv: &mut String) {
-    println!("\n(a) decay factor d (paper setting: 0.96)");
-    println!("  {:>6} {:>14} {:>14}", "d", "final-reward", "cost($)");
+    stellaris_bench::progress!("\n(a) decay factor d (paper setting: 0.96)");
+    stellaris_bench::progress!("  {:>6} {:>14} {:>14}", "d", "final-reward", "cost($)");
     for d in [0.92f64, 0.94, 0.96, 0.98, 1.0] {
         let results = run_seeds(
             |seed| {
@@ -22,14 +22,14 @@ fn sweep_d(opts: &ExpOpts, csv: &mut String) {
             opts.seeds,
         );
         let (r, c) = (mean_final_reward(&results), mean_cost(&results));
-        println!("  {d:>6.2} {r:>14.2} {c:>14.6}");
+        stellaris_bench::progress!("  {d:>6.2} {r:>14.2} {c:>14.6}");
         csv.push_str(&format!("d,{d},{r:.3},{c:.6}\n"));
     }
 }
 
 fn sweep_v(opts: &ExpOpts, csv: &mut String) {
-    println!("\n(b) learning-rate smoothness v (paper setting: 3)");
-    println!("  {:>6} {:>14} {:>14}", "v", "final-reward", "cost($)");
+    stellaris_bench::progress!("\n(b) learning-rate smoothness v (paper setting: 3)");
+    stellaris_bench::progress!("  {:>6} {:>14} {:>14}", "v", "final-reward", "cost($)");
     for v in [1u32, 2, 3, 4] {
         let results = run_seeds(
             |seed| {
@@ -42,14 +42,14 @@ fn sweep_v(opts: &ExpOpts, csv: &mut String) {
             opts.seeds,
         );
         let (r, c) = (mean_final_reward(&results), mean_cost(&results));
-        println!("  {v:>6} {r:>14.2} {c:>14.6}");
+        stellaris_bench::progress!("  {v:>6} {r:>14.2} {c:>14.6}");
         csv.push_str(&format!("v,{v},{r:.3},{c:.6}\n"));
     }
 }
 
 fn sweep_rho(opts: &ExpOpts, csv: &mut String) {
-    println!("\n(c) importance-sampling threshold rho (paper setting: 1.0)");
-    println!("  {:>6} {:>14} {:>14}", "rho", "final-reward", "cost($)");
+    stellaris_bench::progress!("\n(c) importance-sampling threshold rho (paper setting: 1.0)");
+    stellaris_bench::progress!("  {:>6} {:>14} {:>14}", "rho", "final-reward", "cost($)");
     for rho in [0.6f32, 0.8, 1.0, 1.2] {
         let results = run_seeds(
             |seed| {
@@ -60,12 +60,13 @@ fn sweep_rho(opts: &ExpOpts, csv: &mut String) {
             opts.seeds,
         );
         let (r, c) = (mean_final_reward(&results), mean_cost(&results));
-        println!("  {rho:>6.1} {r:>14.2} {c:>14.6}");
+        stellaris_bench::progress!("  {rho:>6.1} {r:>14.2} {c:>14.6}");
         csv.push_str(&format!("rho,{rho},{r:.3},{c:.6}\n"));
     }
 }
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner("Fig. 13", "sensitivity of d, v and rho (Hopper)");
     let mut csv = String::from("parameter,value,final_reward,cost_usd\n");
@@ -80,6 +81,10 @@ fn main() {
         sweep_rho(&opts, &mut csv);
     }
     write_csv("fig13_sensitivity.csv", &csv);
-    println!("\nExpected shape (paper): reward peaks at d=0.96 while cost falls as d");
-    println!("grows; v=3 is optimal; rho=1.0 gives the best reward and lowest cost.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): reward peaks at d=0.96 while cost falls as d"
+    );
+    stellaris_bench::progress!(
+        "grows; v=3 is optimal; rho=1.0 gives the best reward and lowest cost."
+    );
 }

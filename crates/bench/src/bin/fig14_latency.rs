@@ -8,15 +8,23 @@ use stellaris_core::{frameworks, train};
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner("Fig. 14", "one-round latency breakdown per environment");
     let envs = opts.envs_or(&EnvId::PAPER_SET);
     let mut csv = String::from(
         "env,actor_sampling_s,data_loading_s,gradient_s,aggregation_s,startup_s,cache_s,overhead_fraction\n",
     );
-    println!(
+    stellaris_bench::progress!(
         "  {:<14} {:>9} {:>8} {:>9} {:>8} {:>8} {:>7} {:>9}",
-        "env", "sampling", "loading", "gradient", "aggr", "startup", "cache", "overhead"
+        "env",
+        "sampling",
+        "loading",
+        "gradient",
+        "aggr",
+        "startup",
+        "cache",
+        "overhead"
     );
     for &env in &envs {
         let mut cfg = opts.apply(frameworks::stellaris(env, 1));
@@ -24,7 +32,7 @@ fn main() {
         let res = train(&cfg);
         let t = res.timers;
         let rounds = res.rows.len().max(1) as f64;
-        println!(
+        stellaris_bench::progress!(
             "  {:<14} {:>9.3} {:>8.3} {:>9.3} {:>8.3} {:>8.3} {:>7.3} {:>8.1}%",
             env.name(),
             t.actor_sampling_s / rounds,
@@ -48,6 +56,6 @@ fn main() {
         ));
     }
     write_csv("fig14_latency.csv", &csv);
-    println!("\nExpected shape (paper): sampling + gradient compute dominate;");
-    println!("loader/aggregation/startup/cache overheads stay below ~5%.");
+    stellaris_bench::progress!("\nExpected shape (paper): sampling + gradient compute dominate;");
+    stellaris_bench::progress!("loader/aggregation/startup/cache overheads stay below ~5%.");
 }

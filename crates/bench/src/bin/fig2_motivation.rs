@@ -10,6 +10,7 @@ use stellaris_core::frameworks;
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 2",
@@ -26,6 +27,8 @@ fn main() {
         ],
         &opts,
     );
-    println!("\nExpected shape (paper): the full system reaches the highest reward");
-    println!("and the lowest cost; dropping either component hurts one axis.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): the full system reaches the highest reward"
+    );
+    stellaris_bench::progress!("and the lowest cost; dropping either component hurts one axis.");
 }

@@ -8,6 +8,7 @@ use stellaris_core::{frameworks, train};
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 3a",
@@ -21,9 +22,12 @@ fn main() {
         (vec![1usize, 2, 4], vec![2usize, 4, 8])
     };
     let mut csv = String::from("learners,actors,learning_time_s,gpu_utilization\n");
-    println!(
+    stellaris_bench::progress!(
         "  {:>8} {:>7} {:>17} {:>16}",
-        "learners", "actors", "learning-time(s)", "gpu-utilization"
+        "learners",
+        "actors",
+        "learning-time(s)",
+        "gpu-utilization"
     );
     for &l in &learners {
         for &a in &actors {
@@ -34,9 +38,10 @@ fn main() {
             cfg.rounds = opts.rounds.unwrap_or(3);
             cfg.round_timesteps = a * cfg.actor_steps;
             let res = train(&cfg);
-            println!(
+            stellaris_bench::progress!(
                 "  {l:>8} {a:>7} {:>17.2} {:>16.3}",
-                res.timers.gradient_s, res.gpu_utilization
+                res.timers.gradient_s,
+                res.gpu_utilization
             );
             csv.push_str(&format!(
                 "{l},{a},{:.3},{:.4}\n",
@@ -45,6 +50,10 @@ fn main() {
         }
     }
     write_csv("fig3a_orchestration.csv", &csv);
-    println!("\nExpected shape (paper): learning time falls with more learners at");
-    println!("large actor counts; GPU utilisation falls with more learners at small counts.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): learning time falls with more learners at"
+    );
+    stellaris_bench::progress!(
+        "large actor counts; GPU utilisation falls with more learners at small counts."
+    );
 }

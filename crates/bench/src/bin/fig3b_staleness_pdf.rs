@@ -8,6 +8,7 @@ use stellaris_core::{frameworks, train, AggregationRule, LearnerMode};
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 3b",
@@ -37,12 +38,14 @@ fn main() {
         let pdf: Vec<f64> = hist.iter().map(|&c| c as f64 / total).collect();
         print_series(&format!("{l} learners pdf"), pdf.iter().copied());
         let mean = res.staleness_log.iter().sum::<u64>() as f64 / total;
-        println!("  {l} learners: mean staleness {mean:.2}, max {max_s}");
+        stellaris_bench::progress!("  {l} learners: mean staleness {mean:.2}, max {max_s}");
         for (s, p) in pdf.iter().enumerate() {
             csv.push_str(&format!("{l},{s},{p:.4}\n"));
         }
     }
     write_csv("fig3b_staleness_pdf.csv", &csv);
-    println!("\nExpected shape (paper): the staleness distribution shifts toward");
-    println!("larger values as the learner count grows.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): the staleness distribution shifts toward"
+    );
+    stellaris_bench::progress!("larger values as the learner count grows.");
 }

@@ -7,6 +7,7 @@ use stellaris_core::{frameworks, train, AggregationRule, LearnerMode};
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 3c",
@@ -30,12 +31,14 @@ fn main() {
         let kls: Vec<f64> = res.rows.iter().map(|r| r.policy_kl as f64).collect();
         print_series(&format!("{label} KL"), kls.iter().copied());
         let mean: f64 = kls.iter().sum::<f64>() / kls.len().max(1) as f64;
-        println!("  {label}: mean KL {mean:.4}");
+        stellaris_bench::progress!("  {label}: mean KL {mean:.4}");
         for (i, k) in kls.iter().enumerate() {
             csv.push_str(&format!("{label},{i},{k:.6}\n"));
         }
     }
     write_csv("fig3c_policy_kl.csv", &csv);
-    println!("\nExpected shape (paper): asynchronous learners show significantly");
-    println!("larger KL between successive policies than synchronous learners.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): asynchronous learners show significantly"
+    );
+    stellaris_bench::progress!("larger KL between successive policies than synchronous learners.");
 }

@@ -7,6 +7,7 @@ use stellaris_core::frameworks;
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 6",
@@ -22,6 +23,8 @@ fn main() {
         ],
         &opts,
     );
-    println!("\nExpected shape (paper): Stellaris improves PPO's final reward by");
-    println!("up to 2.2x, with the largest gains on the MuJoCo tasks.");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): Stellaris improves PPO's final reward by"
+    );
+    stellaris_bench::progress!("up to 2.2x, with the largest gains on the MuJoCo tasks.");
 }

@@ -6,6 +6,7 @@ use stellaris_core::frameworks;
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 7",
@@ -21,6 +22,10 @@ fn main() {
         ],
         &opts,
     );
-    println!("\nExpected shape (paper): Stellaris improves IMPACT's final reward by");
-    println!("up to 1.3x (smaller margin than PPO — IMPACT is already off-policy).");
+    stellaris_bench::progress!(
+        "\nExpected shape (paper): Stellaris improves IMPACT's final reward by"
+    );
+    stellaris_bench::progress!(
+        "up to 1.3x (smaller margin than PPO — IMPACT is already off-policy)."
+    );
 }

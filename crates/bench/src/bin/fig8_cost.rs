@@ -7,6 +7,7 @@ use stellaris_core::{frameworks, TrainConfig};
 use stellaris_envs::EnvId;
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let opts = ExpOpts::from_args();
     banner(
         "Fig. 8",
@@ -34,10 +35,14 @@ fn main() {
     ];
     let mut csv = String::from("env,system,learner_cost_usd,actor_cost_usd,total_usd\n");
     for &env in &envs {
-        println!("\n--- {} ---", env.name());
-        println!(
+        stellaris_bench::progress!("\n--- {} ---", env.name());
+        stellaris_bench::progress!(
             "  {:<22} {:>14} {:>13} {:>12} {:>9}",
-            "system", "learner($)", "actor($)", "total($)", "vs base"
+            "system",
+            "learner($)",
+            "actor($)",
+            "total($)",
+            "vs base"
         );
         for ((base_label, base_mk), (st_label, st_mk)) in &pairs {
             let base = run_seeds(|s| opts.apply(base_mk(env, s)), opts.seeds);
@@ -52,11 +57,11 @@ fn main() {
                 st.iter().map(|r| r.cost.actor_usd).sum::<f64>() / n,
             );
             let (bt, stt) = (mean_cost(&base), mean_cost(&st));
-            println!(
+            stellaris_bench::progress!(
                 "  {base_label:<22} {bl:>14.6} {ba:>13.6} {bt:>12.6} {:>9}",
                 "-"
             );
-            println!(
+            stellaris_bench::progress!(
                 "  {st_label:<22} {sl:>14.6} {sa:>13.6} {stt:>12.6} {:>8.1}%",
                 (stt - bt) / bt * 100.0
             );
@@ -71,6 +76,6 @@ fn main() {
         }
     }
     write_csv("fig8_cost.csv", &csv);
-    println!("\nExpected shape (paper): Stellaris cuts cost by up to 31% (PPO),");
-    println!("30% (IMPACT), 38% (RLlib) and 41% (MinionsRL).");
+    stellaris_bench::progress!("\nExpected shape (paper): Stellaris cuts cost by up to 31% (PPO),");
+    stellaris_bench::progress!("30% (IMPACT), 38% (RLlib) and 41% (MinionsRL).");
 }

@@ -9,16 +9,21 @@ use stellaris_core::AggregationRule;
 use stellaris_simcluster::{simulate, SimBilling, SimConfig, TimingProfile};
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     banner(
         "Paper-scale simulation",
         "virtual-time replay of the §VIII-A configurations",
     );
 
     // ----- Fig. 2(b)/8 economics at full scale ------------------------------
-    println!("\n(1) Cost of 50 rounds of MuJoCo-class training, regular testbed");
-    println!(
+    stellaris_bench::progress!("\n(1) Cost of 50 rounds of MuJoCo-class training, regular testbed");
+    stellaris_bench::progress!(
         "  {:<34} {:>11} {:>11} {:>10} {:>9}",
-        "system", "virt-time(s)", "total($)", "learner($)", "util"
+        "system",
+        "virt-time(s)",
+        "total($)",
+        "learner($)",
+        "util"
     );
     let mut csv = String::from(
         "system,virtual_time_s,total_usd,learner_usd,gpu_utilization,mean_staleness\n",
@@ -50,7 +55,7 @@ fn main() {
         ),
     ] {
         let r = simulate(&cfg);
-        println!(
+        stellaris_bench::progress!(
             "  {:<34} {:>11.1} {:>11.4} {:>10.4} {:>8.1}%",
             name,
             r.virtual_time_s,
@@ -74,7 +79,7 @@ fn main() {
     }
     if let Some(base) = baseline_cost {
         let st = simulate(&SimConfig::stellaris_paper_mujoco());
-        println!(
+        stellaris_bench::progress!(
             "  => Stellaris saves {:.0}% vs the serverful synchronous baseline",
             (1.0 - st.cost.total()
                 / simulate(&SimConfig::sync_serverful_paper_mujoco())
@@ -86,10 +91,15 @@ fn main() {
     }
 
     // ----- Fig. 3(a): learners x actors grid ---------------------------------
-    println!("\n(2) Learning time & GPU utilisation vs learners x actors (paper grid)");
-    println!(
+    stellaris_bench::progress!(
+        "\n(2) Learning time & GPU utilisation vs learners x actors (paper grid)"
+    );
+    stellaris_bench::progress!(
         "  {:>8} {:>7} {:>15} {:>15}",
-        "learners", "actors", "learn-time(s)", "utilisation"
+        "learners",
+        "actors",
+        "learn-time(s)",
+        "utilisation"
     );
     let mut csv3a = String::from("learners,actors,virtual_time_s,gpu_utilization\n");
     for learners in [2usize, 4, 6, 8] {
@@ -108,7 +118,7 @@ fn main() {
                 ..SimConfig::stellaris_paper_mujoco()
             };
             let r = simulate(&cfg);
-            println!(
+            stellaris_bench::progress!(
                 "  {learners:>8} {actors:>7} {:>15.1} {:>14.1}%",
                 r.virtual_time_s,
                 r.gpu_utilization * 100.0
@@ -121,8 +131,10 @@ fn main() {
     }
 
     // ----- Fig. 3(b): staleness vs learner count -----------------------------
-    println!("\n(3) Mean staleness under pure asynchrony vs learner count (paper: grows)");
-    println!("  {:>8} {:>16}", "learners", "mean staleness");
+    stellaris_bench::progress!(
+        "\n(3) Mean staleness under pure asynchrony vs learner count (paper: grows)"
+    );
+    stellaris_bench::progress!("  {:>8} {:>16}", "learners", "mean staleness");
     let mut csv3b = String::from("learners,mean_staleness\n");
     for learners in [2usize, 4, 8] {
         let cfg = SimConfig {
@@ -132,12 +144,12 @@ fn main() {
             ..SimConfig::stellaris_paper_mujoco()
         };
         let r = simulate(&cfg);
-        println!("  {learners:>8} {:>16.2}", r.mean_staleness());
+        stellaris_bench::progress!("  {learners:>8} {:>16.2}", r.mean_staleness());
         csv3b.push_str(&format!("{learners},{:.3}\n", r.mean_staleness()));
     }
 
     // ----- Fig. 12 scale: HPC cluster ---------------------------------------
-    println!("\n(4) HPC testbed (16 V100s, 960 cores), Atari-class workload");
+    stellaris_bench::progress!("\n(4) HPC testbed (16 V100s, 960 cores), Atari-class workload");
     let st = simulate(&SimConfig {
         rounds: 10,
         ..SimConfig::stellaris_hpc_atari()
@@ -146,7 +158,7 @@ fn main() {
         rounds: 10,
         ..SimConfig::parrl_hpc_atari()
     });
-    println!(
+    stellaris_bench::progress!(
         "  Stellaris(HPC): {:.0}s virtual, ${:.2}; PAR-RL-style: {:.0}s, ${:.2} (saving {:.0}%)",
         st.virtual_time_s,
         st.cost.total(),

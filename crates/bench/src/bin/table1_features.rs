@@ -4,14 +4,19 @@
 use stellaris_core::frameworks::table1;
 
 fn main() {
-    println!("Table I: Summary of DRL training frameworks");
-    println!(
+    let _telemetry = stellaris_bench::telemetry_from_env();
+    stellaris_bench::progress!("Table I: Summary of DRL training frameworks");
+    stellaris_bench::progress!(
         "{:<12} {:>15} {:>15} {:>16} {:>11}",
-        "Framework", "Async.Learners", "Scalable Actors", "On-&Off-policy", "Serverless"
+        "Framework",
+        "Async.Learners",
+        "Scalable Actors",
+        "On-&Off-policy",
+        "Serverless"
     );
     let mark = |b: bool| if b { "yes" } else { "no" };
     for row in table1() {
-        println!(
+        stellaris_bench::progress!(
             "{:<12} {:>15} {:>15} {:>16} {:>11}",
             row.name,
             mark(row.async_learners),

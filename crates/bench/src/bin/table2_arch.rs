@@ -6,7 +6,8 @@ use stellaris_nn::ParamSet;
 use stellaris_rl::{Backbone, PolicyNet, PolicySpec};
 
 fn main() {
-    println!("Table II: Neural network architecture used in DRL training\n");
+    let _telemetry = stellaris_bench::telemetry_from_env();
+    stellaris_bench::progress!("Table II: Neural network architecture used in DRL training\n");
     for (label, id, cfg) in [
         ("MuJoCo (Hopper)", EnvId::Hopper, EnvConfig::default()),
         (
@@ -19,11 +20,11 @@ fn main() {
         env.reset(0);
         let spec = PolicySpec::for_env(env.as_ref());
         let policy = PolicyNet::new(spec, 0);
-        println!("{label}:");
+        stellaris_bench::progress!("{label}:");
         match &policy.actor {
             Backbone::Mlp(m) => {
                 for (i, layer) in m.layers.iter().enumerate() {
-                    println!(
+                    stellaris_bench::progress!(
                         "  fully-connected {:>4} -> {:<4} ({})",
                         layer.w.shape()[0],
                         layer.w.shape()[1],
@@ -38,20 +39,27 @@ fn main() {
             Backbone::Cnn(c) => {
                 for conv in &c.convs {
                     let s = conv.w.shape();
-                    println!(
+                    stellaris_bench::progress!(
                         "  conv {:>3} filters {}x{} stride {} (ReLU)",
-                        s[0], s[2], s[3], conv.stride
+                        s[0],
+                        s[2],
+                        s[3],
+                        conv.stride
                     );
                 }
-                println!(
+                stellaris_bench::progress!(
                     "  dense {} -> {} (ReLU; the paper's final 256@kxk conv collapsing the map)",
                     c.fc.w.shape()[0],
                     c.fc.w.shape()[1]
                 );
-                println!("  head  {} -> {}", c.head.w.shape()[0], c.head.w.shape()[1]);
+                stellaris_bench::progress!(
+                    "  head  {} -> {}",
+                    c.head.w.shape()[0],
+                    c.head.w.shape()[1]
+                );
             }
         }
-        println!("  trainable scalars: {}\n", policy.num_scalars());
+        stellaris_bench::progress!("  trainable scalars: {}\n", policy.num_scalars());
     }
-    println!("Critic networks share the same architecture with a scalar head.");
+    stellaris_bench::progress!("Critic networks share the same architecture with a scalar head.");
 }

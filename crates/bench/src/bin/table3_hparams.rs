@@ -4,11 +4,13 @@
 use stellaris_rl::{ImpactConfig, PpoConfig};
 
 fn main() {
+    let _telemetry = stellaris_bench::telemetry_from_env();
     let ppo = PpoConfig::paper();
     let imp = ImpactConfig::paper();
-    println!("Table III: PPO's and IMPACT's hyperparameters\n");
-    println!("{:<30} {:>10} {:>10}", "Parameter", "PPO", "IMPACT");
-    let row = |name: &str, a: String, b: String| println!("{name:<30} {a:>10} {b:>10}");
+    stellaris_bench::progress!("Table III: PPO's and IMPACT's hyperparameters\n");
+    stellaris_bench::progress!("{:<30} {:>10} {:>10}", "Parameter", "PPO", "IMPACT");
+    let row =
+        |name: &str, a: String, b: String| stellaris_bench::progress!("{name:<30} {a:>10} {b:>10}");
     row(
         "Learning rate",
         format!("{}", ppo.lr),
@@ -59,5 +61,5 @@ fn main() {
         "N/A".into(),
         format!("{}", imp.target_update_freq),
     );
-    println!("\nBoth algorithms train with the Adam optimizer (as in §VIII-B).");
+    stellaris_bench::progress!("\nBoth algorithms train with the Adam optimizer (as in §VIII-B).");
 }

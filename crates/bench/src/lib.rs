@@ -17,6 +17,89 @@ use std::path::PathBuf;
 use stellaris_core::{train, TrainConfig, TrainResult};
 use stellaris_envs::EnvId;
 
+/// Emits one human-readable progress line on **stderr** and mirrors it as a
+/// `bench.progress` telemetry instant event. Stdout is reserved for
+/// machine-parseable output (see [`emit_csv`]), so piping a bench binary
+/// into a file or parser never captures banners and sparklines.
+pub fn emit_progress(msg: &str) {
+    stellaris_telemetry::instant("bench.progress", vec![("msg", msg.into())]);
+    // lint:allow(L5): progress goes to stderr by design; stdout stays CSV-only
+    eprintln!("{msg}");
+}
+
+/// Writes one machine-parseable line (CSV row, path, or summary record) to
+/// stdout — the only thing bench binaries print there.
+pub fn emit_csv(line: &str) {
+    // lint:allow(L5): stdout is the bench binaries' machine-readable channel
+    println!("{line}");
+}
+
+/// `println!`-style progress reporting for bench binaries, routed through
+/// [`emit_progress`] (stderr + telemetry) so stdout stays machine-parseable.
+#[macro_export]
+macro_rules! progress {
+    () => { $crate::emit_progress("") };
+    ($($arg:tt)*) => { $crate::emit_progress(&format!($($arg)*)) };
+}
+
+/// RAII handle that enables tracing when `STELLARIS_TRACE=<base>` is set in
+/// the environment and, on drop, writes `<base>.jsonl` (structured events),
+/// `<base>.trace.json` (chrome://tracing) and `<base>.prom` (Prometheus
+/// text exposition). Construct it first thing in `main` via
+/// [`telemetry_from_env`] so the guard outlives the whole run.
+pub struct TelemetryGuard {
+    base: Option<PathBuf>,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        let Some(base) = self.base.take() else {
+            return;
+        };
+        stellaris_telemetry::flush_thread();
+        let events = stellaris_telemetry::drain();
+        if let Some(dir) = base.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = fs::create_dir_all(dir);
+            }
+        }
+        let with_ext = |ext: &str| {
+            let mut s = base.clone().into_os_string();
+            s.push(ext);
+            PathBuf::from(s)
+        };
+        let mut jsonl = Vec::new();
+        if stellaris_telemetry::write_jsonl(&events, &mut jsonl).is_ok() {
+            let _ = fs::write(with_ext(".jsonl"), &jsonl);
+        }
+        let mut chrome = Vec::new();
+        if stellaris_telemetry::write_chrome_trace(&events, &mut chrome).is_ok() {
+            let _ = fs::write(with_ext(".trace.json"), &chrome);
+        }
+        let _ = fs::write(
+            with_ext(".prom"),
+            stellaris_telemetry::global().render_prometheus(),
+        );
+        emit_progress(&format!(
+            "telemetry: {} events -> {}.{{jsonl,trace.json,prom}} ({} dropped)",
+            events.len(),
+            base.display(),
+            stellaris_telemetry::dropped_events(),
+        ));
+    }
+}
+
+/// Reads `STELLARIS_TRACE` and arms telemetry for this process; see
+/// [`TelemetryGuard`]. With the variable unset, tracing stays disabled and
+/// the guard is inert.
+pub fn telemetry_from_env() -> TelemetryGuard {
+    let base = std::env::var_os("STELLARIS_TRACE").map(PathBuf::from);
+    if base.is_some() {
+        stellaris_telemetry::enable();
+    }
+    TelemetryGuard { base }
+}
+
 /// Command-line options shared by all figure harnesses.
 #[derive(Clone, Debug)]
 pub struct ExpOpts {
@@ -142,11 +225,13 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
-/// Writes a CSV file under the experiments directory and reports its path.
+/// Writes a CSV file under the experiments directory, mirrors its content
+/// to stdout (the machine-parseable channel) and reports the path on stderr.
 pub fn write_csv(name: &str, content: &str) {
     let path = experiments_dir().join(name);
     fs::write(&path, content).expect("cannot write experiment CSV");
-    println!("  -> wrote {}", path.display());
+    emit_csv(content.trim_end());
+    progress!("  -> wrote {}", path.display());
 }
 
 /// Prints a labelled numeric series on one line (the plottable data),
@@ -154,8 +239,8 @@ pub fn write_csv(name: &str, content: &str) {
 pub fn print_series(label: &str, values: impl IntoIterator<Item = f64>) {
     let vals: Vec<f64> = values.into_iter().collect();
     let s: Vec<String> = vals.iter().map(|v| format!("{v:.3}")).collect();
-    println!("  {label:<28} {}", s.join(" "));
-    println!("  {:<28} {}", "", sparkline(&vals));
+    progress!("  {label:<28} {}", s.join(" "));
+    progress!("  {:<28} {}", "", sparkline(&vals));
 }
 
 /// Renders a numeric series as a unicode sparkline (`▁▂▃▄▅▆▇█`).
@@ -188,9 +273,9 @@ pub fn sparkline(values: &[f64]) -> String {
 
 /// Standard figure banner.
 pub fn banner(fig: &str, what: &str) {
-    println!("================================================================");
-    println!("{fig}: {what}");
-    println!("================================================================");
+    progress!("================================================================");
+    progress!("{fig}: {what}");
+    progress!("================================================================");
 }
 
 /// A named configuration constructor used by [`run_pairwise`].
@@ -201,7 +286,7 @@ pub type Variant<'a> = (&'a str, &'a dyn Fn(EnvId, u64) -> TrainConfig);
 /// workhorse behind Figs. 2, 6, 7, 9, 10 and 12.
 pub fn run_pairwise(fig: &str, envs: &[EnvId], variants: &[Variant<'_>], opts: &ExpOpts) {
     for &env in envs {
-        println!("\n--- {} ---", env.name());
+        progress!("\n--- {} ---", env.name());
         let mut csv = String::from("variant,round,reward,cost_usd\n");
         let mut summaries = Vec::new();
         for (label, mk) in variants {
@@ -235,18 +320,20 @@ pub fn run_pairwise(fig: &str, envs: &[EnvId], variants: &[Variant<'_>], opts: &
                 mean_cost(&results),
             ));
         }
-        println!(
+        progress!(
             "  {:<20} {:>12} {:>14}",
-            "variant", "final-reward", "total-cost($)"
+            "variant",
+            "final-reward",
+            "total-cost($)"
         );
         for (label, reward, cost) in &summaries {
-            println!("  {label:<20} {reward:>12.2} {cost:>14.6}");
+            progress!("  {label:<20} {reward:>12.2} {cost:>14.6}");
         }
         if summaries.len() >= 2 {
             let (base_r, base_c) = (summaries[1].1, summaries[1].2);
             let (st_r, st_c) = (summaries[0].1, summaries[0].2);
             if base_r.abs() > 1e-6 && base_c > 0.0 {
-                println!(
+                progress!(
                     "  => reward ratio (first/second): {:.2}x, cost change: {:+.1}%",
                     st_r / base_r,
                     (st_c - base_c) / base_c * 100.0

@@ -134,13 +134,26 @@ impl SspThrottle {
 
     /// Blocks until starting at `clock` keeps the lead within the bound,
     /// then registers the computation. Returns a guard token (`clock`).
+    /// Throttled dispatches are counted in
+    /// `stellaris_core_ssp_throttled_total` and traced as `core.ssp_wait`
+    /// spans so SSP's dispatch stalls are visible in the latency breakdown.
     pub fn begin(&self, clock: u64) -> u64 {
         let mut inflight = self.inflight.lock();
+        let mut wait_span: Option<stellaris_telemetry::SpanGuard> = None;
         loop {
             let oldest = inflight.iter().min().copied().unwrap_or(clock);
             if clock.saturating_sub(oldest) <= self.bound {
                 inflight.push(clock);
                 return clock;
+            }
+            if wait_span.is_none() {
+                stellaris_telemetry::global()
+                    .counter("stellaris_core_ssp_throttled_total")
+                    .inc();
+                wait_span = Some(stellaris_telemetry::span_with(
+                    "core.ssp_wait",
+                    vec![("clock", clock.into()), ("oldest", oldest.into())],
+                ));
             }
             self.cond.wait(&mut inflight);
         }

@@ -1,8 +1,18 @@
 //! Training metrics: per-round rows (matching the artifact's CSV schema),
 //! component timers for the Fig. 14 latency breakdown, and CSV output.
+//!
+//! The Fig. 14 breakdown is measured with telemetry spans: call sites open
+//! a [`Timers::span`] guard for a [`Component`], and on drop the elapsed
+//! time feeds (a) the per-run atomic counter behind [`TimerReport`],
+//! (b) the global `stellaris_core_latency_us_<component>` histogram, and
+//! (c) a `core.<component>` trace span when tracing is enabled.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use stellaris_telemetry as telemetry;
+use stellaris_telemetry::Histogram;
 
 /// One training round's record. Columns mirror the paper artifact's output
 /// CSV: "training round index, round duration, number of learner functions
@@ -89,10 +99,139 @@ pub struct Timers {
     pub cache_us: AtomicU64,
 }
 
+/// One component of the Fig. 14 latency breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// Actor-environment sampling.
+    ActorSampling,
+    /// Data-loader batching/staging (GAE, minibatching).
+    DataLoading,
+    /// Learner gradient computation.
+    Gradient,
+    /// Parameter-function aggregation + policy update.
+    Aggregation,
+    /// Serverless startup overhead (cold/warm starts).
+    Startup,
+    /// Policy/trajectory (de)serialisation + cache traffic.
+    Cache,
+}
+
+impl Component {
+    /// All components, in [`TimerReport`] field order.
+    pub const ALL: [Component; 6] = [
+        Component::ActorSampling,
+        Component::DataLoading,
+        Component::Gradient,
+        Component::Aggregation,
+        Component::Startup,
+        Component::Cache,
+    ];
+
+    /// Short snake_case component name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::ActorSampling => "actor_sampling",
+            Component::DataLoading => "data_loading",
+            Component::Gradient => "gradient",
+            Component::Aggregation => "aggregation",
+            Component::Startup => "startup",
+            Component::Cache => "cache",
+        }
+    }
+
+    /// Trace span name (`core.<component>`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Component::ActorSampling => "core.actor_sampling",
+            Component::DataLoading => "core.data_loading",
+            Component::Gradient => "core.gradient",
+            Component::Aggregation => "core.aggregation",
+            Component::Startup => "core.startup",
+            Component::Cache => "core.cache",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Component::ActorSampling => 0,
+            Component::DataLoading => 1,
+            Component::Gradient => 2,
+            Component::Aggregation => 3,
+            Component::Startup => 4,
+            Component::Cache => 5,
+        }
+    }
+}
+
+/// Global per-component latency histograms, resolved once.
+fn component_histograms() -> &'static [Arc<Histogram>; 6] {
+    static HISTS: OnceLock<[Arc<Histogram>; 6]> = OnceLock::new();
+    HISTS.get_or_init(|| {
+        Component::ALL.map(|c| {
+            telemetry::global().histogram(&format!("stellaris_core_latency_us_{}", c.name()))
+        })
+    })
+}
+
+/// RAII guard from [`Timers::span`]: on drop, the elapsed time is added to
+/// the run's [`Timers`] counter, recorded into the component's global
+/// latency histogram, and emitted as a `core.<component>` trace span.
+#[must_use = "a component span records its duration when dropped"]
+pub struct ComponentSpan<'a> {
+    timers: &'a Timers,
+    component: Component,
+    start_us: u64,
+    _trace: telemetry::SpanGuard,
+}
+
+impl Drop for ComponentSpan<'_> {
+    fn drop(&mut self) {
+        let elapsed = telemetry::now_us().saturating_sub(self.start_us);
+        self.timers.add_us(self.component, elapsed);
+    }
+}
+
 impl Timers {
-    /// Adds a duration to a counter.
+    /// Adds a duration to a counter (saturating at `u64::MAX` µs rather
+    /// than truncating the 128-bit microsecond count).
     pub fn add(counter: &AtomicU64, d: Duration) {
-        counter.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        counter.fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn counter(&self, c: Component) -> &AtomicU64 {
+        match c {
+            Component::ActorSampling => &self.actor_sampling_us,
+            Component::DataLoading => &self.data_loading_us,
+            Component::Gradient => &self.gradient_us,
+            Component::Aggregation => &self.aggregation_us,
+            Component::Startup => &self.startup_us,
+            Component::Cache => &self.cache_us,
+        }
+    }
+
+    /// Adds `us` microseconds to `c`'s counter and the matching global
+    /// latency histogram.
+    pub fn add_us(&self, c: Component, us: u64) {
+        self.counter(c).fetch_add(us, Ordering::Relaxed);
+        component_histograms()[c.index()].record(us);
+    }
+
+    /// Records a duration against a component (counter + histogram).
+    pub fn record(&self, c: Component, d: Duration) {
+        self.add_us(c, u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Opens a timing span for `c`: the returned guard accumulates its
+    /// lifetime into this `Timers` (feeding [`TimerReport`]) and emits a
+    /// trace span when tracing is enabled.
+    pub fn span(&self, c: Component) -> ComponentSpan<'_> {
+        ComponentSpan {
+            timers: self,
+            component: c,
+            start_us: telemetry::now_us(),
+            _trace: telemetry::span(c.span_name()),
+        }
     }
 
     /// Snapshot in seconds per component.
@@ -211,5 +350,43 @@ mod tests {
     #[test]
     fn empty_timers_zero_fraction() {
         assert_eq!(TimerReport::default().overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn component_spans_feed_the_report() {
+        let t = Timers::default();
+        {
+            let _g = t.span(Component::Aggregation);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        t.record(Component::Cache, Duration::from_millis(3));
+        let r = t.report();
+        assert!(r.aggregation_s > 0.0, "{r:?}");
+        assert!((r.cache_s - 0.003).abs() < 1e-9, "{r:?}");
+        // The same samples land in the global latency histograms.
+        assert!(
+            stellaris_telemetry::global()
+                .histogram("stellaris_core_latency_us_cache")
+                .count()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn saturating_duration_cast_never_truncates() {
+        let t = Timers::default();
+        // > u64::MAX microseconds: the old `as u64` cast wrapped this to a
+        // small number; now it saturates.
+        Timers::add(&t.startup_us, Duration::MAX);
+        assert_eq!(t.startup_us.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn component_names_are_stable() {
+        assert_eq!(Component::ALL.len(), 6);
+        for c in Component::ALL {
+            assert!(c.span_name().starts_with("core."));
+            assert!(c.span_name().ends_with(c.name()));
+        }
     }
 }

@@ -31,12 +31,13 @@ use stellaris_serverless::{
     bill_hybrid, bill_serverful, bill_serverless, CostBreakdown, FunctionKind, OverheadMode,
     Platform, StartupProfile,
 };
+use stellaris_telemetry as telemetry;
 
 use crate::aggregation::{AggregationRule, SspThrottle};
 use crate::autoscale::LearnerAutoscaler;
 use crate::config::{Algo, Deployment, LearnerMode, TrainConfig};
 use crate::messages::GradientMsg;
-use crate::metrics::{TimerReport, Timers, TrainRow};
+use crate::metrics::{Component, TimerReport, Timers, TrainRow};
 use crate::parameter::ParameterServer;
 use crate::truncation::RatioBoard;
 
@@ -258,10 +259,8 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         local.load_snapshot(&snap);
                     }
                     let mut collect = || {
-                        let t0 = Instant::now();
-                        let batch = worker.collect(&local, cfg.actor_steps);
-                        Timers::add(&timers.actor_sampling_us, t0.elapsed());
-                        batch
+                        let _t = timers.span(Component::ActorSampling);
+                        worker.collect(&local, cfg.actor_steps)
                     };
                     let batch = if serverless_actor {
                         platform.invoke(FunctionKind::Actor, collect).0
@@ -289,7 +288,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let minibatch = cfg.minibatch;
             s.spawn(move |_| {
                 while let Some(mut batch) = traj_q.pop() {
-                    let t0 = Instant::now();
+                    let _t = timers.span(Component::DataLoading);
                     fill_gae(&mut batch, gamma, lambda);
                     batch.normalize_advantages();
                     for mb in batch.minibatches(minibatch) {
@@ -297,7 +296,6 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         // pointer learners dereference without copying.
                         work_q.push(Arc::new(mb));
                     }
-                    Timers::add(&timers.data_loading_us, t0.elapsed());
                 }
                 work_q.close();
             });
@@ -341,7 +339,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         t.begin(clock)
                     });
                     let (msg, _rec) = platform.invoke(FunctionKind::Learner, || {
-                        let t0 = Instant::now();
+                        let _t = timers.span(Component::Gradient);
                         let snap: PolicySnapshot = cache
                             .get_obj(POLICY_KEY)
                             // lint:allow(L1): POLICY_KEY is seeded before any learner spawns and never deleted
@@ -357,16 +355,17 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                             l,
                         );
                         board.publish(l, msg.is_ratio);
-                        Timers::add(&timers.gradient_us, t0.elapsed());
                         msg
                     });
                     if let (Some(th), Some(t)) = (&throttle, token) {
                         th.end(t);
                     }
-                    let t1 = Instant::now();
-                    let key = format!("grad:{}", cache.incr("grad_seq"));
-                    cache.put_obj(&key, &msg);
-                    Timers::add(&timers.cache_us, t1.elapsed());
+                    let key = {
+                        let _t = timers.span(Component::Cache);
+                        let key = format!("grad:{}", cache.incr("grad_seq"));
+                        cache.put_obj(&key, &msg);
+                        key
+                    };
                     grad_q.push(key, msg.base_version);
                 }
             });
@@ -380,18 +379,23 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let timers = timers.clone();
             s.spawn(move |_| {
                 while let Some((key, _base_version)) = grad_q.pop() {
-                    let t0 = Instant::now();
+                    let _t = timers.span(Component::Aggregation);
                     let Ok(msg) = cache.take_obj::<GradientMsg>(&key) else {
                         continue;
                     };
                     let mut srv = server.lock();
                     let applied = srv.offer(msg);
+                    let clock = srv.clock();
                     if applied > 0 {
                         let snap = srv.snapshot();
                         drop(srv);
                         cache.put_obj(POLICY_KEY, &snap);
+                    } else {
+                        drop(srv);
                     }
-                    Timers::add(&timers.aggregation_us, t0.elapsed());
+                    // Publish the aggregation clock so dequeues can histogram
+                    // each gradient's staleness at consumption time.
+                    grad_q.advance_clock(clock);
                 }
             });
         }
@@ -407,13 +411,17 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         let mut last_round_end = Instant::now();
         let mut last_reward = f32::NEG_INFINITY;
 
+        let rounds_total = telemetry::global().counter("stellaris_core_rounds_total");
+        let depth_gauge = telemetry::global().gauge("stellaris_core_work_queue_depth");
         for round in 0..cfg.rounds {
+            let mut round_span = telemetry::span_with("core.round", vec![("round", round.into())]);
             let target = (round as u64 + 1) * round_quota;
             sample_target.store(target, Ordering::Release);
             let deadline = Instant::now() + Duration::from_secs(120);
             while steps.load(Ordering::Acquire) < target && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(2));
             }
+            depth_gauge.set(work_q.len() as f64);
             // Evaluate the current canonical policy.
             if let Ok(snap) = cache.get_obj::<PolicySnapshot>(POLICY_KEY) {
                 eval_policy.load_snapshot(&snap);
@@ -476,6 +484,9 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             prev_invocations = invocations;
             prev_episodes = episodes.load(Ordering::Relaxed);
             prev_staleness_len = staleness_len;
+            round_span.field("reward", f64::from(reward));
+            round_span.field("mean_staleness", mean_staleness);
+            rounds_total.inc();
         }
 
         // ----- shutdown ---------------------------------------------------------
@@ -551,7 +562,9 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     let mut last_round_end = Instant::now();
     let collects_per_round = cfg.round_timesteps.div_ceil(cfg.n_actors * cfg.actor_steps);
 
+    let rounds_total = telemetry::global().counter("stellaris_core_rounds_total");
     for round in 0..cfg.rounds {
+        let mut round_span = telemetry::span_with("core.round", vec![("round", round.into())]);
         // Synchronous actor wave(s).
         let mut batches: Vec<SampleBatch> = Vec::new();
         for _ in 0..collects_per_round.max(1) {
@@ -570,10 +583,8 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                             let mut local = build_policy(&cfg2);
                             local.load_snapshot(&snap);
                             let mut collect = || {
-                                let t0 = Instant::now();
-                                let b = w.collect(&local, cfg2.actor_steps);
-                                Timers::add(&timers.actor_sampling_us, t0.elapsed());
-                                b
+                                let _t = timers.span(Component::ActorSampling);
+                                w.collect(&local, cfg2.actor_steps)
                             };
                             if serverless_actor {
                                 platform.invoke(FunctionKind::Actor, collect).0
@@ -599,14 +610,15 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
         }
 
         // Data loader: GAE + minibatching.
-        let t0 = Instant::now();
         let mut minibatches: Vec<SampleBatch> = Vec::new();
-        for mut b in batches {
-            fill_gae(&mut b, gamma, lambda);
-            b.normalize_advantages();
-            minibatches.extend(b.minibatches(cfg.minibatch));
+        {
+            let _t = timers.span(Component::DataLoading);
+            for mut b in batches {
+                fill_gae(&mut b, gamma, lambda);
+                b.normalize_advantages();
+                minibatches.extend(b.minibatches(cfg.minibatch));
+            }
         }
-        Timers::add(&timers.data_loading_us, t0.elapsed());
 
         // Synchronous data-parallel learner waves.
         let mut idx = 0;
@@ -637,20 +649,22 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                             let platform2 = platform.clone();
                             platform
                                 .invoke(FunctionKind::Learner, || {
-                                    let t0 = Instant::now();
-                                    let mut local = build_policy(&cfg2);
-                                    let mut impact_state = impact_slot.lock().take();
-                                    let msg = learner_compute(
-                                        &cfg2,
-                                        &mut local,
-                                        &mut impact_state,
-                                        &snap,
-                                        mb,
-                                        None,
-                                        l,
-                                    );
-                                    *impact_slot.lock() = impact_state;
-                                    Timers::add(&timers.gradient_us, t0.elapsed());
+                                    let msg = {
+                                        let _t = timers.span(Component::Gradient);
+                                        let mut local = build_policy(&cfg2);
+                                        let mut impact_state = impact_slot.lock().take();
+                                        let msg = learner_compute(
+                                            &cfg2,
+                                            &mut local,
+                                            &mut impact_state,
+                                            &snap,
+                                            mb,
+                                            None,
+                                            l,
+                                        );
+                                        *impact_slot.lock() = impact_state;
+                                        msg
+                                    };
                                     // Waiting for the wave's stragglers holds
                                     // the GPU slot: billed, though it burns no
                                     // CPU (CPU-time billing would miss it).
@@ -668,7 +682,7 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
             })
             // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("learner wave panicked");
-            let t1 = Instant::now();
+            let _agg = timers.span(Component::Aggregation);
             let wave_n = msgs.len();
             if wave_n < n_learners.max(1) {
                 // Last partial wave: temporarily lower the sync barrier.
@@ -690,7 +704,6 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                 }
             }
             cache.put_obj(POLICY_KEY, &server.snapshot());
-            Timers::add(&timers.aggregation_us, t1.elapsed());
         }
 
         // Evaluation + metrics.
@@ -733,6 +746,8 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
         prev_invocations = invocations;
         prev_episodes = episodes_total;
         prev_updates = server.updates;
+        round_span.field("reward", f64::from(reward));
+        rounds_total.inc();
     }
 
     finalize(cfg, rows, &server, &platform, &timers, start)

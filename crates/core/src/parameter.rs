@@ -7,8 +7,11 @@
 //! configured optimizer. The policy clock (`PolicyNet::version`) increments
 //! on every update and is the reference for all staleness computations.
 
+use std::sync::Arc;
+
 use stellaris_nn::{Optimizer, ParamSet, Tensor};
 use stellaris_rl::{PolicyNet, PolicySnapshot};
+use stellaris_telemetry::{Counter, Histogram};
 
 use crate::aggregation::AggregationRule;
 use crate::messages::GradientMsg;
@@ -29,12 +32,18 @@ pub struct ParameterServer {
     pub updates: u64,
     /// Number of gradients folded in.
     pub grads_aggregated: u64,
+    /// Global staleness histogram: one sample per aggregated gradient, so
+    /// its count always equals the sum of `grads_aggregated` across runs.
+    staleness_hist: Arc<Histogram>,
+    gate_admitted: Arc<Counter>,
+    gate_delayed: Arc<Counter>,
 }
 
 impl ParameterServer {
     /// Creates a server around an initial policy.
     pub fn new(policy: PolicyNet, optimizer: Box<dyn Optimizer>, rule: AggregationRule) -> Self {
         let schedule = rule.make_schedule();
+        let reg = stellaris_telemetry::global();
         Self {
             policy,
             optimizer,
@@ -44,6 +53,9 @@ impl ParameterServer {
             staleness_log: Vec::new(),
             updates: 0,
             grads_aggregated: 0,
+            staleness_hist: reg.histogram("stellaris_core_staleness"),
+            gate_admitted: reg.counter("stellaris_core_gate_admitted_total"),
+            gate_delayed: reg.counter("stellaris_core_gate_delayed_total"),
         }
     }
 
@@ -80,11 +92,16 @@ impl ParameterServer {
 
     /// One aggregation attempt; true if an update happened.
     fn try_flush(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
         let clock = self.clock();
         let staleness: Vec<u64> = self.pending.iter().map(|m| m.staleness(clock)).collect();
         if !self.rule.admits(&staleness, self.schedule.as_ref()) {
+            self.gate_delayed.inc();
             return false;
         }
+        self.gate_admitted.inc();
         // Per-gradient aggregation rules consume one message per update;
         // batched rules fold the whole queue.
         let take = match self.rule {
@@ -117,6 +134,7 @@ impl ParameterServer {
             );
             let delta = msg.staleness(clock);
             self.staleness_log.push(delta);
+            self.staleness_hist.record(delta);
             let w = self.rule.weight(delta) / h;
             for (acc, grad) in agg.iter_mut().zip(msg.grads.iter()) {
                 assert_eq!(acc.shape(), grad.shape(), "gradient shape mismatch");

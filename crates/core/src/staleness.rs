@@ -64,9 +64,19 @@ impl StalenessSchedule {
         Some(dmax * self.d.powi(self.round as i32))
     }
 
-    /// Advances to the next training round, tightening the threshold.
+    /// Advances to the next training round, tightening the threshold. The
+    /// current `β_k` and calibrated `δ_max` are published as gauges
+    /// (`stellaris_core_staleness_beta` / `..._delta_max`) so traces show
+    /// the Eq. 3 schedule decaying.
     pub fn advance_round(&mut self) {
         self.round += 1;
+        let reg = stellaris_telemetry::global();
+        if let Some(beta) = self.beta() {
+            reg.gauge("stellaris_core_staleness_beta").set(beta);
+        }
+        if let Some(dmax) = self.delta_max {
+            reg.gauge("stellaris_core_staleness_delta_max").set(dmax);
+        }
     }
 
     /// Current round index.

@@ -1,8 +1,9 @@
 //! `stellaris-lint`: repo-specific invariant linter for the Stellaris
 //! workspace.
 //!
-//! Four rules (see [`rules`]): panic-freedom (L1), determinism (L2),
-//! lock-discipline (L3), and lossy-cast (L4). Rules are scoped per file by
+//! Five rules (see [`rules`]): panic-freedom (L1), determinism (L2),
+//! lock-discipline (L3), lossy-cast (L4), and print-discipline (L5).
+//! Rules are scoped per file by
 //! [`rules_for`]; violations carry `file:line` and can be suppressed with a
 //! justified `// lint:allow(<rule>): <why>` comment.
 //!
@@ -20,13 +21,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Library crates that must be panic-free (L1) outside tests.
-const L1_CRATES: [&str; 6] = [
+const L1_CRATES: [&str; 7] = [
     "crates/cache/src/",
     "crates/core/src/",
     "crates/nn/src/",
     "crates/rl/src/",
     "crates/serverless/src/",
     "crates/simcluster/src/",
+    "crates/telemetry/src/",
 ];
 
 /// Deterministic code: math must not read ambient RNGs or clocks (L2).
@@ -73,6 +75,9 @@ pub fn rules_for(rel: &str) -> RuleSet {
     if !in_workspace_src {
         return RuleSet::none();
     }
+    // Binary entry points (CLI, figure harnesses, the lint runner) own their
+    // stdout/stderr; library code must route output through telemetry.
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs") || rel == "src/main.rs";
     RuleSet {
         l1: L1_CRATES.iter().any(|p| rel.starts_with(p)),
         l2: L2_SCOPES.iter().any(|p| rel.starts_with(p)),
@@ -80,6 +85,7 @@ pub fn rules_for(rel: &str) -> RuleSet {
         // including the CLI and this linter itself.
         l3: true,
         l4: L4_MODULES.contains(&rel),
+        l5: !is_bin,
     }
 }
 
@@ -147,13 +153,24 @@ mod tests {
     #[test]
     fn scoping_matches_policy() {
         let r = rules_for("crates/core/src/aggregation.rs");
-        assert!(r.l1 && r.l2 && r.l3 && !r.l4);
+        assert!(r.l1 && r.l2 && r.l3 && !r.l4 && r.l5);
         let r = rules_for("crates/core/src/staleness.rs");
         assert!(r.l1 && r.l2 && r.l3 && r.l4);
         let r = rules_for("crates/envs/src/mujoco.rs");
         assert!(!r.l1 && !r.l2 && r.l3, "envs: lock discipline only");
         let r = rules_for("src/main.rs");
-        assert!(!r.l1 && r.l3, "CLI may panic but must respect locks");
+        assert!(!r.l1 && r.l3 && !r.l5, "CLI may panic and print");
+        let r = rules_for("crates/telemetry/src/trace.rs");
+        assert!(r.l1 && r.l5, "telemetry is panic-free, print-free library");
+    }
+
+    #[test]
+    fn bins_are_exempt_from_print_discipline() {
+        assert!(!rules_for("crates/bench/src/bin/fig6_ppo.rs").l5);
+        assert!(!rules_for("crates/lint/src/main.rs").l5);
+        assert!(rules_for("crates/bench/src/lib.rs").l5);
+        // `domain.rs` must not be mistaken for `main.rs`.
+        assert!(rules_for("crates/core/src/domain.rs").l5);
     }
 
     #[test]

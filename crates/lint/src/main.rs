@@ -40,7 +40,7 @@ fn main() -> ExitCode {
     if diags.is_empty() {
         println!(
             "stellaris-lint: clean ({} rules over {})",
-            4,
+            5,
             root.display()
         );
         return ExitCode::SUCCESS;

@@ -1,11 +1,12 @@
-//! The four Stellaris invariant rules and the `lint:allow` escape hatch.
+//! The five Stellaris invariant rules and the `lint:allow` escape hatch.
 //!
-//! | id | name            | guards                                            |
-//! |----|-----------------|---------------------------------------------------|
-//! | L1 | panic-freedom   | no `unwrap()`/`expect()`/`panic!` in library code |
-//! | L2 | determinism     | no ambient RNG or wall-clock in deterministic code|
-//! | L3 | lock-discipline | no guard held across send/recv or a second lock   |
-//! | L4 | lossy-cast      | no `as f32`/`as f64` in gradient/staleness math   |
+//! | id | name             | guards                                            |
+//! |----|------------------|---------------------------------------------------|
+//! | L1 | panic-freedom    | no `unwrap()`/`expect()`/`panic!` in library code |
+//! | L2 | determinism      | no ambient RNG or wall-clock in deterministic code|
+//! | L3 | lock-discipline  | no guard held across send/recv or a second lock   |
+//! | L4 | lossy-cast       | no `as f32`/`as f64` in gradient/staleness math   |
+//! | L5 | print-discipline | no `println!`-family macros in library code       |
 //!
 //! Any diagnostic can be suppressed with a justified comment on the same
 //! line or the line above:
@@ -32,6 +33,9 @@ pub enum Rule {
     L3,
     /// No lossy `as` float casts in gradient/staleness math.
     L4,
+    /// No `println!`/`eprintln!`/`dbg!` in non-test, non-bin library code;
+    /// route output through telemetry events or the bench `progress!` helper.
+    L5,
 }
 
 impl Rule {
@@ -42,6 +46,7 @@ impl Rule {
             Rule::L2 => "L2",
             Rule::L3 => "L3",
             Rule::L4 => "L4",
+            Rule::L5 => "L5",
         }
     }
 
@@ -52,6 +57,7 @@ impl Rule {
             Rule::L2 => "determinism",
             Rule::L3 => "lock-discipline",
             Rule::L4 => "lossy-cast",
+            Rule::L5 => "print-discipline",
         }
     }
 
@@ -62,6 +68,7 @@ impl Rule {
             "L2" | "l2" | "determinism" => Some(Rule::L2),
             "L3" | "l3" | "lock-discipline" => Some(Rule::L3),
             "L4" | "l4" | "lossy-cast" => Some(Rule::L4),
+            "L5" | "l5" | "print-discipline" => Some(Rule::L5),
             _ => None,
         }
     }
@@ -78,16 +85,19 @@ pub struct RuleSet {
     pub l3: bool,
     /// Run L4 (lossy-cast).
     pub l4: bool,
+    /// Run L5 (print-discipline).
+    pub l5: bool,
 }
 
 impl RuleSet {
-    /// All four rules.
+    /// All five rules.
     pub fn all() -> Self {
         Self {
             l1: true,
             l2: true,
             l3: true,
             l4: true,
+            l5: true,
         }
     }
 
@@ -98,7 +108,7 @@ impl RuleSet {
 
     /// True when at least one rule is enabled.
     pub fn any(self) -> bool {
-        self.l1 || self.l2 || self.l3 || self.l4
+        self.l1 || self.l2 || self.l3 || self.l4 || self.l5
     }
 }
 
@@ -284,6 +294,37 @@ pub fn lint_text(file: &str, text: &str, rules: RuleSet) -> Vec<Diagnostic> {
                 (
                     "as f64",
                     "lossy `as f64` cast in numeric-critical code; justify exactness",
+                ),
+            ],
+            &mut out,
+        );
+    }
+    if rules.l5 {
+        check_tokens(
+            file,
+            &src,
+            &allows,
+            Rule::L5,
+            &[
+                (
+                    "println!",
+                    "`println!` in library code; emit a telemetry event or use `progress!`",
+                ),
+                (
+                    "eprintln!",
+                    "`eprintln!` in library code; emit a telemetry event or use `progress!`",
+                ),
+                (
+                    "print!",
+                    "`print!` in library code; emit a telemetry event or use `progress!`",
+                ),
+                (
+                    "eprint!",
+                    "`eprint!` in library code; emit a telemetry event or use `progress!`",
+                ),
+                (
+                    "dbg!",
+                    "`dbg!` left in library code; remove it or trace via telemetry",
                 ),
             ],
             &mut out,
@@ -485,6 +526,34 @@ mod tests {
     fn l4_flags_float_casts() {
         let d = lint_all("fn f(n: u64) -> f32 { n as f32 + (n as f64) as f32 }");
         assert_eq!(rules_of(&d), ["L4", "L4", "L4"]);
+    }
+
+    #[test]
+    fn l5_flags_print_macros() {
+        let d = lint_all("fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(z); }");
+        assert_eq!(rules_of(&d), ["L5", "L5", "L5"]);
+    }
+
+    #[test]
+    fn l5_does_not_cross_match_print_families() {
+        // `println!` must not also fire the `print!` token, nor `eprintln!`
+        // the `println!` token.
+        let d = lint_all("fn f() { println!(\"x\"); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = lint_all("fn f() { eprintln!(\"x\"); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn l5_allows_with_justification_and_test_code() {
+        let d = lint_all(
+            "fn f() {\n    // lint:allow(L5): stdout is this binary's data channel\n    println!(\"csv\");\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = lint_all(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! tape never outlives one gradient computation and node values can be
 //! captured by clone without memory pressure.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+
+use stellaris_telemetry as telemetry;
 
 use crate::conv::{col2im, im2col, Conv2dSpec};
 use crate::tensor::Tensor;
@@ -34,9 +36,19 @@ struct Node {
 }
 
 /// A single-use autodiff tape.
-#[derive(Default)]
 pub struct Graph {
     nodes: RefCell<Vec<Node>>,
+    /// Telemetry timestamp of tape creation. The forward pass *is* the
+    /// tape's lifetime up to `backward`, so the first `backward` call emits
+    /// a retroactive `nn.forward` span covering `[born_us, now]`.
+    born_us: u64,
+    forward_emitted: Cell<bool>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Graph {
@@ -44,6 +56,8 @@ impl Graph {
     pub fn new() -> Self {
         Self {
             nodes: RefCell::new(Vec::with_capacity(64)),
+            born_us: telemetry::now_us(),
+            forward_emitted: Cell::new(false),
         }
     }
 
@@ -518,8 +532,26 @@ impl Graph {
 
     /// Runs reverse-mode accumulation from the scalar node `loss` and returns
     /// the gradients of the requested variables (zeros where disconnected).
+    ///
+    /// The first call emits a retroactive `nn.forward` span (tape creation
+    /// to now — the window in which all forward ops were recorded) and every
+    /// call runs under an `nn.backward` span; tape sizes feed the
+    /// `stellaris_nn_backward_nodes` histogram.
     pub fn backward(&self, loss: Var, wrt: &[Var]) -> Vec<Tensor> {
         let nodes = self.nodes.borrow();
+        if !self.forward_emitted.replace(true) {
+            let fwd_end = telemetry::now_us();
+            telemetry::span_closed(
+                "nn.forward",
+                self.born_us,
+                fwd_end.saturating_sub(self.born_us),
+                vec![("nodes", nodes.len().into())],
+            );
+        }
+        let _span = telemetry::span_with("nn.backward", vec![("nodes", nodes.len().into())]);
+        telemetry::global()
+            .histogram("stellaris_nn_backward_nodes")
+            .record(u64::try_from(nodes.len()).unwrap_or(u64::MAX));
         assert_eq!(
             nodes[loss.0].value.numel(),
             1,

@@ -112,6 +112,13 @@ pub fn ppo_gradients(
         batch.len(),
         "advantages missing: run fill_gae before ppo_gradients"
     );
+    let _span = stellaris_telemetry::span_with(
+        "rl.ppo_gradients",
+        vec![
+            ("batch", batch.len().into()),
+            ("policy_version", policy.version.into()),
+        ],
+    );
     let g = Graph::new();
     let parts = policy.loss_parts(&g, batch);
     let b = batch.len();

@@ -46,6 +46,10 @@ impl RolloutWorker {
     /// downstream. Advantages/returns are left for the data loader to fill.
     pub fn collect(&mut self, policy: &PolicyNet, steps: usize) -> SampleBatch {
         assert!(steps > 0, "collect needs at least one step");
+        let _span = stellaris_telemetry::span_with(
+            "rl.rollout_collect",
+            vec![("steps", steps.into()), ("env", self.env.name().into())],
+        );
         let obs_dim = self.env.obs_dim();
         let continuous = !self.env.action_space().is_discrete();
         let mut obs_rows: Vec<f32> = Vec::with_capacity(steps * obs_dim);
@@ -125,6 +129,10 @@ impl RolloutWorker {
 /// Runs `episodes` evaluation episodes (stochastic policy, fresh seeds) and
 /// returns the mean episodic return — the paper's "episodic reward" metric.
 pub fn evaluate(policy: &PolicyNet, env: &mut dyn Env, episodes: usize, seed: u64) -> f32 {
+    let _span = stellaris_telemetry::span_with(
+        "rl.evaluate",
+        vec![("episodes", episodes.into()), ("env", env.name().into())],
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut total = 0.0f32;
     for ep in 0..episodes {

@@ -22,6 +22,25 @@ impl CostBreakdown {
     }
 }
 
+/// Publishes a bill as gauges (`stellaris_serverless_cost_<mode>_*_usd`) and
+/// a `serverless.cost` instant event, keyed by billing mode so the three
+/// deployment models of §VIII-A stay distinguishable in one exposition.
+fn publish_cost(mode: &'static str, bill: &CostBreakdown) {
+    let reg = stellaris_telemetry::global();
+    reg.gauge(&format!("stellaris_serverless_cost_{mode}_learner_usd"))
+        .set(bill.learner_usd);
+    reg.gauge(&format!("stellaris_serverless_cost_{mode}_actor_usd"))
+        .set(bill.actor_usd);
+    stellaris_telemetry::instant(
+        "serverless.cost",
+        vec![
+            ("mode", mode.into()),
+            ("learner_usd", bill.learner_usd.into()),
+            ("actor_usd", bill.actor_usd.into()),
+        ],
+    );
+}
+
 /// Bills a set of serverless invocation records against a cluster's
 /// per-function-second prices. Startup (pre-warm/keep-alive) time is *not*
 /// billed, "similar to existing serverless platforms" (§VIII-A).
@@ -38,6 +57,7 @@ pub fn bill_serverless(cluster: &Cluster, records: &[InvocationRecord]) -> CostB
             }
         }
     }
+    publish_cost("serverless", &out);
     out
 }
 
@@ -45,10 +65,12 @@ pub fn bill_serverless(cluster: &Cluster, records: &[InvocationRecord]) -> CostB
 /// whole wall-clock duration regardless of utilisation.
 pub fn bill_serverful(cluster: &Cluster, wall: Duration) -> CostBreakdown {
     let secs = wall.as_secs_f64();
-    CostBreakdown {
+    let out = CostBreakdown {
         learner_usd: cluster.gpu_vms.itype.per_second() * cluster.gpu_vms.count as f64 * secs,
         actor_usd: cluster.cpu_vms.itype.per_second() * cluster.cpu_vms.count as f64 * secs,
-    }
+    };
+    publish_cost("serverful", &out);
+    out
 }
 
 /// Bills a hybrid deployment (e.g. MinionsRL: serverless actors, serverful
@@ -60,10 +82,12 @@ pub fn bill_hybrid(
 ) -> CostBreakdown {
     let serverful = bill_serverful(cluster, wall);
     let serverless = bill_serverless(cluster, actor_records);
-    CostBreakdown {
+    let out = CostBreakdown {
         learner_usd: serverful.learner_usd,
         actor_usd: serverless.actor_usd,
-    }
+    };
+    publish_cost("hybrid", &out);
+    out
 }
 
 #[cfg(test)]

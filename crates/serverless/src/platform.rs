@@ -14,9 +14,11 @@
 //! cost and latency analyses.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use stellaris_telemetry::{Counter, Histogram};
 
 /// Which function a container hosts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -122,6 +124,34 @@ struct Pool {
     warm: Mutex<Vec<Instant>>,
 }
 
+/// Telemetry handles for one function kind, resolved once at platform
+/// construction so the invoke hot path never touches the registry lock.
+struct KindMetrics {
+    cold: Arc<Counter>,
+    warm: Arc<Counter>,
+    startup_us: Arc<Histogram>,
+    exec_us: Arc<Histogram>,
+}
+
+impl KindMetrics {
+    fn for_kind(kind: FunctionKind) -> Self {
+        let reg = stellaris_telemetry::global();
+        let name = kind.name();
+        Self {
+            cold: reg.counter(&format!("stellaris_serverless_cold_starts_{name}_total")),
+            warm: reg.counter(&format!("stellaris_serverless_warm_starts_{name}_total")),
+            startup_us: reg.histogram(&format!("stellaris_serverless_startup_us_{name}")),
+            exec_us: reg.histogram(&format!("stellaris_serverless_exec_us_{name}")),
+        }
+    }
+}
+
+const ALL_KINDS: [FunctionKind; 3] = [
+    FunctionKind::Learner,
+    FunctionKind::Parameter,
+    FunctionKind::Actor,
+];
+
 /// The serverless platform for one cluster.
 pub struct Platform {
     epoch: Instant,
@@ -135,6 +165,8 @@ pub struct Platform {
     warm_starts: AtomicU64,
     /// Busy time accumulated per kind (for utilisation metrics), in micros.
     busy_us: [AtomicU64; 3],
+    /// Per-kind telemetry handles (cold/warm counters, latency histograms).
+    metrics: [KindMetrics; 3],
 }
 
 fn kind_index(kind: FunctionKind) -> usize {
@@ -166,6 +198,7 @@ impl Platform {
             cold_starts: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
             busy_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            metrics: std::array::from_fn(|i| KindMetrics::for_kind(ALL_KINDS[i])),
         }
     }
 
@@ -204,7 +237,13 @@ impl Platform {
 
     /// Invokes a function: blocks for a slot, pays cold/warm startup, runs
     /// `work` on the calling thread, releases the container (warm) and slot.
+    ///
+    /// Each invocation is traced as a `serverless.invoke` span (covering the
+    /// slot wait as well as the work) and recorded in the per-kind cold/warm
+    /// counters and startup/exec latency histograms.
     pub fn invoke<R>(&self, kind: FunctionKind, work: impl FnOnce() -> R) -> (R, InvocationRecord) {
+        let mut span =
+            stellaris_telemetry::span_with("serverless.invoke", vec![("kind", kind.name().into())]);
         let sem = match kind {
             FunctionKind::Actor => &self.actor_slots,
             _ => &self.learner_slots,
@@ -212,16 +251,21 @@ impl Platform {
         sem.acquire();
         let start = self.epoch.elapsed();
         let cold = !self.try_claim_warm(kind);
+        span.field("cold", cold);
         let startup = if cold {
             self.profile.cold
         } else {
             self.profile.warm
         };
+        let m = &self.metrics[kind_index(kind)];
         if cold {
             self.cold_starts.fetch_add(1, Ordering::Relaxed);
+            m.cold.inc();
         } else {
             self.warm_starts.fetch_add(1, Ordering::Relaxed);
+            m.warm.inc();
         }
+        m.startup_us.record_duration(startup);
         if self.mode == OverheadMode::Sleep && !startup.is_zero() {
             std::thread::sleep(startup);
         }
@@ -230,6 +274,7 @@ impl Platform {
         let wall = t0.elapsed();
         self.release_container(kind);
         sem.release();
+        m.exec_us.record_duration(cpu);
         self.busy_us[kind_index(kind)].fetch_add(cpu.as_micros() as u64, Ordering::Relaxed);
         let record = InvocationRecord {
             kind,

@@ -117,7 +117,11 @@ impl PrewarmController {
         (concurrency.ceil() as usize).clamp(1, self.max_containers)
     }
 
-    /// Applies the plan to a platform.
+    /// Applies the plan to a platform. Each application increments
+    /// `stellaris_serverless_prewarm_plans_total`, publishes the planned
+    /// container count as a per-kind gauge, and emits a
+    /// `serverless.prewarm` instant event so traces show when (and how
+    /// aggressively) the controller warmed containers.
     pub fn apply(
         &self,
         platform: &Platform,
@@ -127,6 +131,19 @@ impl PrewarmController {
     ) -> usize {
         let n = self.plan(profiler, kind, rate_per_s);
         platform.prewarm(kind, n);
+        let reg = stellaris_telemetry::global();
+        reg.counter("stellaris_serverless_prewarm_plans_total")
+            .inc();
+        // lint:allow(L4): container counts are tiny, exact in f64
+        reg.gauge(&format!(
+            "stellaris_serverless_prewarm_planned_{}",
+            kind.name()
+        ))
+        .set(n as f64);
+        stellaris_telemetry::instant(
+            "serverless.prewarm",
+            vec![("kind", kind.name().into()), ("count", n.into())],
+        );
         n
     }
 }

@@ -1,0 +1,122 @@
+//! CI smoke validator for `STELLARIS_TRACE` artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_trace <base> [--expect-span NAME]... [--expect-metric NAME]...
+//! ```
+//!
+//! Given the base path a bench binary was run with (`STELLARIS_TRACE=<base>`),
+//! checks that:
+//!
+//! * `<base>.jsonl` exists, every line is well-formed JSON with a `name` key;
+//! * `<base>.trace.json` exists and is one well-formed JSON object with a
+//!   `traceEvents` array (chrome://tracing format);
+//! * `<base>.prom` exists and parses as Prometheus text exposition with
+//!   cumulative histogram buckets and `+Inf == _count`;
+//! * every `--expect-span NAME` occurs as an event name in the JSONL;
+//! * every `--expect-metric NAME` occurs as a sample in the exposition.
+//!
+//! Exits non-zero with a diagnostic on the first failure.
+
+use std::process::ExitCode;
+
+use stellaris_telemetry::{validate_json, validate_prometheus};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_trace: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(base) = argv.next() else {
+        return fail("usage: validate_trace <base> [--expect-span N]... [--expect-metric N]...");
+    };
+    let mut expect_spans = Vec::new();
+    let mut expect_metrics = Vec::new();
+    while let Some(flag) = argv.next() {
+        let Some(value) = argv.next() else {
+            return fail(&format!("{flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--expect-span" => expect_spans.push(value),
+            "--expect-metric" => expect_metrics.push(value),
+            _ => return fail(&format!("unknown flag {flag}")),
+        }
+    }
+
+    // JSONL event log.
+    let jsonl_path = format!("{base}.jsonl");
+    let jsonl = match std::fs::read_to_string(&jsonl_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("read {jsonl_path}: {e}")),
+    };
+    let mut events = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = validate_json(line) {
+            return fail(&format!("{jsonl_path}:{}: {e}", i + 1));
+        }
+        if !line.contains("\"name\":") {
+            return fail(&format!("{jsonl_path}:{}: event without name", i + 1));
+        }
+        events += 1;
+    }
+    if events == 0 {
+        return fail(&format!("{jsonl_path}: no events"));
+    }
+    for name in &expect_spans {
+        let needle = format!("\"name\":\"{name}\"");
+        if !jsonl.contains(&needle) {
+            return fail(&format!("{jsonl_path}: no span named {name:?}"));
+        }
+    }
+
+    // chrome://tracing file.
+    let chrome_path = format!("{base}.trace.json");
+    let chrome = match std::fs::read_to_string(&chrome_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("read {chrome_path}: {e}")),
+    };
+    if let Err(e) = validate_json(&chrome) {
+        return fail(&format!("{chrome_path}: {e}"));
+    }
+    if !chrome.contains("\"traceEvents\"") {
+        return fail(&format!("{chrome_path}: missing traceEvents"));
+    }
+
+    // Prometheus exposition.
+    let prom_path = format!("{base}.prom");
+    let prom = match std::fs::read_to_string(&prom_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("read {prom_path}: {e}")),
+    };
+    if let Err(e) = validate_prometheus(&prom) {
+        return fail(&format!("{prom_path}: {e}"));
+    }
+    let samples = prom
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .count();
+    if samples == 0 {
+        return fail(&format!("{prom_path}: no samples"));
+    }
+    for name in &expect_metrics {
+        if !prom.lines().any(|l| {
+            l.starts_with(name.as_str())
+                && matches!(l.as_bytes().get(name.len()), Some(b' ' | b'{' | b'_'))
+        }) {
+            return fail(&format!("{prom_path}: no metric named {name:?}"));
+        }
+    }
+
+    println!(
+        "validate_trace: OK ({events} events, {samples} prom samples, {} expected spans, {} expected metrics)",
+        expect_spans.len(),
+        expect_metrics.len()
+    );
+    ExitCode::SUCCESS
+}

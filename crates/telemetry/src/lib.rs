@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Zero-dependency observability substrate for the Stellaris training stack.
+//!
+//! Two halves, both safe to call from any thread at any time:
+//!
+//! * **Tracing** ([`trace`]): spans with parent IDs, monotonic microsecond
+//!   timestamps, and key/value fields. Events are recorded through a
+//!   per-thread buffer (no cross-thread synchronisation on the hot path)
+//!   and flushed into a global sink that can be serialised as JSONL event
+//!   logs or a chrome://tracing-compatible trace file. Tracing is off by
+//!   default; when disabled, [`span`] and [`instant`] are a single relaxed
+//!   atomic load.
+//! * **Metrics** ([`metrics`]): counters, gauges, and log2-bucketed
+//!   histograms with p50/p90/p99 quantile estimation, collected in a named
+//!   [`Registry`] and rendered in Prometheus text exposition format.
+//!   Metrics are always on — every instrument is a handful of relaxed
+//!   atomics.
+//!
+//! Metric names follow the `stellaris_<crate>_<name>` convention
+//! (DESIGN.md §8). Span names follow `<crate>.<operation>`.
+//!
+//! The crate is panic-free by construction: poisoned locks are recovered
+//! with [`std::sync::PoisonError::into_inner`], thread-local access during
+//! teardown is tolerated, and the global sink is bounded (overflow events
+//! are counted, not grown without bound).
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{escape_into, validate_json};
+pub use metrics::{
+    global, validate_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+};
+pub use trace::{
+    disable, drain, dropped_events, enable, enabled, flush_thread, instant, now_us, span,
+    span_closed, span_with, write_chrome_trace, write_jsonl, Event, EventKind, FieldValue,
+    SpanGuard,
+};
