@@ -1,0 +1,193 @@
+//! CLI for the Stellaris static concurrency analyzer.
+//!
+//! ```text
+//! stellaris-analyze [root] [--format human|json|sarif] [--out FILE]
+//!                   [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! Without `root`, analyzes the enclosing workspace. Exit codes: 0 when
+//! clean (or everything is baselined), 1 when unsuppressed findings remain,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stellaris_analyze::baseline::{render_baseline, Baseline};
+use stellaris_analyze::report::{render, Format};
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: stellaris-analyze [root] [--format human|json|sarif] [--out FILE] \
+     [--baseline FILE] [--write-baseline FILE]"
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        format: Format::Human,
+        out: None,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                opts.format = Format::parse(v).ok_or_else(|| format!("unknown format `{v}`"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a value")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline needs a value")?;
+                opts.write_baseline = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => {
+                if opts.root.is_some() {
+                    return Err("more than one root given".to_string());
+                }
+                opts.root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("stellaris-analyze: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match stellaris_analyze::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "stellaris-analyze: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match stellaris_analyze::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stellaris-analyze: failed to read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        let text = render_baseline(
+            analysis
+                .findings
+                .iter()
+                .map(|f| (f.rule, f.file.as_str(), f.message.as_str())),
+        );
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("stellaris-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "stellaris-analyze: wrote baseline with {} entr{} to {}",
+            analysis.findings.len(),
+            if analysis.findings.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut findings = analysis.findings;
+    let mut baselined = 0usize;
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stellaris-analyze: failed to read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("stellaris-analyze: {}: {msg}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        findings.retain(|f| {
+            let known = base.take(f.rule, &f.file, &f.message);
+            if known {
+                baselined += 1;
+            }
+            !known
+        });
+        for stale in base.stale() {
+            eprintln!(
+                "stellaris-analyze: stale baseline entry (no longer reported): {}\t{}\t{}",
+                stale.rule, stale.file, stale.message
+            );
+        }
+    }
+
+    let rendered = render(&findings, opts.format);
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("stellaris-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{rendered}");
+    }
+
+    // Keep the human-readable status on stderr so `--format json/sarif`
+    // stdout stays machine-parseable.
+    let status = format!(
+        "{} file(s), {} function(s), {} suppressed, {} baselined",
+        analysis.files, analysis.fns, analysis.suppressed, baselined
+    );
+    if findings.is_empty() {
+        eprintln!("stellaris-analyze: clean ({status})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "stellaris-analyze: {} finding(s) ({status})",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

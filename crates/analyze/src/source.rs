@@ -1,12 +1,18 @@
-//! Lexical preprocessing for the linter: comment/string masking, test-region
-//! detection, and statement spans.
+//! Lexical source model shared by the analyzer and `stellaris-lint`:
+//! comment/string masking, test-region detection, statement spans, and the
+//! `lint:allow` escape hatch.
 //!
-//! The linter is token-based rather than AST-based (the build environment
+//! Both tools are token-based rather than AST-based (the build environment
 //! has no registry access for `syn`), so every rule runs over a *masked*
 //! view of the file in which comments and string/char literals are replaced
-//! by spaces. Token searches therefore never match inside literals or
-//! docs, and byte offsets in the masked text line up exactly with the
-//! original source.
+//! by spaces. Token searches therefore never match inside literals or docs,
+//! and byte offsets in the masked text line up exactly with the original
+//! source. The masked view is a rendering of the lossless token stream from
+//! [`crate::token`].
+
+use std::collections::HashMap;
+
+use crate::token::{tokenize, TokKind};
 
 /// A preprocessed source file.
 pub struct SourceFile {
@@ -97,187 +103,70 @@ fn line_starts(text: &str) -> Vec<usize> {
     starts
 }
 
-/// Replaces comments and string/char literal contents with spaces.
-fn mask(text: &str) -> String {
+/// Replaces comments and string/char literal contents with spaces, by
+/// rendering the token stream: code tokens are copied, literal contents and
+/// comment bodies become spaces (newlines preserved so line numbers agree),
+/// and delimiters that anchor downstream searches — the `//` marker, quote
+/// characters, literal `b` prefixes — are kept.
+pub fn mask(text: &str) -> String {
     let bytes = text.as_bytes();
     let mut out = vec![b' '; bytes.len()];
-    let n = bytes.len();
-    let mut i = 0;
-    let mut prev_ident = false; // previous emitted byte was an identifier char
-
-    while i < n {
-        let c = bytes[i];
-        match c {
-            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
-                // Keep the `//` marker so allow-comment parsing can locate
-                // real comments in the masked view; mask the body.
-                out[i] = b'/';
-                out[i + 1] = b'/';
-                while i < n && bytes[i] != b'\n' {
-                    i += 1;
-                }
-                prev_ident = false;
+    for t in tokenize(text) {
+        match t.kind {
+            TokKind::Whitespace | TokKind::Word | TokKind::Punct | TokKind::Lifetime => {
+                out[t.start..t.end].copy_from_slice(&bytes[t.start..t.end]);
             }
-            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
-                let mut depth = 1;
-                i += 2;
-                while i < n && depth > 0 {
+            TokKind::LineComment => {
+                out[t.start] = b'/';
+                out[t.start + 1] = b'/';
+            }
+            TokKind::BlockComment => {
+                for i in t.start..t.end {
                     if bytes[i] == b'\n' {
                         out[i] = b'\n';
                     }
-                    if i + 1 < n && bytes[i] == b'/' && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        i += 2;
-                    } else if i + 1 < n && bytes[i] == b'*' && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
+                }
+            }
+            TokKind::Str | TokKind::CharLit => {
+                let quote = if t.kind == TokKind::Str { b'"' } else { b'\'' };
+                if bytes[t.start] == b'b' {
+                    out[t.start] = b'b';
+                }
+                out[t.inner_start - 1] = quote;
+                if t.inner_end < t.end {
+                    out[t.inner_end] = quote;
+                }
+                // Replay the escape walk so `\<newline>` is consumed like
+                // any other escape; bare newlines survive (Str only — char
+                // literals have no multi-line form worth preserving).
+                let mut i = t.inner_start;
+                while i < t.inner_end {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'\n' if t.kind == TokKind::Str => {
+                            out[i] = b'\n';
+                            i += 1;
+                        }
+                        _ => i += 1,
                     }
                 }
-                prev_ident = false;
             }
-            b'r' | b'b' if !prev_ident => {
-                // Possible raw/byte string prefix: r", r#", br", b", b'.
-                let mut j = i + 1;
-                if c == b'b' && j < n && bytes[j] == b'r' {
-                    j += 1;
+            TokKind::RawStr => {
+                // Prefix (`r`, `br`, hashes) and trailing hashes mask to
+                // spaces; only the quotes and inner newlines survive.
+                out[t.inner_start - 1] = b'"';
+                if t.inner_end < t.end {
+                    out[t.inner_end] = b'"';
                 }
-                let mut hashes = 0;
-                while j < n && bytes[j] == b'#' && (bytes[i] == b'r' || bytes[i + 1] == b'r') {
-                    hashes += 1;
-                    j += 1;
+                for i in t.inner_start..t.inner_end {
+                    if bytes[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
                 }
-                if j < n && bytes[j] == b'"' && (hashes > 0 || bytes[j - 1] == b'r') {
-                    // Raw (byte) string: ends at `"` followed by `hashes` #s.
-                    i = skip_raw_string(bytes, &mut out, j, hashes);
-                    prev_ident = false;
-                    continue;
-                }
-                if c == b'b' && i + 1 < n && bytes[i + 1] == b'"' {
-                    out[i] = c;
-                    i = skip_string(bytes, &mut out, i + 1);
-                    prev_ident = false;
-                    continue;
-                }
-                if c == b'b' && i + 1 < n && bytes[i + 1] == b'\'' {
-                    out[i] = c;
-                    i = skip_char(bytes, &mut out, i + 1);
-                    prev_ident = false;
-                    continue;
-                }
-                out[i] = c;
-                prev_ident = true;
-                i += 1;
-            }
-            b'"' => {
-                i = skip_string(bytes, &mut out, i);
-                prev_ident = false;
-            }
-            b'\'' => {
-                // Char literal vs lifetime.
-                if is_char_literal(bytes, i) {
-                    i = skip_char(bytes, &mut out, i);
-                } else {
-                    out[i] = c;
-                    i += 1;
-                }
-                prev_ident = false;
-            }
-            _ => {
-                out[i] = c;
-                prev_ident = c == b'_' || c.is_ascii_alphanumeric();
-                i += 1;
             }
         }
     }
     String::from_utf8(out).expect("masking preserves UTF-8: non-ASCII only inside masked spans")
-}
-
-fn is_char_literal(bytes: &[u8], i: usize) -> bool {
-    // 'x' or '\..'; a lifetime is 'ident NOT closed by a quote.
-    let n = bytes.len();
-    if i + 1 >= n {
-        return false;
-    }
-    if bytes[i + 1] == b'\\' {
-        return true;
-    }
-    // Multi-byte UTF-8 scalar, e.g. 'é': not a lifetime either way.
-    if bytes[i + 1] >= 0x80 {
-        return true;
-    }
-    let ident_start = bytes[i + 1] == b'_' || bytes[i + 1].is_ascii_alphabetic();
-    if !ident_start {
-        // e.g. '3', ' ', '(' — chars, or stray quote; treat as literal.
-        return i + 2 < n && bytes[i + 2] == b'\'';
-    }
-    // 'a' (char) iff closed immediately; 'a.. / 'static are lifetimes.
-    i + 2 < n && bytes[i + 2] == b'\''
-}
-
-fn skip_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
-    // start points at the opening quote.
-    out[start] = b'"';
-    let n = bytes.len();
-    let mut i = start + 1;
-    while i < n {
-        match bytes[i] {
-            b'\\' => {
-                i += 2;
-            }
-            b'"' => {
-                out[i] = b'"';
-                return i + 1;
-            }
-            b'\n' => {
-                out[i] = b'\n';
-                i += 1;
-            }
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-fn skip_raw_string(bytes: &[u8], out: &mut [u8], quote: usize, hashes: usize) -> usize {
-    out[quote] = b'"';
-    let n = bytes.len();
-    let mut i = quote + 1;
-    while i < n {
-        if bytes[i] == b'\n' {
-            out[i] = b'\n';
-        }
-        if bytes[i] == b'"' {
-            let mut k = 0;
-            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == b'#' {
-                k += 1;
-            }
-            if k == hashes {
-                out[i] = b'"';
-                return i + 1 + hashes;
-            }
-        }
-        i += 1;
-    }
-    i
-}
-
-fn skip_char(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
-    out[start] = b'\'';
-    let n = bytes.len();
-    let mut i = start + 1;
-    while i < n {
-        match bytes[i] {
-            b'\\' => i += 2,
-            b'\'' => {
-                out[i] = b'\'';
-                return i + 1;
-            }
-            _ => i += 1,
-        }
-    }
-    i
 }
 
 /// Marks lines covered by `#[cfg(test)]` items and `#[test]` functions.
@@ -318,7 +207,7 @@ fn test_regions(masked: &str, line_starts: &[usize]) -> Vec<bool> {
 }
 
 /// Byte offset of the `}` matching the `{` at `open` (or EOF).
-fn match_brace(bytes: &[u8], open: usize) -> usize {
+pub fn match_brace(bytes: &[u8], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < bytes.len() {
@@ -345,7 +234,7 @@ fn line_of(line_starts: &[usize], offset: usize) -> usize {
 }
 
 /// Splits the masked text into expression-level statement spans for the
-/// lock-discipline rule. Boundaries: `;`, `{`, `}`, `=>`, and commas at
+/// lock-discipline rules. Boundaries: `;`, `{`, `}`, `=>`, and commas at
 /// top-level paren/bracket depth relative to the span start (so match arms
 /// separate, but arguments of one call — where temporaries coexist — do
 /// not).
@@ -381,6 +270,126 @@ pub fn statement_spans(masked: &str) -> Vec<(usize, usize)> {
         spans.push((start, bytes.len()));
     }
     spans
+}
+
+/// Raw occurrences of `token` in `hay` (no boundary check), in order.
+pub fn find_token(hay: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(token) {
+        let at = from + pos;
+        from = at + token.len();
+        out.push(at);
+    }
+    out
+}
+
+/// True when `token` at `at` in `hay` sits on identifier boundaries, so
+/// `.unwrap()` does not match `.unwrap_or()` and `as f32` does not match
+/// `has f32x`.
+pub fn boundary_ok(hay: &str, at: usize, token: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let first = token.as_bytes()[0];
+    let last = token.as_bytes()[token.len() - 1];
+    if ident(first) && at > 0 && ident(bytes[at - 1]) {
+        return false;
+    }
+    let end = at + token.len();
+    if ident(last) && end < bytes.len() && ident(bytes[end]) {
+        return false;
+    }
+    true
+}
+
+/// Every rule either tool can emit or suppress: the linter's L1–L5 plus the
+/// analyzer's A1–A3. One registry so `lint:allow(A2)` parses in both tools.
+pub const KNOWN_RULES: [(&str, &str); 8] = [
+    ("L1", "panic-freedom"),
+    ("L2", "determinism"),
+    ("L3", "lock-discipline"),
+    ("L4", "lossy-cast"),
+    ("L5", "print-discipline"),
+    ("A1", "lock-order"),
+    ("A2", "held-guard"),
+    ("A3", "channel-topology"),
+];
+
+/// Parses `L1` / `l1` / `panic-freedom` style spellings to the canonical id.
+pub fn canonical_rule(s: &str) -> Option<&'static str> {
+    let t = s.trim();
+    KNOWN_RULES
+        .iter()
+        .find(|(id, name)| t.eq_ignore_ascii_case(id) || t == *name)
+        .map(|&(id, _)| id)
+}
+
+/// Parsed `lint:allow` markers: line -> allowed rule ids (with
+/// justification?).
+pub struct Allows {
+    by_line: HashMap<usize, Vec<(&'static str, bool)>>,
+    /// Malformed allows discovered while parsing, as `(line, message)`.
+    pub errors: Vec<(usize, String)>,
+}
+
+/// Extracts `// lint:allow(<rule>): <why>` markers from real comments.
+pub fn parse_allows(src: &SourceFile) -> Allows {
+    let mut by_line: HashMap<usize, Vec<(&'static str, bool)>> = HashMap::new();
+    let mut errors = Vec::new();
+    for line_no in 1..=src.line_count() {
+        let Some(comment) = src.comment_text(line_no) else {
+            continue;
+        };
+        let Some(tag_at) = comment.find("lint:allow(") else {
+            continue;
+        };
+        if src.test_lines.get(line_no - 1).copied().unwrap_or(false) {
+            // Test code may quote or exercise allow syntax freely.
+            continue;
+        }
+        let rest = &comment[tag_at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            errors.push((line_no, "malformed lint:allow: missing `)`".to_string()));
+            continue;
+        };
+        let Some(rule) = canonical_rule(&rest[..close]) else {
+            errors.push((
+                line_no,
+                format!("unknown lint rule `{}` in lint:allow", &rest[..close]),
+            ));
+            continue;
+        };
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        let justified = !justification.is_empty();
+        if !justified {
+            errors.push((
+                line_no,
+                format!(
+                    "lint:allow({rule}) requires a justification: `// lint:allow({rule}): <why>`"
+                ),
+            ));
+        }
+        by_line.entry(line_no).or_default().push((rule, justified));
+    }
+    Allows { by_line, errors }
+}
+
+impl Allows {
+    /// Whether rule `id` is suppressed at `line` (same line or line above).
+    pub fn suppressed(&self, id: &str, line: usize) -> bool {
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if let Some(entries) = self.by_line.get(&l) {
+                if entries.iter().any(|&(r, justified)| r == id && justified) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +439,18 @@ mod tests {
         let m = mask(src);
         assert!(!m.contains("panic"));
         assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn mask_preserves_length_and_newlines() {
+        let src = "let s = \"line1\nline2\"; /* c\nc */ // tail\nnext();\n";
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                assert_eq!(m.as_bytes()[i], b'\n', "newline at {i} must survive");
+            }
+        }
     }
 
     #[test]
@@ -489,5 +510,26 @@ mod tests {
         assert_eq!(f.line_of(2), 2);
         assert_eq!(f.line_of(4), 3);
         assert_eq!(f.line_count(), 3);
+    }
+
+    #[test]
+    fn canonical_rule_accepts_ids_and_names() {
+        assert_eq!(canonical_rule("L1"), Some("L1"));
+        assert_eq!(canonical_rule("l3"), Some("L3"));
+        assert_eq!(canonical_rule("panic-freedom"), Some("L1"));
+        assert_eq!(canonical_rule("A2"), Some("A2"));
+        assert_eq!(canonical_rule("held-guard"), Some("A2"));
+        assert_eq!(canonical_rule("L9"), None);
+    }
+
+    #[test]
+    fn allows_parse_and_suppress_analyzer_rules() {
+        let src = SourceFile::parse(
+            "fn f() {\n    // lint:allow(A1): shard order is fixed by kind_index\n    both();\n}\n",
+        );
+        let allows = parse_allows(&src);
+        assert!(allows.errors.is_empty());
+        assert!(allows.suppressed("A1", 3), "line after comment");
+        assert!(!allows.suppressed("A2", 3), "other rules unaffected");
     }
 }

@@ -1,0 +1,26 @@
+//! Seeded hazard: AB/BA lock-order cycle, with the BA edge hidden behind a
+//! call (`backward` holds `b` and reaches `a` through `take_a`).
+
+pub struct Pair {
+    a: parking_lot::Mutex<u64>,
+    b: parking_lot::Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    fn take_a(&self) -> u64 {
+        let ga = self.a.lock();
+        *ga
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let from_a = self.take_a();
+        *gb + from_a
+    }
+}

@@ -1,0 +1,60 @@
+//! Clean fixture: the same shapes as the seeded hazards, written correctly.
+//! The analyzer must stay silent on every function here.
+
+pub struct Ordered {
+    a: parking_lot::Mutex<u64>,
+    b: parking_lot::Mutex<u64>,
+}
+
+impl Ordered {
+    /// Consistent a-then-b order everywhere: no cycle.
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn forward_again(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga * *gb
+    }
+}
+
+/// The guard is confined to an inner block; the recv happens after it ends.
+pub fn snapshot_then_recv(
+    m: &parking_lot::Mutex<u64>,
+    rx: &crossbeam::channel::Receiver<u64>,
+) -> u64 {
+    let snapshot = {
+        let g = m.lock();
+        *g
+    };
+    let received = rx.recv().unwrap_or(0);
+    snapshot + received
+}
+
+/// Both halves of the channel are used: sends have a reachable receiver.
+pub fn produce_and_consume() -> u64 {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let _ = tx.send(1u64);
+    drop(tx);
+    let mut total = 0;
+    while let Ok(v) = rx.recv() {
+        total += v;
+    }
+    total
+}
+
+/// The queue is drained as well as filled: bounded in steady state.
+pub fn fill_and_drain(batches: &[u64]) -> u64 {
+    let backlog = BlockingQueue::new();
+    for &b in batches {
+        backlog.push(b);
+    }
+    let mut total = 0;
+    while let Some(v) = backlog.try_pop() {
+        total += v;
+    }
+    total
+}

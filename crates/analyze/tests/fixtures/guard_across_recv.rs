@@ -1,0 +1,20 @@
+//! Seeded hazard: a mutex guard held across a channel recv that happens one
+//! call hop away (`drain_one` holds `state` while `wait_for_item` blocks on
+//! the channel).
+
+pub struct Inbox {
+    state: parking_lot::Mutex<u64>,
+    rx: crossbeam::channel::Receiver<u64>,
+}
+
+impl Inbox {
+    fn wait_for_item(&self) -> u64 {
+        self.rx.recv().unwrap_or(0)
+    }
+
+    pub fn drain_one(&self) {
+        let mut state = self.state.lock();
+        let item = self.wait_for_item();
+        *state += item;
+    }
+}

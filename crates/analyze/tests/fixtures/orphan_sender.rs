@@ -1,0 +1,17 @@
+//! Seeded hazards: a sender whose receiver is dropped before any recv, and
+//! an unbounded queue that is pushed to but never popped.
+
+pub fn report_progress(items: &[u64]) {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    drop(rx);
+    for &item in items {
+        let _ = tx.send(item);
+    }
+}
+
+pub fn accumulate(batches: &[u64]) {
+    let backlog = BlockingQueue::new();
+    for &b in batches {
+        backlog.push(b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the tokenizer and masker: the token stream must
+//! partition the input exactly (spans reassemble to the original source),
+//! and masking must preserve length and line structure.
+
+use proptest::prelude::*;
+use stellaris_analyze::source::mask;
+use stellaris_analyze::token::tokenize;
+
+/// Delimiters and prefixes the tokenizer branches on. Interleaving them
+/// with arbitrary printable text produces unterminated literals, stray
+/// escapes, nested comment markers, and raw-string lookalikes.
+const FRAGMENTS: [&str; 14] = [
+    "\"", "'", "//", "/*", "*/", "r#\"", "\"#", "b\"", "br\"", "\\", "\n", "r", "#", "'a ",
+];
+
+/// Interleaves chunks of `seed` (printable ASCII) with fragments chosen by
+/// the bits of `picks`, so every case exercises a different literal shape.
+fn assemble(seed: &str, picks: u64) -> String {
+    let mut out = String::new();
+    let mut x = picks;
+    for chunk in seed.as_bytes().chunks(5) {
+        out.push_str(std::str::from_utf8(chunk).unwrap_or(""));
+        out.push_str(FRAGMENTS[(x % FRAGMENTS.len() as u64) as usize]);
+        x = x / FRAGMENTS.len() as u64 + 0x9e3779b9;
+    }
+    out.push_str(seed);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tokens_partition_the_source(seed in ".{0,60}", picks in 0u64..u64::MAX) {
+        let src = assemble(&seed, picks);
+        let toks = tokenize(&src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, pos, "tokens must be contiguous in {:?}", src);
+            prop_assert!(t.end > t.start, "tokens must be non-empty in {:?}", src);
+            prop_assert!(t.inner_start >= t.start && t.inner_end <= t.end);
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "tokens must cover all of {:?}", src);
+    }
+
+    #[test]
+    fn token_spans_reassemble_to_the_original(seed in ".{0,60}", picks in 0u64..u64::MAX) {
+        let src = assemble(&seed, picks);
+        let toks = tokenize(&src);
+        let rebuilt: String = toks.iter().map(|t| &src[t.start..t.end]).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn mask_preserves_length_and_introduces_no_newlines(
+        seed in ".{0,60}",
+        picks in 0u64..u64::MAX,
+    ) {
+        let src = assemble(&seed, picks);
+        let m = mask(&src);
+        prop_assert_eq!(m.len(), src.len(), "masking must not shift offsets");
+        for (i, (s, msk)) in src.bytes().zip(m.bytes()).enumerate() {
+            // Masking only ever *removes* content; a newline in the masked
+            // text must exist in the source at the same offset, so line
+            // numbers computed on either text agree.
+            if msk == b'\n' {
+                prop_assert_eq!(s, b'\n', "masked newline at {} not in source {:?}", i, src);
+            }
+        }
+    }
+
+    #[test]
+    fn plain_code_masks_to_itself(seed in ".{0,40}") {
+        // With quotes, slashes, and hashes stripped there are no literals or
+        // comments left, so masking must be the identity.
+        let plain: String = seed
+            .chars()
+            .filter(|c| !matches!(c, '"' | '\'' | '/' | '#' | '\\'))
+            .collect();
+        prop_assert_eq!(mask(&plain), plain);
+    }
+}

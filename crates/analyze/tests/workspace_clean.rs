@@ -1,0 +1,63 @@
+//! The gate this crate exists for: the Stellaris workspace carries zero
+//! unsuppressed concurrency findings. CI runs the binary; this test keeps
+//! `cargo test` equivalent to the CI job.
+
+use stellaris_analyze::{analyze_sources, analyze_workspace, find_workspace_root};
+
+fn root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    find_workspace_root(&cwd).expect("workspace root above test cwd")
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let analysis = analyze_workspace(&root()).expect("workspace read");
+    assert!(
+        analysis.findings.is_empty(),
+        "unsuppressed concurrency findings:\n{}",
+        analysis
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually saw the workspace, not an empty dir.
+    assert!(
+        analysis.files > 50,
+        "only {} files analyzed",
+        analysis.files
+    );
+    assert!(analysis.fns > 400, "only {} fns modeled", analysis.fns);
+}
+
+#[test]
+fn seeded_hazard_on_top_of_workspace_is_caught() {
+    // Make sure a real regression in first-party code would fail the gate:
+    // re-analyze the workspace plus one seeded AB/BA file.
+    let root = root();
+    let mut rels = Vec::new();
+    stellaris_analyze::collect_rs_files(&root, &root, &mut rels).expect("walk");
+    rels.sort();
+    let mut files = Vec::new();
+    for rel in rels {
+        if !stellaris_analyze::in_analysis_scope(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(root.join(&rel)).expect("read");
+        files.push((rel, text));
+    }
+    files.push((
+        "crates/core/src/seeded_hazard.rs".to_string(),
+        include_str!("fixtures/ab_ba.rs").to_string(),
+    ));
+    let analysis = analyze_sources(&files);
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == "A1" && f.file == "crates/core/src/seeded_hazard.rs"),
+        "seeded cycle must surface: {:#?}",
+        analysis.findings
+    );
+}

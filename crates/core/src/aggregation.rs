@@ -120,6 +120,9 @@ pub struct SspThrottle {
     bound: u64,
     inflight: parking_lot::Mutex<Vec<u64>>,
     cond: parking_lot::Condvar,
+    /// Prefetched at construction so `begin` never touches the metrics
+    /// registry (its own lock) while `inflight` is held.
+    throttled: std::sync::Arc<stellaris_telemetry::Counter>,
 }
 
 impl SspThrottle {
@@ -129,6 +132,7 @@ impl SspThrottle {
             bound,
             inflight: parking_lot::Mutex::new(Vec::new()),
             cond: parking_lot::Condvar::new(),
+            throttled: stellaris_telemetry::global().counter("stellaris_core_ssp_throttled_total"),
         }
     }
 
@@ -138,8 +142,9 @@ impl SspThrottle {
     /// `stellaris_core_ssp_throttled_total` and traced as `core.ssp_wait`
     /// spans so SSP's dispatch stalls are visible in the latency breakdown.
     pub fn begin(&self, clock: u64) -> u64 {
-        let mut inflight = self.inflight.lock();
+        // Declared before the guard so the span outlives it on every path.
         let mut wait_span: Option<stellaris_telemetry::SpanGuard> = None;
+        let mut inflight = self.inflight.lock();
         loop {
             let oldest = inflight.iter().min().copied().unwrap_or(clock);
             if clock.saturating_sub(oldest) <= self.bound {
@@ -147,13 +152,16 @@ impl SspThrottle {
                 return clock;
             }
             if wait_span.is_none() {
-                stellaris_telemetry::global()
-                    .counter("stellaris_core_ssp_throttled_total")
-                    .inc();
+                // Span creation locks the trace sink; release `inflight`
+                // around it and re-check the bound after re-acquiring.
+                drop(inflight);
+                self.throttled.inc();
                 wait_span = Some(stellaris_telemetry::span_with(
                     "core.ssp_wait",
                     vec![("clock", clock.into()), ("oldest", oldest.into())],
                 ));
+                inflight = self.inflight.lock();
+                continue;
             }
             self.cond.wait(&mut inflight);
         }

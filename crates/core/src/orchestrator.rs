@@ -174,7 +174,10 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         cfg.optimizer.build(cfg.algo.lr()),
         rule.clone(),
     )));
-    cache.put_obj(POLICY_KEY, &server.lock().snapshot());
+    // Snapshot first: `put_obj` locks cache shards, which must never happen
+    // while the parameter-server guard is live.
+    let snapshot0 = server.lock().snapshot();
+    cache.put_obj(POLICY_KEY, &snapshot0);
 
     let board = Arc::new(match cfg.truncation_rho {
         Some(rho) => RatioBoard::new(rho),
@@ -498,10 +501,18 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     // lint:allow(L1): re-raising a child thread's panic is the intended failure path
     .expect("orchestrator thread panicked");
 
-    let guard = server.lock();
-    let result = finalize(cfg, rows, &guard, &platform, &timers, start);
-    drop(guard);
-    result
+    // Copy what finalize needs out of the server before it touches the
+    // platform: finalize locks `platform.records`, and holding the server
+    // guard across that acquisition would order the two locks.
+    let server_final = {
+        let guard = server.lock();
+        ServerFinal {
+            staleness_log: guard.staleness_log.clone(),
+            updates: guard.updates,
+            snapshot: guard.snapshot(),
+        }
+    };
+    finalize(cfg, rows, server_final, &platform, &timers, start)
 }
 
 // ---------------------------------------------------------------------------
@@ -750,7 +761,12 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
         rounds_total.inc();
     }
 
-    finalize(cfg, rows, &server, &platform, &timers, start)
+    let server_final = ServerFinal {
+        staleness_log: server.staleness_log.clone(),
+        updates: server.updates,
+        snapshot: server.snapshot(),
+    };
+    finalize(cfg, rows, server_final, &platform, &timers, start)
 }
 
 fn cost_for(cfg: &TrainConfig, platform: &Platform, wall: Duration) -> CostBreakdown {
@@ -769,10 +785,18 @@ fn cost_for(cfg: &TrainConfig, platform: &Platform, wall: Duration) -> CostBreak
     }
 }
 
+/// Values copied out of the parameter server before finalization, so no
+/// server guard is held while `finalize` locks platform internals.
+struct ServerFinal {
+    staleness_log: Vec<u64>,
+    updates: u64,
+    snapshot: PolicySnapshot,
+}
+
 fn finalize(
     cfg: &TrainConfig,
     rows: Vec<TrainRow>,
-    server: &ParameterServer,
+    server: ServerFinal,
     platform: &Platform,
     timers: &Timers,
     start: Instant,
@@ -788,7 +812,7 @@ fn finalize(
     let (cold, _) = platform.start_counts();
     let final_reward = rows.last().map(|r| r.reward).unwrap_or(0.0);
     TrainResult {
-        staleness_log: server.staleness_log.clone(),
+        staleness_log: server.staleness_log,
         timers: timer_report,
         final_reward,
         cost: cost_for(cfg, platform, wall),
@@ -802,7 +826,7 @@ fn finalize(
         gpu_utilization: platform.gpu_utilization(cfg.max_learners),
         cold_starts: cold,
         label: cfg.label(),
-        final_snapshot: server.snapshot(),
+        final_snapshot: server.snapshot,
         rows,
     }
 }

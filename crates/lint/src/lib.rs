@@ -7,18 +7,23 @@
 //! [`rules_for`]; violations carry `file:line` and can be suppressed with a
 //! justified `// lint:allow(<rule>): <why>` comment.
 //!
+//! Source parsing (comment/string masking, statement spans, test-region
+//! detection, `lint:allow` extraction) is shared with `stellaris-analyze` —
+//! see [`stellaris_analyze::source`] — so the linter and the concurrency
+//! analyzer always agree on what the code says.
+//!
 //! Run as a binary (`cargo run -p stellaris-lint`) for CI, or through
 //! [`lint_workspace`] from the test suite so `cargo test` enforces the
 //! invariants too.
 
 mod rules;
-mod source;
 
 pub use rules::{lint_text, Diagnostic, Rule, RuleSet};
-pub use source::SourceFile;
+pub use stellaris_analyze::source::SourceFile;
+pub use stellaris_analyze::{collect_rs_files, find_workspace_root};
 
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Library crates that must be panic-free (L1) outside tests.
 const L1_CRATES: [&str; 7] = [
@@ -107,45 +112,6 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     Ok(out)
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name == ".git" || name == "vendor" {
-                continue;
-            }
-            collect_rs_files(root, &path, out)?;
-        } else if name.ends_with(".rs") {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            out.push(rel);
-        }
-    }
-    Ok(())
-}
-
-/// Locates the workspace root: walks up from `start` to the first directory
-/// whose `Cargo.toml` declares `[workspace]`.
-pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
-    let mut dir = Some(start.to_path_buf());
-    while let Some(d) = dir {
-        let manifest = d.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(d);
-            }
-        }
-        dir = d.parent().map(Path::to_path_buf);
-    }
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +157,11 @@ mod tests {
     fn lint_crate_is_in_l3_scope_but_not_l1() {
         let r = rules_for("crates/lint/src/rules.rs");
         assert!(!r.l1 && r.l3);
+    }
+
+    #[test]
+    fn analyze_crate_is_in_l3_scope_but_not_l1() {
+        let r = rules_for("crates/analyze/src/model.rs");
+        assert!(!r.l1 && r.l3 && r.l5);
     }
 }

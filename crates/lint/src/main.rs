@@ -1,19 +1,50 @@
 //! CLI for the Stellaris invariant linter.
 //!
 //! ```text
-//! cargo run -p stellaris-lint            # lint the enclosing workspace
-//! cargo run -p stellaris-lint -- <root>  # lint an explicit tree
+//! cargo run -p stellaris-lint                       # lint the workspace
+//! cargo run -p stellaris-lint -- <root>             # lint an explicit tree
+//! cargo run -p stellaris-lint -- --baseline known   # ignore known findings
+//! cargo run -p stellaris-lint -- --write-baseline known
 //! ```
 //!
 //! Prints one `file:line: rule: message` diagnostic per violation and exits
-//! nonzero when any are found.
+//! nonzero when any non-baselined violations are found.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use stellaris_analyze::baseline::{render_baseline, Baseline};
+
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--write-baseline" => match it.next() {
+                Some(v) => write_baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--write-baseline needs a value"),
+            },
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            other => {
+                if root.is_some() {
+                    return usage_error("more than one root given");
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match stellaris_lint::find_workspace_root(&cwd) {
@@ -29,13 +60,56 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = match stellaris_lint::lint_workspace(&root) {
+    let mut diags = match stellaris_lint::lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("stellaris-lint: failed to read {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &write_baseline {
+        let text = render_baseline(
+            diags
+                .iter()
+                .map(|d| (d.rule.id(), d.file.as_str(), d.message.as_str())),
+        );
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("stellaris-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "stellaris-lint: wrote baseline with {} entr{} to {}",
+            diags.len(),
+            if diags.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stellaris-lint: failed to read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let mut base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("stellaris-lint: {}: {msg}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        diags.retain(|d| !base.take(d.rule.id(), &d.file, &d.message));
+        for stale in base.stale() {
+            eprintln!(
+                "stellaris-lint: stale baseline entry (no longer reported): {}\t{}\t{}",
+                stale.rule, stale.file, stale.message
+            );
+        }
+    }
 
     if diags.is_empty() {
         println!(
@@ -50,4 +124,10 @@ fn main() -> ExitCode {
     }
     println!("stellaris-lint: {} violation(s)", diags.len());
     ExitCode::FAILURE
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("stellaris-lint: {msg}");
+    eprintln!("usage: stellaris-lint [root] [--baseline FILE] [--write-baseline FILE]");
+    ExitCode::from(2)
 }

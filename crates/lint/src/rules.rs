@@ -16,11 +16,17 @@
 //! ```
 //!
 //! An allow without a justification is itself a diagnostic.
+//!
+//! Source parsing (masking, statement spans, `lint:allow` extraction) is
+//! shared with `stellaris-analyze`, whose rule registry also covers the
+//! analyzer's A1–A3 — so `lint:allow(A2)` in a file is a valid suppression
+//! for the analyzer, not an unknown-rule error here.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use crate::source::{statement_spans, SourceFile};
+use stellaris_analyze::source::{
+    boundary_ok, canonical_rule, find_token, parse_allows, statement_spans, Allows, SourceFile,
+};
 
 /// A lint rule identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -61,15 +67,15 @@ impl Rule {
         }
     }
 
-    /// Parses `L1` / `panic-freedom` style spellings.
+    /// Parses `L1` / `panic-freedom` style spellings via the shared registry.
     pub fn parse(s: &str) -> Option<Rule> {
-        match s.trim() {
-            "L1" | "l1" | "panic-freedom" => Some(Rule::L1),
-            "L2" | "l2" | "determinism" => Some(Rule::L2),
-            "L3" | "l3" | "lock-discipline" => Some(Rule::L3),
-            "L4" | "l4" | "lossy-cast" => Some(Rule::L4),
-            "L5" | "l5" | "print-discipline" => Some(Rule::L5),
-            _ => None,
+        match canonical_rule(s)? {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            _ => None, // analyzer rules (A1–A3) are not lint rules
         }
     }
 }
@@ -139,72 +145,9 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Parsed `lint:allow` markers: line -> allowed rules (with justification?).
-struct Allows {
-    by_line: HashMap<usize, Vec<(Rule, bool)>>,
-    /// Malformed allows discovered while parsing.
-    errors: Vec<(usize, String)>,
-}
-
-fn parse_allows(src: &SourceFile) -> Allows {
-    let mut by_line: HashMap<usize, Vec<(Rule, bool)>> = HashMap::new();
-    let mut errors = Vec::new();
-    for line_no in 1..=src.line_count() {
-        let Some(comment) = src.comment_text(line_no) else {
-            continue;
-        };
-        let Some(tag_at) = comment.find("lint:allow(") else {
-            continue;
-        };
-        if src.test_lines.get(line_no - 1).copied().unwrap_or(false) {
-            // Test code may quote or exercise allow syntax freely.
-            continue;
-        }
-        let rest = &comment[tag_at + "lint:allow(".len()..];
-        let Some(close) = rest.find(')') else {
-            errors.push((line_no, "malformed lint:allow: missing `)`".to_string()));
-            continue;
-        };
-        let Some(rule) = Rule::parse(&rest[..close]) else {
-            errors.push((
-                line_no,
-                format!("unknown lint rule `{}` in lint:allow", &rest[..close]),
-            ));
-            continue;
-        };
-        let after = rest[close + 1..].trim_start();
-        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
-        let justified = !justification.is_empty();
-        if !justified {
-            errors.push((
-                line_no,
-                format!(
-                    "lint:allow({}) requires a justification: `// lint:allow({}): <why>`",
-                    rule.id(),
-                    rule.id()
-                ),
-            ));
-        }
-        by_line.entry(line_no).or_default().push((rule, justified));
-    }
-    Allows { by_line, errors }
-}
-
-impl Allows {
-    /// Whether `rule` is suppressed at `line` (same line or line above).
-    fn suppressed(&self, rule: Rule, line: usize) -> bool {
-        for l in [line, line.saturating_sub(1)] {
-            if l == 0 {
-                continue;
-            }
-            if let Some(entries) = self.by_line.get(&l) {
-                if entries.iter().any(|&(r, justified)| r == rule && justified) {
-                    return true;
-                }
-            }
-        }
-        false
-    }
+/// Whether `rule` is suppressed at `line` (same line or line above).
+fn suppressed(allows: &Allows, rule: Rule, line: usize) -> bool {
+    allows.suppressed(rule.id(), line)
 }
 
 /// Lints one file's text under the given rule set. `file` is the label used
@@ -335,24 +278,6 @@ pub fn lint_text(file: &str, text: &str, rules: RuleSet) -> Vec<Diagnostic> {
     out
 }
 
-/// True when `token` at `at` in `hay` sits on identifier boundaries, so
-/// `.unwrap()` does not match `.unwrap_or()` and `as f32` does not match
-/// `has f32x`.
-fn boundary_ok(hay: &str, at: usize, token: &str) -> bool {
-    let bytes = hay.as_bytes();
-    let ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-    let first = token.as_bytes()[0];
-    let last = token.as_bytes()[token.len() - 1];
-    if ident(first) && at > 0 && ident(bytes[at - 1]) {
-        return false;
-    }
-    let end = at + token.len();
-    if ident(last) && end < bytes.len() && ident(bytes[end]) {
-        return false;
-    }
-    true
-}
-
 fn check_tokens(
     file: &str,
     src: &SourceFile,
@@ -362,15 +287,12 @@ fn check_tokens(
     out: &mut Vec<Diagnostic>,
 ) {
     for &(token, message) in tokens {
-        let mut from = 0;
-        while let Some(pos) = src.masked[from..].find(token) {
-            let at = from + pos;
-            from = at + token.len();
+        for at in find_token(&src.masked, token) {
             if !boundary_ok(&src.masked, at, token) || src.in_test(at) {
                 continue;
             }
             let line = src.line_of(at);
-            if allows.suppressed(rule, line) {
+            if suppressed(allows, rule, line) {
                 continue;
             }
             out.push(Diagnostic {
@@ -392,10 +314,10 @@ fn check_lock_discipline(file: &str, src: &SourceFile, allows: &Allows, out: &mu
         let mut locks: Vec<usize> = Vec::new();
         let mut chans: Vec<usize> = Vec::new();
         for token in LOCK_TOKENS {
-            collect(span, token, start, &mut locks);
+            locks.extend(find_token(span, token).into_iter().map(|at| start + at));
         }
         for token in CHANNEL_TOKENS {
-            collect(span, token, start, &mut chans);
+            chans.extend(find_token(span, token).into_iter().map(|at| start + at));
         }
         locks.retain(|&at| !src.in_test(at));
         chans.retain(|&at| !src.in_test(at));
@@ -406,7 +328,7 @@ fn check_lock_discipline(file: &str, src: &SourceFile, allows: &Allows, out: &mu
         if locks.len() >= 2 {
             let at = locks[1];
             let line = src.line_of(at);
-            if !allows.suppressed(Rule::L3, line) {
+            if !suppressed(allows, Rule::L3, line) {
                 out.push(Diagnostic {
                     rule: Rule::L3,
                     file: file.to_string(),
@@ -420,7 +342,7 @@ fn check_lock_discipline(file: &str, src: &SourceFile, allows: &Allows, out: &mu
         if !chans.is_empty() {
             let at = *chans.iter().min().expect("nonempty");
             let line = src.line_of(at);
-            if !allows.suppressed(Rule::L3, line) {
+            if !suppressed(allows, Rule::L3, line) {
                 out.push(Diagnostic {
                     rule: Rule::L3,
                     file: file.to_string(),
@@ -431,15 +353,6 @@ fn check_lock_discipline(file: &str, src: &SourceFile, allows: &Allows, out: &mu
                 });
             }
         }
-    }
-}
-
-fn collect(span: &str, token: &str, base: usize, out: &mut Vec<usize>) {
-    let mut from = 0;
-    while let Some(pos) = span[from..].find(token) {
-        let at = from + pos;
-        from = at + token.len();
-        out.push(base + at);
     }
 }
 
@@ -597,6 +510,22 @@ mod tests {
     fn unknown_rule_in_allow_is_an_error() {
         let d = lint_all("fn f() {} // lint:allow(L9): nope");
         assert!(d.iter().any(|d| d.message.contains("unknown lint rule")));
+    }
+
+    #[test]
+    fn analyzer_rule_allows_are_not_unknown_here() {
+        // `lint:allow(A2)` is the analyzer's suppression; the linter must
+        // parse it (shared registry) without flagging it or suppressing
+        // anything of its own.
+        let d = lint_all("fn f() { x.unwrap(); } // lint:allow(A2): guard is released by wait()");
+        assert_eq!(rules_of(&d), ["L1"], "{d:?}");
+    }
+
+    #[test]
+    fn rule_parse_rejects_analyzer_rules() {
+        assert_eq!(Rule::parse("held-guard"), None);
+        assert_eq!(Rule::parse("A1"), None);
+        assert_eq!(Rule::parse("l3"), Some(Rule::L3));
     }
 
     #[test]
