@@ -10,6 +10,7 @@ const AB_BA: &str = include_str!("fixtures/ab_ba.rs");
 const GUARD_ACROSS_RECV: &str = include_str!("fixtures/guard_across_recv.rs");
 const ORPHAN_SENDER: &str = include_str!("fixtures/orphan_sender.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
+const PERMIT_GUARD: &str = include_str!("fixtures/permit_guard.rs");
 
 fn run_one(path: &str, text: &str) -> Analysis {
     analyze_sources(&[(path.to_string(), text.to_string())])
@@ -74,6 +75,22 @@ fn orphan_sender_and_unbounded_queue_are_flagged() {
         a3.iter().any(|f| f.message.contains("never popped")),
         "{:#?}",
         a.findings
+    );
+}
+
+#[test]
+fn raii_permit_guard_pattern_is_clean() {
+    // The `Platform::invoke` shape: a semaphore permit and a container
+    // lease are RAII guards deliberately held across blocking work so they
+    // release on panic. Counting permits block nobody holding a different
+    // permit, so A2 (lock-guard across blocking call) must stay silent —
+    // with zero suppressions. The condvar wait inside `acquire` holds only
+    // its own mutex guard, which A2 exempts.
+    let a = run_one("crates/fx/src/permit_guard.rs", PERMIT_GUARD);
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
+    assert_eq!(
+        a.suppressed, 0,
+        "pattern must be clean without suppressions"
     );
 }
 

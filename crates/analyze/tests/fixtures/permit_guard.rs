@@ -1,0 +1,56 @@
+//! Clean twin for the RAII slot-permit pattern used by
+//! `stellaris_serverless::Platform::invoke`: a semaphore permit and a
+//! container lease are both held across blocking work (a channel recv,
+//! even), released on drop. Unlike a `Mutex` guard, a counting-semaphore
+//! permit blocks nobody who holds a different permit, so A2's
+//! guard-across-blocking rule must stay silent here — the analyzer tracks
+//! only `.lock()/.read()/.write()` guards, and this fixture pins that down.
+
+pub struct Semaphore {
+    state: parking_lot::Mutex<usize>,
+    cv: parking_lot::Condvar,
+}
+
+impl Semaphore {
+    pub fn acquire(&self) -> SlotPermit<'_> {
+        let mut slots = self.state.lock();
+        while *slots == 0 {
+            self.cv.wait(&mut slots);
+        }
+        *slots -= 1;
+        SlotPermit { sem: self }
+    }
+
+    fn release(&self) {
+        *self.state.lock() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// RAII permit: the slot returns to the pool when the guard drops, even if
+/// the work in between panics.
+pub struct SlotPermit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SlotPermit<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+pub struct Runner {
+    slots: Semaphore,
+    work: crossbeam::channel::Receiver<u64>,
+    done: crossbeam::channel::Sender<u64>,
+}
+
+impl Runner {
+    /// Holds the permit across a blocking recv — fine: permits are counting
+    /// capacity tokens, not exclusive locks, and the drop runs on unwind.
+    pub fn run_one(&self) {
+        let _permit = self.slots.acquire();
+        let item = self.work.recv().unwrap_or(0);
+        let _ = self.done.send(item + 1);
+    }
+}

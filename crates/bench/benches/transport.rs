@@ -18,37 +18,43 @@ fn bench_tiers(c: &mut Criterion) {
     let t = payload();
     c.bench_function("transport_shared_memory", |b| {
         b.iter(|| {
-            let (_, d) = router.send(
-                t.clone(),
-                Placement { vm: 0 },
-                Placement { vm: 0 },
-                false,
-                "k",
-            );
+            let (_, d) = router
+                .send(
+                    t.clone(),
+                    Placement { vm: 0 },
+                    Placement { vm: 0 },
+                    false,
+                    "k",
+                )
+                .unwrap();
             black_box(d.get().numel())
         })
     });
     c.bench_function("transport_rpc", |b| {
         b.iter(|| {
-            let (_, d) = router.send(
-                t.clone(),
-                Placement { vm: 0 },
-                Placement { vm: 1 },
-                false,
-                "k",
-            );
+            let (_, d) = router
+                .send(
+                    t.clone(),
+                    Placement { vm: 0 },
+                    Placement { vm: 1 },
+                    false,
+                    "k",
+                )
+                .unwrap();
             black_box(d.get().numel())
         })
     });
     c.bench_function("transport_cache", |b| {
         b.iter(|| {
-            let (_, d) = router.send(
-                t.clone(),
-                Placement { vm: 0 },
-                Placement { vm: 0 },
-                true,
-                "k",
-            );
+            let (_, d) = router
+                .send(
+                    t.clone(),
+                    Placement { vm: 0 },
+                    Placement { vm: 0 },
+                    true,
+                    "k",
+                )
+                .unwrap();
             black_box(d.get().numel())
         })
     });

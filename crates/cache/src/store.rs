@@ -374,7 +374,7 @@ impl Cache {
         let bytes = self
             .get(key)
             .ok_or_else(|| CacheError::Missing(key.to_owned()))?;
-        T::from_bytes(&bytes).map_err(CacheError::Decode)
+        T::from_bytes(&bytes).map_err(decode_error)
     }
 
     /// Fetches, decodes and removes a typed value.
@@ -382,8 +382,17 @@ impl Cache {
         let bytes = self
             .take(key)
             .ok_or_else(|| CacheError::Missing(key.to_owned()))?;
-        T::from_bytes(&bytes).map_err(CacheError::Decode)
+        T::from_bytes(&bytes).map_err(decode_error)
     }
+}
+
+/// Counts every stored-value decode failure (corrupt frames reaching the
+/// store under fault injection) before surfacing it as a typed error.
+fn decode_error(e: CodecError) -> CacheError {
+    stellaris_telemetry::global()
+        .counter("stellaris_cache_decode_errors_total")
+        .inc();
+    CacheError::Decode(e)
 }
 
 #[cfg(test)]

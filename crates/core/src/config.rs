@@ -1,10 +1,12 @@
 //! Training-job configuration: algorithm, learner topology, deployment and
 //! scale, with paper-faithful and laptop-scale presets.
 
+use std::time::Duration;
+
 use stellaris_envs::{EnvConfig, EnvId};
 use stellaris_nn::OptimizerKind;
 use stellaris_rl::{ImpactConfig, ImpalaConfig, PolicySnapshot, PpoConfig};
-use stellaris_serverless::Cluster;
+use stellaris_serverless::{Cluster, FaultConfig, RetryPolicy};
 
 use crate::aggregation::AggregationRule;
 
@@ -138,6 +140,16 @@ pub struct TrainConfig {
     /// Resume training from a previous run's final snapshot (architecture
     /// must match this config's env/hidden geometry).
     pub initial_snapshot: Option<PolicySnapshot>,
+    /// Fault-injection plan (seeded chaos); `FaultConfig::off()` disables
+    /// every fault class.
+    pub faults: FaultConfig,
+    /// Retry policy for failed invocations and transport errors.
+    pub retry: RetryPolicy,
+    /// Per-invocation deadline; invocations finishing later are treated as
+    /// stragglers, discarded and re-executed. `None` disables the deadline
+    /// (required for bitwise-deterministic runs — deadlines compare
+    /// wall-clock time).
+    pub invoke_deadline: Option<Duration>,
 }
 
 impl TrainConfig {
@@ -168,6 +180,9 @@ impl TrainConfig {
             dynamic_actors: false,
             dynamic_learners: false,
             initial_snapshot: None,
+            faults: FaultConfig::off(),
+            retry: RetryPolicy::default(),
+            invoke_deadline: None,
         }
     }
 
@@ -223,6 +238,14 @@ impl TrainConfig {
     /// Resumes from a previous run's final weights.
     pub fn resume_from(mut self, snapshot: PolicySnapshot) -> Self {
         self.initial_snapshot = Some(snapshot);
+        self
+    }
+
+    /// Turns on the default chaos profile (20% invocation failures, 5%
+    /// mid-work crashes, 20% stragglers, 20% frame drops, 10% frame
+    /// corruption) with its own seed, keeping the default retry policy.
+    pub fn with_chaos(mut self, seed: u64) -> Self {
+        self.faults = FaultConfig::chaos(seed);
         self
     }
 

@@ -39,5 +39,5 @@ pub use metrics::{rows_to_csv, TimerReport, Timers, TrainRow};
 pub use orchestrator::{smooth, train, TrainResult, POLICY_KEY};
 pub use parameter::ParameterServer;
 pub use staleness::{staleness_weight, StalenessSchedule};
-pub use transport::{Delivered, Placement, Router, Tier};
+pub use transport::{Delivered, Placement, Router, Tier, TransportError};
 pub use truncation::{reward_improvement_bound, RatioBoard};

@@ -28,8 +28,8 @@ use stellaris_rl::{
     PolicyNet, PolicySnapshot, PolicySpec, RolloutWorker, SampleBatch,
 };
 use stellaris_serverless::{
-    bill_hybrid, bill_serverful, bill_serverless, CostBreakdown, FunctionKind, OverheadMode,
-    Platform, StartupProfile,
+    bill_hybrid, bill_serverful, bill_serverless, CostBreakdown, FaultPlan, FaultReport,
+    FunctionKind, OverheadMode, Platform, StartupProfile,
 };
 use stellaris_telemetry as telemetry;
 
@@ -39,6 +39,7 @@ use crate::config::{Algo, Deployment, LearnerMode, TrainConfig};
 use crate::messages::GradientMsg;
 use crate::metrics::{Component, TimerReport, Timers, TrainRow};
 use crate::parameter::ParameterServer;
+use crate::transport::{Placement, Router};
 use crate::truncation::RatioBoard;
 
 /// Cache key under which the canonical policy snapshot is published.
@@ -72,6 +73,18 @@ pub struct TrainResult {
     /// The final trained policy weights (loadable via
     /// `PolicyNet::load_snapshot` into an architecture-compatible net).
     pub final_snapshot: stellaris_rl::PolicySnapshot,
+    /// Gradients actually folded into the policy (each contributes one
+    /// `staleness_log` entry).
+    pub grads_aggregated: u64,
+    /// Rounds in which at least one invocation or transfer exhausted its
+    /// retries and the round proceeded with fewer gradients (the quorum
+    /// degradation path).
+    pub degraded_rounds: u64,
+    /// Platform slots not returned by the end of the run. Must be zero:
+    /// anything else means a permit leaked through a failure path.
+    pub slots_leaked: u64,
+    /// Everything the fault plan injected and every retry it observed.
+    pub faults: FaultReport,
 }
 
 impl TrainResult {
@@ -83,6 +96,12 @@ impl TrainResult {
         } else {
             tail.iter().map(|r| r.reward).sum::<f32>() / tail.len() as f32
         }
+    }
+
+    /// Largest observed gradient staleness, `0` when nothing was aggregated
+    /// (degenerate configs with zero policy updates must not panic here).
+    pub fn max_staleness(&self) -> u64 {
+        self.staleness_log.iter().max().copied().unwrap_or(0)
     }
 }
 
@@ -159,12 +178,17 @@ pub fn train(cfg: &TrainConfig) -> TrainResult {
 fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     let start = Instant::now();
     let cache = Arc::new(Cache::new(16, LatencyModel::lan_recorded()));
-    let platform = Arc::new(Platform::new(
-        cfg.max_learners,
-        cfg.n_actors,
-        StartupProfile::default(),
-        OverheadMode::Record,
-    ));
+    let faults = Arc::new(FaultPlan::new(cfg.faults.clone()));
+    let platform = Arc::new(
+        Platform::new(
+            cfg.max_learners,
+            cfg.n_actors,
+            StartupProfile::default(),
+            OverheadMode::Record,
+        )
+        .with_faults(faults.clone()),
+    );
+    let router = Arc::new(Router::with_faults(cache.clone(), faults));
     platform.prewarm(FunctionKind::Learner, cfg.max_learners);
     platform.prewarm(FunctionKind::Actor, cfg.n_actors);
 
@@ -207,6 +231,10 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     let sample_target = Arc::new(AtomicU64::new(round_quota));
     let sample_claims = Arc::new(AtomicU64::new(0));
     let episodes = Arc::new(AtomicU64::new(0));
+    // Retry-exhausted invocations/transfers: each one means some work was
+    // permanently lost and the round degraded to a quorum of what arrived.
+    let degraded_events = Arc::new(AtomicU64::new(0));
+    let mut degraded_rounds = 0u64;
     let timers = Arc::new(Timers::default());
     let active_actors = Arc::new(AtomicUsize::new(if cfg.dynamic_actors {
         (cfg.n_actors / 2).max(1)
@@ -236,6 +264,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let probe = probe_obs.clone();
             let target_steps = sample_target.clone();
             let claims = sample_claims.clone();
+            let degraded = degraded_events.clone();
             let serverless_actor = cfg.deployment != Deployment::Serverful;
             let cfg = cfg.clone();
             s.spawn(move |_| {
@@ -266,7 +295,22 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         worker.collect(&local, cfg.actor_steps)
                     };
                     let batch = if serverless_actor {
-                        platform.invoke(FunctionKind::Actor, collect).0
+                        match platform.invoke_retry(
+                            FunctionKind::Actor,
+                            &cfg.retry,
+                            cfg.invoke_deadline,
+                            &mut collect,
+                        ) {
+                            Ok((batch, _rec)) => batch,
+                            Err(_) => {
+                                // Refund the claimed quota so the round's
+                                // data budget can still be met by a later
+                                // attempt (here or on another actor).
+                                claims.fetch_sub(cfg.actor_steps as u64, Ordering::AcqRel);
+                                degraded.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
                     } else {
                         collect()
                     };
@@ -308,6 +352,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         for l in 0..cfg.max_learners {
             let cache = cache.clone();
             let platform = platform.clone();
+            let router = router.clone();
             let work_q = work_q.clone();
             let grad_q = grad_q.clone();
             let board = board.clone();
@@ -315,6 +360,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let timers = timers.clone();
             let server = server.clone();
             let autoscaler = autoscaler.clone();
+            let degraded = degraded_events.clone();
             let cfg = cfg.clone();
             s.spawn(move |_| {
                 let mut local = build_policy(&cfg);
@@ -341,7 +387,11 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         let clock = server.lock().clock();
                         t.begin(clock)
                     });
-                    let (msg, _rec) = platform.invoke(FunctionKind::Learner, || {
+                    // A retried invocation re-reads the *current* snapshot,
+                    // so a straggler's re-execution carries fresh
+                    // `base_version` — its residual staleness is exactly
+                    // what the Eq. 3 threshold and Eq. 4 weight absorb.
+                    let mut compute = || {
                         let _t = timers.span(Component::Gradient);
                         let snap: PolicySnapshot = cache
                             .get_obj(POLICY_KEY)
@@ -359,17 +409,53 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         );
                         board.publish(l, msg.is_ratio);
                         msg
-                    });
+                    };
+                    let out = platform.invoke_retry(
+                        FunctionKind::Learner,
+                        &cfg.retry,
+                        cfg.invoke_deadline,
+                        &mut compute,
+                    );
                     if let (Some(th), Some(t)) = (&throttle, token) {
                         th.end(t);
                     }
-                    let key = {
+                    let msg = match out {
+                        Ok((msg, _rec)) => msg,
+                        Err(_) => {
+                            // Gradient permanently lost: the round proceeds
+                            // with whatever the other learners deliver.
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let base_version = msg.base_version;
+                    let sent = {
                         let _t = timers.span(Component::Cache);
                         let key = format!("grad:{}", cache.incr("grad_seq"));
-                        cache.put_obj(&key, &msg);
-                        key
+                        // Gradient submission crosses VMs (learner -> the
+                        // parameter function's host) and is subject to
+                        // frame drop/corruption with retry.
+                        router
+                            .send_with_retry(
+                                Arc::new(msg),
+                                Placement { vm: 1 + l },
+                                Placement { vm: 0 },
+                                false,
+                                &key,
+                                &cfg.retry,
+                            )
+                            .ok()
+                            .map(|(_tier, delivered)| {
+                                cache.put_obj(&key, delivered.get());
+                                key
+                            })
                     };
-                    grad_q.push(key, msg.base_version);
+                    match sent {
+                        Some(key) => grad_q.push(key, base_version),
+                        None => {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
@@ -416,6 +502,8 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
 
         let rounds_total = telemetry::global().counter("stellaris_core_rounds_total");
         let depth_gauge = telemetry::global().gauge("stellaris_core_work_queue_depth");
+        let degraded_gauge = telemetry::global().gauge("stellaris_core_degraded_rounds");
+        let mut prev_degraded = 0u64;
         for round in 0..cfg.rounds {
             let mut round_span = telemetry::span_with("core.round", vec![("round", round.into())]);
             let target = (round as u64 + 1) * round_quota;
@@ -487,6 +575,13 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             prev_invocations = invocations;
             prev_episodes = episodes.load(Ordering::Relaxed);
             prev_staleness_len = staleness_len;
+            let deg_now = degraded_events.load(Ordering::Relaxed);
+            if deg_now > prev_degraded {
+                degraded_rounds += 1;
+                round_span.field("degraded", true);
+            }
+            prev_degraded = deg_now;
+            degraded_gauge.set(degraded_rounds as f64);
             round_span.field("reward", f64::from(reward));
             round_span.field("mean_staleness", mean_staleness);
             rounds_total.inc();
@@ -509,10 +604,19 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         ServerFinal {
             staleness_log: guard.staleness_log.clone(),
             updates: guard.updates,
+            grads_aggregated: guard.grads_aggregated,
             snapshot: guard.snapshot(),
         }
     };
-    finalize(cfg, rows, server_final, &platform, &timers, start)
+    finalize(
+        cfg,
+        rows,
+        server_final,
+        &platform,
+        &timers,
+        start,
+        degraded_rounds,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -522,12 +626,17 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
 fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     let start = Instant::now();
     let cache = Arc::new(Cache::new(16, LatencyModel::lan_recorded()));
-    let platform = Arc::new(Platform::new(
-        n_learners.max(1),
-        cfg.n_actors,
-        StartupProfile::default(),
-        OverheadMode::Record,
-    ));
+    let faults = Arc::new(FaultPlan::new(cfg.faults.clone()));
+    let platform = Arc::new(
+        Platform::new(
+            n_learners.max(1),
+            cfg.n_actors,
+            StartupProfile::default(),
+            OverheadMode::Record,
+        )
+        .with_faults(faults.clone()),
+    );
+    let router = Router::with_faults(cache.clone(), faults);
     platform.prewarm(FunctionKind::Learner, n_learners);
     platform.prewarm(FunctionKind::Actor, cfg.n_actors);
     let timers = Arc::new(Timers::default());
@@ -572,8 +681,12 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     let mut prev_updates = 0u64;
     let mut last_round_end = Instant::now();
     let collects_per_round = cfg.round_timesteps.div_ceil(cfg.n_actors * cfg.actor_steps);
+    let mut degraded_events = 0u64;
+    let mut prev_degraded = 0u64;
+    let mut degraded_rounds = 0u64;
 
     let rounds_total = telemetry::global().counter("stellaris_core_rounds_total");
+    let degraded_gauge = telemetry::global().gauge("stellaris_core_degraded_rounds");
     for round in 0..cfg.rounds {
         let mut round_span = telemetry::span_with("core.round", vec![("round", round.into())]);
         // Synchronous actor wave(s).
@@ -582,6 +695,7 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
             // lint:allow(L1): POLICY_KEY is seeded before the first wave and never deleted
             let snap: PolicySnapshot = cache.get_obj(POLICY_KEY).expect("policy must exist");
             let serverless_actor = cfg.deployment != Deployment::Serverful;
+            let n_spawned = workers.len();
             let wave: Vec<SampleBatch> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = workers
                     .iter_mut()
@@ -598,18 +712,32 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                                 w.collect(&local, cfg2.actor_steps)
                             };
                             if serverless_actor {
-                                platform.invoke(FunctionKind::Actor, collect).0
+                                platform
+                                    .invoke_retry(
+                                        FunctionKind::Actor,
+                                        &cfg2.retry,
+                                        cfg2.invoke_deadline,
+                                        &mut collect,
+                                    )
+                                    .ok()
+                                    .map(|(batch, _rec)| batch)
                             } else {
-                                collect()
+                                Some(collect())
                             }
                         })
                     })
                     .collect();
-                // lint:allow(L1): join() errs only if the actor panicked; propagate it
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    // lint:allow(L1): join() errs only if the actor panicked; propagate it
+                    .filter_map(|h| h.join().unwrap())
+                    .collect()
             })
             // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("actor wave panicked");
+            // A degraded wave: some actors exhausted their retries, the
+            // round trains on the trajectories that did arrive.
+            degraded_events += (n_spawned - wave.len()) as u64;
             batches.extend(wave);
         }
         episodes_total += batches
@@ -640,12 +768,15 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                 .collect();
             idx += wave.len();
             let snap = server.snapshot();
-            // Synchronous learners are held at a barrier until the whole
-            // wave finishes: a synchronous learner function keeps its slot
-            // (and its bill running) while it waits for stragglers — the
-            // economic cost of synchrony the paper's Fig. 2(b)/8 expose.
-            let barrier = Arc::new(std::sync::Barrier::new(wave.len()));
-            let msgs: Vec<GradientMsg> = crossbeam::thread::scope(|s| {
+            let wave_size = wave.len();
+            // No barrier here: a barrier sized to the wave deadlocks the
+            // moment one member exhausts its retries and never arrives.
+            // Each learner instead reports its finish instant, and the
+            // synchronous hold — a learner function keeps its slot (and its
+            // bill running) while it waits for the wave's stragglers, the
+            // economic cost of synchrony the paper's Fig. 2(b)/8 expose —
+            // is billed after the join from `wave_end - finish`.
+            let results: Vec<Option<(GradientMsg, Instant)>> = crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = wave
                     .into_iter()
                     .enumerate()
@@ -654,53 +785,85 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                         let timers = timers.clone();
                         let snap = snap.clone();
                         let cfg2 = cfg.clone();
-                        let barrier = barrier.clone();
                         let impact_slot = &impact_states[l];
                         s.spawn(move |_| {
-                            let platform2 = platform.clone();
+                            let mut compute = || {
+                                let _t = timers.span(Component::Gradient);
+                                let mut local = build_policy(&cfg2);
+                                let mut impact_state = impact_slot.lock().take();
+                                let msg = learner_compute(
+                                    &cfg2,
+                                    &mut local,
+                                    &mut impact_state,
+                                    &snap,
+                                    mb,
+                                    None,
+                                    l,
+                                );
+                                *impact_slot.lock() = impact_state;
+                                msg
+                            };
                             platform
-                                .invoke(FunctionKind::Learner, || {
-                                    let msg = {
-                                        let _t = timers.span(Component::Gradient);
-                                        let mut local = build_policy(&cfg2);
-                                        let mut impact_state = impact_slot.lock().take();
-                                        let msg = learner_compute(
-                                            &cfg2,
-                                            &mut local,
-                                            &mut impact_state,
-                                            &snap,
-                                            mb,
-                                            None,
-                                            l,
-                                        );
-                                        *impact_slot.lock() = impact_state;
-                                        msg
-                                    };
-                                    // Waiting for the wave's stragglers holds
-                                    // the GPU slot: billed, though it burns no
-                                    // CPU (CPU-time billing would miss it).
-                                    let w0 = Instant::now();
-                                    barrier.wait();
-                                    platform2.bill_hold(FunctionKind::Learner, w0.elapsed());
-                                    msg
-                                })
-                                .0
+                                .invoke_retry(
+                                    FunctionKind::Learner,
+                                    &cfg2.retry,
+                                    cfg2.invoke_deadline,
+                                    &mut compute,
+                                )
+                                .ok()
+                                .map(|(msg, _rec)| (msg, Instant::now()))
                         })
                     })
                     .collect();
-                // lint:allow(L1): join() errs only if the learner panicked; propagate it
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    // lint:allow(L1): join() errs only if the learner panicked; propagate it
+                    .map(|h| h.join().unwrap())
+                    .collect()
             })
             // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("learner wave panicked");
+            if let Some(wave_end) = results.iter().flatten().map(|(_, t)| *t).max() {
+                for (_, finish) in results.iter().flatten() {
+                    platform.bill_hold(FunctionKind::Learner, wave_end - *finish);
+                }
+            }
+            // Gradient submission crosses to the aggregator's VM with
+            // drop/corruption + retry; a lost gradient shrinks the wave.
+            let msgs: Vec<GradientMsg> = results
+                .into_iter()
+                .flatten()
+                .filter_map(|(m, _)| {
+                    let key = format!("grad:sync:{round}:{}", m.learner_id);
+                    let src = Placement {
+                        vm: 1 + m.learner_id,
+                    };
+                    router
+                        .send_with_retry(
+                            Arc::new(m),
+                            src,
+                            Placement { vm: 0 },
+                            false,
+                            &key,
+                            &cfg.retry,
+                        )
+                        .ok()
+                        .map(|(_tier, d)| d.into_owned())
+                })
+                .collect();
             let _agg = timers.span(Component::Aggregation);
             let wave_n = msgs.len();
-            if wave_n < n_learners.max(1) {
-                // Last partial wave: temporarily lower the sync barrier.
+            degraded_events += (wave_size - wave_n) as u64;
+            if wave_n == 0 {
+                // Quorum of zero: every gradient in the wave was lost.
+                // Skip the update entirely rather than stalling.
+            } else if wave_n < n_learners.max(1) {
+                // Degraded or last partial wave: temporarily lower the
+                // sync quorum to the gradients that actually arrived.
                 let mut tmp = ParameterServer::new(
                     server.policy.clone(),
                     cfg.optimizer.build(cfg.algo.lr()),
-                    AggregationRule::FullSync { n: wave_n.max(1) },
+                    AggregationRule::FullSync { n: wave_n },
                 );
                 tmp.policy.version = server.policy.version;
                 for m in msgs {
@@ -709,6 +872,10 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                 let snap = tmp.snapshot();
                 server.policy.load_snapshot(&snap);
                 server.updates += 1;
+                server.grads_aggregated += tmp.grads_aggregated;
+                server
+                    .staleness_log
+                    .extend(tmp.staleness_log.iter().copied());
             } else {
                 for m in msgs {
                     server.offer(m);
@@ -757,6 +924,12 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
         prev_invocations = invocations;
         prev_episodes = episodes_total;
         prev_updates = server.updates;
+        if degraded_events > prev_degraded {
+            degraded_rounds += 1;
+            round_span.field("degraded", true);
+        }
+        prev_degraded = degraded_events;
+        degraded_gauge.set(degraded_rounds as f64);
         round_span.field("reward", f64::from(reward));
         rounds_total.inc();
     }
@@ -764,9 +937,18 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     let server_final = ServerFinal {
         staleness_log: server.staleness_log.clone(),
         updates: server.updates,
+        grads_aggregated: server.grads_aggregated,
         snapshot: server.snapshot(),
     };
-    finalize(cfg, rows, server_final, &platform, &timers, start)
+    finalize(
+        cfg,
+        rows,
+        server_final,
+        &platform,
+        &timers,
+        start,
+        degraded_rounds,
+    )
 }
 
 fn cost_for(cfg: &TrainConfig, platform: &Platform, wall: Duration) -> CostBreakdown {
@@ -790,6 +972,7 @@ fn cost_for(cfg: &TrainConfig, platform: &Platform, wall: Duration) -> CostBreak
 struct ServerFinal {
     staleness_log: Vec<u64>,
     updates: u64,
+    grads_aggregated: u64,
     snapshot: PolicySnapshot,
 }
 
@@ -800,6 +983,7 @@ fn finalize(
     platform: &Platform,
     timers: &Timers,
     start: Instant,
+    degraded_rounds: u64,
 ) -> TrainResult {
     let wall = start.elapsed();
     let mut timer_report = timers.report();
@@ -827,6 +1011,10 @@ fn finalize(
         cold_starts: cold,
         label: cfg.label(),
         final_snapshot: server.snapshot,
+        grads_aggregated: server.grads_aggregated,
+        degraded_rounds,
+        slots_leaked: platform.leaked_slots(),
+        faults: platform.faults().report(),
         rows,
     }
 }
@@ -911,11 +1099,42 @@ mod tests {
         let res = train(&cfg);
         assert!(!res.staleness_log.is_empty());
         // With four racing learners some gradient should arrive stale.
-        let max_staleness = res.staleness_log.iter().max().copied().unwrap();
+        // (`max_staleness()` instead of `.max().unwrap()`: the latter
+        // panicked on empty logs in degenerate zero-update configs.)
+        let max_staleness = res.max_staleness();
         assert!(
             max_staleness >= 1,
             "expected some staleness, got {max_staleness}"
         );
+    }
+
+    #[test]
+    fn zero_update_run_reports_zero_staleness_without_panicking() {
+        // Regression: a config whose learners all fail produces zero policy
+        // updates and an empty staleness log. `max_staleness()` must report
+        // 0 — the old `.max().copied().unwrap()` idiom panicked here.
+        use stellaris_serverless::{FaultConfig, RetryPolicy};
+        let mut cfg = TrainConfig::test_tiny(EnvId::ChainMdp, 7);
+        cfg.rounds = 1;
+        // Serverful actors bypass the platform, so trajectories still flow;
+        // every learner invocation fails with no retry budget.
+        cfg.deployment = Deployment::Serverful;
+        cfg.faults = FaultConfig {
+            seed: 7,
+            invoke_failure: 1.0,
+            ..FaultConfig::off()
+        };
+        cfg.retry = RetryPolicy::none();
+        let res = train(&cfg);
+        assert_eq!(res.policy_updates, 0, "all learners failed");
+        assert!(res.staleness_log.is_empty());
+        assert_eq!(res.max_staleness(), 0, "empty log must report 0, not panic");
+        assert_eq!(res.grads_aggregated, 0);
+        assert!(res.degraded_rounds >= 1, "the starved round is degraded");
+        assert!(res.faults.injected_failures > 0);
+        assert!(res.faults.exhausted > 0);
+        assert_eq!(res.slots_leaked, 0);
+        assert_eq!(res.rows.len(), 1, "the run still completes its round");
     }
 
     #[test]

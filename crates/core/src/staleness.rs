@@ -61,7 +61,10 @@ impl StalenessSchedule {
             return None;
         }
         let dmax = self.delta_max.unwrap_or(0.0).max(1.0);
-        Some(dmax * self.d.powi(self.round as i32))
+        // The previous `powi(self.round as i32)` *wrapped* for rounds past
+        // i32::MAX, flipping β to dmax/d^huge = +inf.
+        // lint:allow(L4): u64 -> f64 is exact below 2^53, merely imprecise above
+        Some(dmax * self.d.powf(self.round as f64))
     }
 
     /// Advances to the next training round, tightening the threshold. The
@@ -69,7 +72,16 @@ impl StalenessSchedule {
     /// (`stellaris_core_staleness_beta` / `..._delta_max`) so traces show
     /// the Eq. 3 schedule decaying.
     pub fn advance_round(&mut self) {
-        self.round += 1;
+        self.advance_rounds(1);
+    }
+
+    /// Advances `n` rounds at once (a cheap skip for long-horizon schedules
+    /// and tests), publishing the gauges once at the end.
+    pub fn advance_rounds(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.round = self.round.saturating_add(n);
         let reg = stellaris_telemetry::global();
         if let Some(beta) = self.beta() {
             reg.gauge("stellaris_core_staleness_beta").set(beta);
@@ -183,6 +195,27 @@ mod tests {
     }
 
     #[test]
+    fn beta_survives_rounds_beyond_i32_max() {
+        // Regression: `powi(self.round as i32)` wrapped for rounds past
+        // i32::MAX — a negative exponent turned the decaying threshold
+        // into dmax / d^huge = +inf, admitting unboundedly stale gradients.
+        let mut s = StalenessSchedule::new(0.96);
+        s.observe(50);
+        s.advance_rounds(i32::MAX as u64 + 5);
+        let b = s.beta().unwrap();
+        assert!(b.is_finite());
+        assert!(
+            (0.0..=50.0).contains(&b),
+            "β must stay within [0, δ_max], got {b}"
+        );
+        // d = 1 must stay exactly flat no matter how far the round runs.
+        let mut flat = StalenessSchedule::new(1.0);
+        flat.observe(6);
+        flat.advance_rounds(u64::MAX);
+        assert_eq!(flat.beta(), Some(6.0));
+    }
+
+    #[test]
     fn weight_matches_eq4() {
         assert_eq!(staleness_weight(0, 3), 1.0);
         assert!((staleness_weight(8, 3) - 0.5).abs() < 1e-6, "8^(1/3) = 2");
@@ -213,6 +246,21 @@ mod tests {
                 prop_assert!(b > 0.0);
                 prev = b;
             }
+        }
+
+        #[test]
+        fn prop_beta_bounded_for_any_round(
+            d in 0.01f64..1.0,
+            dmax in 1u64..1000,
+            rounds in 1u64..(1u64 << 40),
+        ) {
+            let mut s = StalenessSchedule::new(d);
+            s.observe(dmax);
+            s.advance_rounds(rounds);
+            let b = s.beta().unwrap();
+            prop_assert!(b.is_finite());
+            prop_assert!(b >= 0.0);
+            prop_assert!(b <= dmax as f64 + 1e-9);
         }
 
         #[test]

@@ -12,7 +12,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use stellaris_cache::{Cache, Codec};
+use stellaris_cache::{Cache, Codec, CodecError};
+use stellaris_serverless::{FaultPlan, RetryPolicy};
 
 /// Where a function instance runs (for tier selection).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -54,7 +55,45 @@ impl<T> Delivered<T> {
     pub fn was_zero_copy(&self) -> bool {
         matches!(self, Delivered::Shared(_))
     }
+
+    /// Takes ownership of the payload, cloning only when the shared-memory
+    /// `Arc` is still referenced elsewhere.
+    pub fn into_owned(self) -> T
+    where
+        T: Clone,
+    {
+        match self {
+            Delivered::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+            Delivered::Owned(v) => v,
+        }
+    }
 }
+
+/// Why a transfer failed. Shared-memory handoffs cannot fail; the RPC and
+/// cache tiers can lose or corrupt frames (under fault injection, or in a
+/// real deployment a flaky link / evicted key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The frame was dropped in flight and never reached the receiver.
+    Dropped,
+    /// The frame arrived but did not decode (truncated or corrupt).
+    Decode(CodecError),
+    /// The cache no longer holds the payload (dropped before the store, or
+    /// evicted/taken by someone else).
+    Missing,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Dropped => write!(f, "frame dropped in flight"),
+            TransportError::Decode(e) => write!(f, "frame failed to decode: {e}"),
+            TransportError::Missing => write!(f, "cache payload missing"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// Transfer statistics per tier.
 #[derive(Debug, Default)]
@@ -77,16 +116,26 @@ pub struct Router {
     rpc_latency_us: AtomicU64,
     /// Counters.
     pub stats: TransportStats,
+    /// Fault plan consulted for frame drop/corruption (disabled by default).
+    faults: Arc<FaultPlan>,
 }
 
 impl Router {
     /// Creates a router over a cache instance.
     pub fn new(cache: Arc<Cache>) -> Self {
+        Self::with_faults(cache, Arc::new(FaultPlan::disabled()))
+    }
+
+    /// Creates a router whose RPC/cache frames are subject to a fault plan
+    /// (drop and corruption probabilities). Shared-memory handoffs move an
+    /// `Arc` in-process and are never faulted.
+    pub fn with_faults(cache: Arc<Cache>, faults: Arc<FaultPlan>) -> Self {
         Self {
             cache,
             rpc_us_per_kb: 8, // ~ 1 GbE effective
             rpc_latency_us: AtomicU64::new(0),
             stats: TransportStats::default(),
+            faults,
         }
     }
 
@@ -104,6 +153,12 @@ impl Router {
     }
 
     /// Sends a payload, returning what the receiver observes.
+    ///
+    /// Shared-memory handoffs are infallible. RPC and cache frames can be
+    /// dropped ([`TransportError::Dropped`]) or corrupted in flight — a
+    /// corrupted frame is truncated, which the length-prefixed codec always
+    /// detects and surfaces as [`TransportError::Decode`]. Callers that must
+    /// get the payload through use [`Router::send_with_retry`].
     pub fn send<T: Codec>(
         &self,
         value: Arc<T>,
@@ -111,11 +166,11 @@ impl Router {
         dst: Placement,
         persist: bool,
         key: &str,
-    ) -> (Tier, Delivered<T>) {
+    ) -> Result<(Tier, Delivered<T>), TransportError> {
         match self.pick(src, dst, persist) {
             Tier::SharedMemory => {
                 self.stats.shared.fetch_add(1, Ordering::Relaxed);
-                (Tier::SharedMemory, Delivered::Shared(value))
+                Ok((Tier::SharedMemory, Delivered::Shared(value)))
             }
             Tier::Rpc => {
                 let frame = value.to_bytes();
@@ -127,9 +182,18 @@ impl Router {
                     self.rpc_us_per_kb * (frame.len() as u64 / 1024).max(1),
                     Ordering::Relaxed,
                 );
-                // lint:allow(L1): decoding a frame this function just encoded; Err means a Codec bug
-                let decoded = T::from_bytes(&frame).expect("RPC frame must round-trip");
-                (Tier::Rpc, Delivered::Owned(decoded))
+                if self.faults.should_drop_frame() {
+                    return Err(TransportError::Dropped);
+                }
+                let wire: &[u8] = if self.faults.should_corrupt_frame() {
+                    // In-flight corruption: the receiver sees a truncated
+                    // frame, which the length-prefixed codec rejects.
+                    &frame[..frame.len() / 2]
+                } else {
+                    &frame
+                };
+                let decoded = T::from_bytes(wire).map_err(TransportError::Decode)?;
+                Ok((Tier::Rpc, Delivered::Owned(decoded)))
             }
             Tier::Cache => {
                 let frame = value.to_bytes();
@@ -137,12 +201,51 @@ impl Router {
                 self.stats
                     .bytes
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                self.cache.put(key, frame);
-                // lint:allow(L1): the payload was stored one line up with no concurrent deleter of this key
-                let back = self.cache.take(key).expect("cache payload just stored");
-                // lint:allow(L1): decoding a frame this function just encoded; Err means a Codec bug
-                let decoded = T::from_bytes(&back).expect("cached frame must round-trip");
-                (Tier::Cache, Delivered::Owned(decoded))
+                if self.faults.should_drop_frame() {
+                    // Dropped on the way to the cache: nothing was stored.
+                    return Err(TransportError::Missing);
+                }
+                let stored = if self.faults.should_corrupt_frame() {
+                    bytes::Bytes::copy_from_slice(&frame[..frame.len() / 2])
+                } else {
+                    frame
+                };
+                self.cache.put(key, stored);
+                let back = self.cache.take(key).ok_or(TransportError::Missing)?;
+                let decoded = T::from_bytes(&back).map_err(TransportError::Decode)?;
+                Ok((Tier::Cache, Delivered::Owned(decoded)))
+            }
+        }
+    }
+
+    /// Sends with retry: re-encodes and re-sends on drop/corruption with the
+    /// fault plan's seeded backoff jitter, giving up (and counting an
+    /// exhaustion) after `retry.max_retries` retries.
+    pub fn send_with_retry<T: Codec>(
+        &self,
+        value: Arc<T>,
+        src: Placement,
+        dst: Placement,
+        persist: bool,
+        key: &str,
+        retry: &RetryPolicy,
+    ) -> Result<(Tier, Delivered<T>), TransportError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.send(value.clone(), src, dst, persist, key) {
+                Ok(out) => return Ok(out),
+                Err(err) => {
+                    if attempt >= retry.max_retries {
+                        self.faults.note_exhausted();
+                        return Err(err);
+                    }
+                    let backoff = retry.backoff(attempt, self.faults.jitter());
+                    self.faults.note_retry(backoff);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
             }
         }
     }
@@ -166,13 +269,15 @@ mod tests {
     fn same_vm_uses_shared_memory() {
         let r = router();
         let t = Arc::new(Tensor::ones(&[64]));
-        let (tier, got) = r.send(
-            t.clone(),
-            Placement { vm: 0 },
-            Placement { vm: 0 },
-            false,
-            "k",
-        );
+        let (tier, got) = r
+            .send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 0 },
+                false,
+                "k",
+            )
+            .unwrap();
         assert_eq!(tier, Tier::SharedMemory);
         assert!(got.was_zero_copy());
         assert!(Arc::ptr_eq(
@@ -190,13 +295,15 @@ mod tests {
     fn cross_vm_uses_rpc_and_charges_bytes() {
         let r = router();
         let t = Arc::new(Tensor::ones(&[256, 4]));
-        let (tier, got) = r.send(
-            t.clone(),
-            Placement { vm: 0 },
-            Placement { vm: 1 },
-            false,
-            "k",
-        );
+        let (tier, got) = r
+            .send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 1 },
+                false,
+                "k",
+            )
+            .unwrap();
         assert_eq!(tier, Tier::Rpc);
         assert!(!got.was_zero_copy());
         assert_eq!(got.get(), t.as_ref());
@@ -208,7 +315,9 @@ mod tests {
     fn persistence_forces_cache_tier() {
         let r = router();
         let t = Arc::new(Tensor::full(&[8], 3.0));
-        let (tier, got) = r.send(t, Placement { vm: 0 }, Placement { vm: 0 }, true, "traj:1");
+        let (tier, got) = r
+            .send(t, Placement { vm: 0 }, Placement { vm: 0 }, true, "traj:1")
+            .unwrap();
         assert_eq!(tier, Tier::Cache, "persisted payloads go through the cache");
         assert_eq!(got.get().data()[0], 3.0);
         assert_eq!(r.stats.cache.load(Ordering::Relaxed), 1);
@@ -229,5 +338,122 @@ mod tests {
             r.pick(Placement { vm: 1 }, Placement { vm: 1 }, true),
             Tier::Cache
         );
+    }
+
+    // ----- fault injection over the wire ---------------------------------
+
+    use stellaris_serverless::FaultConfig;
+
+    fn chaos_router(cfg: FaultConfig) -> Router {
+        Router::with_faults(Arc::new(Cache::in_memory()), Arc::new(FaultPlan::new(cfg)))
+    }
+
+    #[test]
+    fn dropped_rpc_frame_is_a_typed_error() {
+        let r = chaos_router(FaultConfig {
+            frame_drop: 1.0,
+            ..FaultConfig::off()
+        });
+        let t = Arc::new(Tensor::ones(&[16]));
+        let out = r.send(t, Placement { vm: 0 }, Placement { vm: 1 }, false, "k");
+        assert_eq!(out.err(), Some(TransportError::Dropped));
+    }
+
+    #[test]
+    fn corrupted_frame_fails_decode_not_panic() {
+        let r = chaos_router(FaultConfig {
+            frame_corrupt: 1.0,
+            ..FaultConfig::off()
+        });
+        let t = Arc::new(Tensor::ones(&[16]));
+        let out = r.send(t, Placement { vm: 0 }, Placement { vm: 1 }, false, "k");
+        assert!(
+            matches!(out, Err(TransportError::Decode(_))),
+            "truncated frame must surface as a decode error"
+        );
+    }
+
+    #[test]
+    fn corrupted_cache_frame_fails_decode() {
+        let r = chaos_router(FaultConfig {
+            frame_corrupt: 1.0,
+            ..FaultConfig::off()
+        });
+        let t = Arc::new(Tensor::ones(&[16]));
+        let out = r.send(t, Placement { vm: 0 }, Placement { vm: 0 }, true, "traj:1");
+        assert!(matches!(out, Err(TransportError::Decode(_))));
+    }
+
+    #[test]
+    fn shared_memory_is_never_faulted() {
+        let r = chaos_router(FaultConfig {
+            frame_drop: 1.0,
+            frame_corrupt: 1.0,
+            ..FaultConfig::off()
+        });
+        let t = Arc::new(Tensor::ones(&[16]));
+        let out = r.send(t, Placement { vm: 0 }, Placement { vm: 0 }, false, "k");
+        assert!(out.is_ok(), "in-process Arc handoff cannot drop a frame");
+    }
+
+    #[test]
+    fn send_with_retry_pushes_through_lossy_link() {
+        // p(drop)=0.5 with 16 retries: effectively certain delivery, and
+        // seeded, so the test is deterministic.
+        let r = chaos_router(FaultConfig {
+            seed: 5,
+            frame_drop: 0.5,
+            ..FaultConfig::off()
+        });
+        let retry = RetryPolicy {
+            max_retries: 16,
+            base: std::time::Duration::from_micros(10),
+            cap: std::time::Duration::from_micros(100),
+        };
+        let t = Arc::new(Tensor::ones(&[32]));
+        for i in 0..20 {
+            let (tier, got) = r
+                .send_with_retry(
+                    t.clone(),
+                    Placement { vm: 0 },
+                    Placement { vm: 1 },
+                    false,
+                    &format!("k{i}"),
+                    &retry,
+                )
+                .expect("retry must eventually deliver");
+            assert_eq!(tier, Tier::Rpc);
+            assert_eq!(got.get(), t.as_ref());
+        }
+        assert!(
+            r.faults.report().frames_dropped > 0,
+            "the lossy link must actually drop frames"
+        );
+    }
+
+    #[test]
+    fn into_owned_returns_the_payload_on_every_tier() {
+        let r = router();
+        let t = Arc::new(Tensor::full(&[4], 2.0));
+        let (_, shared) = r
+            .send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 0 },
+                false,
+                "k",
+            )
+            .unwrap();
+        assert_eq!(shared.into_owned(), *t);
+        let (_, owned) = r
+            .send(
+                t.clone(),
+                Placement { vm: 0 },
+                Placement { vm: 1 },
+                false,
+                "k",
+            )
+            .unwrap();
+        assert_eq!(owned.into_owned(), *t);
     }
 }

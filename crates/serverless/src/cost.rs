@@ -13,10 +13,15 @@ pub struct CostBreakdown {
     pub learner_usd: f64,
     /// Actor cost (CPU side).
     pub actor_usd: f64,
+    /// Share of the bill spent on failed attempts (injected faults,
+    /// crashes, deadline overruns): you pay for the work a dead function
+    /// did. Already included in `learner_usd`/`actor_usd` — this is the
+    /// Fig.-14-style "failure cost" slice, not an extra charge.
+    pub wasted_usd: f64,
 }
 
 impl CostBreakdown {
-    /// Total cost.
+    /// Total cost (`wasted_usd` is a sub-slice, not an addend).
     pub fn total(&self) -> f64 {
         self.learner_usd + self.actor_usd
     }
@@ -31,12 +36,15 @@ fn publish_cost(mode: &'static str, bill: &CostBreakdown) {
         .set(bill.learner_usd);
     reg.gauge(&format!("stellaris_serverless_cost_{mode}_actor_usd"))
         .set(bill.actor_usd);
+    reg.gauge(&format!("stellaris_serverless_cost_{mode}_wasted_usd"))
+        .set(bill.wasted_usd);
     stellaris_telemetry::instant(
         "serverless.cost",
         vec![
             ("mode", mode.into()),
             ("learner_usd", bill.learner_usd.into()),
             ("actor_usd", bill.actor_usd.into()),
+            ("wasted_usd", bill.wasted_usd.into()),
         ],
     );
 }
@@ -48,13 +56,20 @@ pub fn bill_serverless(cluster: &Cluster, records: &[InvocationRecord]) -> CostB
     let mut out = CostBreakdown::default();
     for r in records {
         let secs = r.exec.as_secs_f64();
-        match r.kind {
+        let usd = match r.kind {
             FunctionKind::Learner | FunctionKind::Parameter => {
-                out.learner_usd += secs * cluster.learner_fn_price();
+                let usd = secs * cluster.learner_fn_price();
+                out.learner_usd += usd;
+                usd
             }
             FunctionKind::Actor => {
-                out.actor_usd += secs * cluster.actor_fn_price();
+                let usd = secs * cluster.actor_fn_price();
+                out.actor_usd += usd;
+                usd
             }
+        };
+        if r.failed {
+            out.wasted_usd += usd;
         }
     }
     publish_cost("serverless", &out);
@@ -68,6 +83,8 @@ pub fn bill_serverful(cluster: &Cluster, wall: Duration) -> CostBreakdown {
     let out = CostBreakdown {
         learner_usd: cluster.gpu_vms.itype.per_second() * cluster.gpu_vms.count as f64 * secs,
         actor_usd: cluster.cpu_vms.itype.per_second() * cluster.cpu_vms.count as f64 * secs,
+        // Reserved VMs charge the same whether attempts fail or not.
+        wasted_usd: 0.0,
     };
     publish_cost("serverful", &out);
     out
@@ -85,6 +102,7 @@ pub fn bill_hybrid(
     let out = CostBreakdown {
         learner_usd: serverful.learner_usd,
         actor_usd: serverless.actor_usd,
+        wasted_usd: serverless.wasted_usd,
     };
     publish_cost("hybrid", &out);
     out
@@ -102,6 +120,7 @@ mod tests {
             wall: Duration::from_secs_f64(exec_secs),
             startup: Duration::from_secs(99), // must not be billed
             cold: true,
+            failed: false,
         }
     }
 
@@ -129,6 +148,28 @@ mod tests {
         r.startup = Duration::ZERO;
         let without = bill_serverless(&c, &[r]);
         assert_eq!(with_startup, without);
+    }
+
+    #[test]
+    fn failed_attempts_are_billed_and_separated_as_waste() {
+        let c = Cluster::regular();
+        let mut failed = rec(FunctionKind::Learner, 2.0);
+        failed.failed = true;
+        let records = vec![rec(FunctionKind::Learner, 10.0), failed];
+        let bill = bill_serverless(&c, &records);
+        let price = 3.06 / 3600.0 / 4.0;
+        assert!(
+            (bill.learner_usd - 12.0 * price).abs() < 1e-12,
+            "failed attempts are still billed"
+        );
+        assert!(
+            (bill.wasted_usd - 2.0 * price).abs() < 1e-12,
+            "the failed share is reported as waste"
+        );
+        assert!(
+            (bill.total() - 12.0 * price).abs() < 1e-12,
+            "waste is a slice, not an addend"
+        );
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Deterministic, seeded fault injection for the serverless substrate.
+//!
+//! The paper's tolerance claims (§V-B, §V-C) — stragglers and restarted
+//! learners are absorbed by staleness-aware aggregation — only mean
+//! something if the system actually has failure paths to absorb. This
+//! module provides the controlled adversary: a [`FaultPlan`] seeded from
+//! the run's master seed decides, via independent per-site ChaCha streams,
+//! whether an invocation fails at the platform level, crashes mid-work,
+//! straggles (injected delay), or whether an RPC/cache frame is dropped or
+//! corrupted in flight. Same seed → same decision sequence, so chaos runs
+//! are reproducible and regressions bisectable.
+//!
+//! [`RetryPolicy`] is the companion recovery knob: exponential backoff with
+//! seeded jitter (drawn from the plan, not the wall clock, so retry timing
+//! decisions are deterministic too).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stellaris_telemetry::{Counter, Histogram};
+
+/// Probabilities and knobs for every injectable fault class.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed for all fault decision streams (independent of the training
+    /// seed so chaos can be varied while the workload stays fixed).
+    pub seed: u64,
+    /// Probability an invocation fails at the platform level before the
+    /// work runs (container OOM, scheduler eviction).
+    pub invoke_failure: f64,
+    /// Probability the work crashes mid-invocation: the function body runs
+    /// (side effects happen) but the container dies before returning its
+    /// result — the "gradient computed but never submitted" case.
+    pub invoke_crash: f64,
+    /// Probability an invocation straggles (sleeps `straggler_delay` before
+    /// its work).
+    pub straggler: f64,
+    /// Injected straggler delay.
+    pub straggler_delay: Duration,
+    /// Probability an RPC/cache frame is dropped in flight.
+    pub frame_drop: f64,
+    /// Probability an RPC/cache frame is corrupted in flight (modelled as
+    /// deterministic truncation, which the length-prefixed codec always
+    /// detects; random byte flips could decode "successfully").
+    pub frame_corrupt: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all (the default for every preset).
+    pub fn off() -> Self {
+        Self {
+            seed: 0,
+            invoke_failure: 0.0,
+            invoke_crash: 0.0,
+            straggler: 0.0,
+            straggler_delay: Duration::ZERO,
+            frame_drop: 0.0,
+            frame_corrupt: 0.0,
+        }
+    }
+
+    /// The standard chaos preset used by the seeded chaos e2e: 20%
+    /// invocation failures, 5% mid-work crashes, 20% stragglers, 20% frame
+    /// drops and 10% frame corruption.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            invoke_failure: 0.2,
+            invoke_crash: 0.05,
+            straggler: 0.2,
+            straggler_delay: Duration::from_millis(3),
+            frame_drop: 0.2,
+            frame_corrupt: 0.1,
+        }
+    }
+
+    /// True when every fault class is disabled.
+    pub fn is_off(&self) -> bool {
+        self.invoke_failure <= 0.0
+            && self.invoke_crash <= 0.0
+            && self.straggler <= 0.0
+            && self.frame_drop <= 0.0
+            && self.frame_corrupt <= 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// Retry policy for failed invocations and transport errors: exponential
+/// backoff (`base · 2^attempt`, capped at `cap`) with ±50% seeded jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff for the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based), scaled into
+    /// `[0.5, 1.5)×` the exponential target by `jitter ∈ [0, 1)`.
+    pub fn backoff(&self, attempt: u32, jitter: f64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.cap.max(self.base));
+        capped.mul_f64(0.5 + jitter.clamp(0.0, 1.0))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 2 ms base, 50 ms cap — tuned so chaos tests stay
+    /// fast while still exercising multi-attempt recovery.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Plain-value snapshot of everything a [`FaultPlan`] injected and every
+/// recovery it observed (reported in `TrainResult::faults`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Platform-level invocation failures injected.
+    pub injected_failures: u64,
+    /// Mid-work crashes injected.
+    pub injected_crashes: u64,
+    /// Stragglers injected.
+    pub injected_stragglers: u64,
+    /// RPC/cache frames dropped.
+    pub frames_dropped: u64,
+    /// RPC/cache frames corrupted.
+    pub frames_corrupted: u64,
+    /// Retries performed (invocations + transport).
+    pub retries: u64,
+    /// Operations that exhausted their retry budget.
+    pub exhausted: u64,
+}
+
+impl FaultReport {
+    /// Total faults injected across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.injected_failures
+            + self.injected_crashes
+            + self.injected_stragglers
+            + self.frames_dropped
+            + self.frames_corrupted
+    }
+}
+
+/// A seeded fault-decision engine shared by the platform and the transport
+/// router. Each fault class draws from its own ChaCha stream (seeded
+/// `seed ^ class-salt`), so disabling one class never shifts another's
+/// decision sequence.
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    fail_rng: Mutex<ChaCha8Rng>,
+    crash_rng: Mutex<ChaCha8Rng>,
+    straggle_rng: Mutex<ChaCha8Rng>,
+    drop_rng: Mutex<ChaCha8Rng>,
+    corrupt_rng: Mutex<ChaCha8Rng>,
+    jitter_rng: Mutex<ChaCha8Rng>,
+    injected_failures: AtomicU64,
+    injected_crashes: AtomicU64,
+    injected_stragglers: AtomicU64,
+    frames_dropped: AtomicU64,
+    frames_corrupted: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    faults_total: Arc<Counter>,
+    retries_total: Arc<Counter>,
+    exhausted_total: Arc<Counter>,
+    backoff_us: Arc<Histogram>,
+}
+
+fn site_rng(seed: u64, salt: u64) -> Mutex<ChaCha8Rng> {
+    Mutex::new(ChaCha8Rng::seed_from_u64(seed ^ salt))
+}
+
+fn draw(rng: &Mutex<ChaCha8Rng>, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    rng.lock().gen_bool(p.min(1.0))
+}
+
+impl FaultPlan {
+    /// Builds a plan from a config; `FaultConfig::off()` yields a plan that
+    /// never injects anything (the hot path short-circuits on zero
+    /// probabilities without touching any RNG lock).
+    pub fn new(cfg: FaultConfig) -> Self {
+        let reg = stellaris_telemetry::global();
+        Self {
+            fail_rng: site_rng(cfg.seed, 0x1a07_5a17),
+            crash_rng: site_rng(cfg.seed, 0x2b18_6b28),
+            straggle_rng: site_rng(cfg.seed, 0x3c29_7c39),
+            drop_rng: site_rng(cfg.seed, 0x4d3a_8d4a),
+            corrupt_rng: site_rng(cfg.seed, 0x5e4b_9e5b),
+            jitter_rng: site_rng(cfg.seed, 0x6f5c_af6c),
+            cfg,
+            injected_failures: AtomicU64::new(0),
+            injected_crashes: AtomicU64::new(0),
+            injected_stragglers: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
+            frames_corrupted: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            faults_total: reg.counter("stellaris_serverless_faults_injected_total"),
+            retries_total: reg.counter("stellaris_serverless_retries_total"),
+            exhausted_total: reg.counter("stellaris_serverless_retries_exhausted_total"),
+            backoff_us: reg.histogram("stellaris_serverless_retry_backoff_us"),
+        }
+    }
+
+    /// A plan that never injects (for platforms/routers built without one).
+    pub fn disabled() -> Self {
+        Self::new(FaultConfig::off())
+    }
+
+    /// True when this plan can never inject a fault.
+    pub fn is_disabled(&self) -> bool {
+        self.cfg.is_off()
+    }
+
+    /// The config the plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Should the next invocation fail at the platform level?
+    pub fn should_fail_invoke(&self) -> bool {
+        let hit = draw(&self.fail_rng, self.cfg.invoke_failure);
+        if hit {
+            self.injected_failures.fetch_add(1, Ordering::Relaxed);
+            self.faults_total.inc();
+        }
+        hit
+    }
+
+    /// Should the next invocation crash after its work ran?
+    pub fn should_crash(&self) -> bool {
+        let hit = draw(&self.crash_rng, self.cfg.invoke_crash);
+        if hit {
+            self.injected_crashes.fetch_add(1, Ordering::Relaxed);
+            self.faults_total.inc();
+        }
+        hit
+    }
+
+    /// Straggler delay to inject before the next invocation's work, if any.
+    pub fn straggle(&self) -> Option<Duration> {
+        if draw(&self.straggle_rng, self.cfg.straggler) {
+            self.injected_stragglers.fetch_add(1, Ordering::Relaxed);
+            self.faults_total.inc();
+            Some(self.cfg.straggler_delay)
+        } else {
+            None
+        }
+    }
+
+    /// Should the next serialised frame be dropped in flight?
+    pub fn should_drop_frame(&self) -> bool {
+        let hit = draw(&self.drop_rng, self.cfg.frame_drop);
+        if hit {
+            self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            self.faults_total.inc();
+        }
+        hit
+    }
+
+    /// Should the next serialised frame be corrupted (truncated) in flight?
+    pub fn should_corrupt_frame(&self) -> bool {
+        let hit = draw(&self.corrupt_rng, self.cfg.frame_corrupt);
+        if hit {
+            self.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+            self.faults_total.inc();
+        }
+        hit
+    }
+
+    /// One seeded jitter draw in `[0, 1)` for backoff scaling.
+    pub fn jitter(&self) -> f64 {
+        self.jitter_rng.lock().gen_range(0.0f64..1.0)
+    }
+
+    /// Records one retry and its backoff in the retry histogram.
+    pub fn note_retry(&self, backoff: Duration) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries_total.inc();
+        self.backoff_us.record_duration(backoff);
+    }
+
+    /// Records one operation that exhausted its retry budget.
+    pub fn note_exhausted(&self) {
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        self.exhausted_total.inc();
+    }
+
+    /// Snapshot of everything injected and recovered so far.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            injected_failures: self.injected_failures.load(Ordering::Relaxed),
+            injected_crashes: self.injected_crashes.load(Ordering::Relaxed),
+            injected_stragglers: self.injected_stragglers.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_corrupted: self.frames_corrupted.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision_trace(plan: &FaultPlan, n: usize) -> Vec<(bool, bool, bool, bool, bool)> {
+        (0..n)
+            .map(|_| {
+                (
+                    plan.should_fail_invoke(),
+                    plan.should_crash(),
+                    plan.straggle().is_some(),
+                    plan.should_drop_frame(),
+                    plan.should_corrupt_frame(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_decision_sequence() {
+        let a = FaultPlan::new(FaultConfig::chaos(42));
+        let b = FaultPlan::new(FaultConfig::chaos(42));
+        assert_eq!(decision_trace(&a, 200), decision_trace(&b, 200));
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(FaultConfig::chaos(1));
+        let b = FaultPlan::new(FaultConfig::chaos(2));
+        assert_ne!(decision_trace(&a, 200), decision_trace(&b, 200));
+    }
+
+    #[test]
+    fn off_plan_never_fires_and_counts_nothing() {
+        let p = FaultPlan::disabled();
+        assert!(p.is_disabled());
+        for _ in 0..100 {
+            assert!(!p.should_fail_invoke());
+            assert!(!p.should_crash());
+            assert!(p.straggle().is_none());
+            assert!(!p.should_drop_frame());
+            assert!(!p.should_corrupt_frame());
+        }
+        assert_eq!(p.report(), FaultReport::default());
+        assert_eq!(p.report().total_injected(), 0);
+    }
+
+    #[test]
+    fn chaos_rates_are_roughly_honoured() {
+        let p = FaultPlan::new(FaultConfig::chaos(7));
+        let n = 2000;
+        let fails = (0..n).filter(|_| p.should_fail_invoke()).count();
+        // 20% ± generous slack; the point is "plausible", not "calibrated".
+        assert!((200..=600).contains(&fails), "fails {fails}");
+        assert_eq!(p.report().injected_failures, fails as u64);
+    }
+
+    #[test]
+    fn disabling_one_class_does_not_shift_another() {
+        let mut only_drop = FaultConfig::chaos(9);
+        only_drop.invoke_failure = 0.0;
+        only_drop.invoke_crash = 0.0;
+        only_drop.straggler = 0.0;
+        only_drop.frame_corrupt = 0.0;
+        let a = FaultPlan::new(FaultConfig::chaos(9));
+        let b = FaultPlan::new(only_drop);
+        let da: Vec<bool> = (0..300).map(|_| a.should_drop_frame()).collect();
+        let db: Vec<bool> = (0..300).map(|_| b.should_drop_frame()).collect();
+        assert_eq!(da, db, "frame-drop stream must be independent");
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        let r = RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+        };
+        // jitter 0.5 → exact exponential target.
+        assert_eq!(r.backoff(0, 0.5), Duration::from_millis(2));
+        assert_eq!(r.backoff(1, 0.5), Duration::from_millis(4));
+        assert_eq!(r.backoff(2, 0.5), Duration::from_millis(8));
+        assert_eq!(r.backoff(3, 0.5), Duration::from_millis(10), "capped");
+        assert_eq!(r.backoff(60, 0.5), Duration::from_millis(10), "no overflow");
+        // jitter bounds: [0.5, 1.5)× the target.
+        assert_eq!(r.backoff(0, 0.0), Duration::from_millis(1));
+        assert_eq!(r.backoff(0, 1.0), Duration::from_millis(3));
+        assert_eq!(RetryPolicy::none().backoff(0, 0.9), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic() {
+        let a = FaultPlan::new(FaultConfig::chaos(5));
+        let b = FaultPlan::new(FaultConfig::chaos(5));
+        let ja: Vec<u64> = (0..50).map(|_| (a.jitter() * 1e9) as u64).collect();
+        let jb: Vec<u64> = (0..50).map(|_| (b.jitter() * 1e9) as u64).collect();
+        assert_eq!(ja, jb);
+    }
+}

@@ -10,12 +10,16 @@
 
 pub mod cost;
 pub mod cputime;
+pub mod fault;
 pub mod platform;
 pub mod prewarm;
 pub mod pricing;
 
 pub use cost::{bill_hybrid, bill_serverful, bill_serverless, CostBreakdown};
 pub use cputime::{measure_cpu, thread_cpu_time};
-pub use platform::{FunctionKind, InvocationRecord, OverheadMode, Platform, StartupProfile};
+pub use fault::{FaultConfig, FaultPlan, FaultReport, RetryPolicy};
+pub use platform::{
+    FunctionKind, InvocationRecord, InvokeError, OverheadMode, Platform, StartupProfile,
+};
 pub use prewarm::{FunctionProfiler, PrewarmController};
 pub use pricing::{Cluster, InstanceType, VmGroup};

@@ -20,6 +20,8 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 use stellaris_telemetry::{Counter, Histogram};
 
+use crate::fault::{FaultPlan, RetryPolicy};
+
 /// Which function a container hosts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FunctionKind {
@@ -89,7 +91,43 @@ pub struct InvocationRecord {
     pub startup: Duration,
     /// Whether this was a cold start.
     pub cold: bool,
+    /// Whether the invocation failed (injected fault, crash, panic or
+    /// deadline overrun). Failed attempts are still billed — you pay for
+    /// the work a dead function did — and the cost model separates their
+    /// share out as `CostBreakdown::wasted_usd`.
+    pub failed: bool,
 }
+
+/// Why an invocation attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeError {
+    /// A fault-plan-injected platform failure or mid-work crash.
+    Injected,
+    /// The work itself panicked (genuine bug or chaos closure).
+    Panicked(String),
+    /// The invocation finished after its deadline; its result was
+    /// discarded and the caller should re-execute (straggler timeout).
+    DeadlineExceeded {
+        /// Observed wall time of the attempt.
+        wall: Duration,
+        /// The configured deadline it overran.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvokeError::Injected => write!(f, "injected invocation failure"),
+            InvokeError::Panicked(msg) => write!(f, "invocation panicked: {msg}"),
+            InvokeError::DeadlineExceeded { wall, deadline } => {
+                write!(f, "deadline exceeded: {wall:?} > {deadline:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
 
 /// Counting semaphore.
 struct Semaphore {
@@ -116,6 +154,46 @@ impl Semaphore {
     fn release(&self) {
         *self.permits.lock() += 1;
         self.cond.notify_one();
+    }
+
+    fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+/// RAII slot permit: the semaphore permit is returned when the guard drops,
+/// on success and unwind alike — a panicking function must never leak its
+/// GPU/CPU slot.
+struct SlotPermit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SlotPermit<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+/// RAII container lease: the warm container is returned to the pool when
+/// the guard drops, unless the invocation poisoned it (the container
+/// crashed or its function panicked — a dead container is never reused).
+struct ContainerLease<'a> {
+    platform: &'a Platform,
+    kind: FunctionKind,
+    poisoned: bool,
+}
+
+impl ContainerLease<'_> {
+    fn poison(&mut self) {
+        self.poisoned = true;
+    }
+}
+
+impl Drop for ContainerLease<'_> {
+    fn drop(&mut self) {
+        if !self.poisoned && !std::thread::panicking() {
+            self.platform.release_container(self.kind);
+        }
     }
 }
 
@@ -157,6 +235,8 @@ pub struct Platform {
     epoch: Instant,
     learner_slots: Semaphore,
     actor_slots: Semaphore,
+    learner_capacity: usize,
+    actor_capacity: usize,
     profile: StartupProfile,
     mode: OverheadMode,
     pools: [Pool; 3],
@@ -167,6 +247,28 @@ pub struct Platform {
     busy_us: [AtomicU64; 3],
     /// Per-kind telemetry handles (cold/warm counters, latency histograms).
     metrics: [KindMetrics; 3],
+    /// Fault-injection plan consulted by `try_invoke`/`invoke_retry`
+    /// (disabled by default).
+    faults: Arc<FaultPlan>,
+}
+
+/// How one invocation attempt ended, before the public error mapping:
+/// `invoke` re-raises panics, `try_invoke` converts them to `InvokeError`.
+enum AttemptFail {
+    Injected,
+    Crashed,
+    Panicked(Box<dyn std::any::Any + Send>),
+    Deadline { wall: Duration, deadline: Duration },
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 fn kind_index(kind: FunctionKind) -> usize {
@@ -189,6 +291,8 @@ impl Platform {
             epoch: Instant::now(),
             learner_slots: Semaphore::new(learner_slots.max(1)),
             actor_slots: Semaphore::new(actor_slots.max(1)),
+            learner_capacity: learner_slots.max(1),
+            actor_capacity: actor_slots.max(1),
             profile,
             mode,
             pools: std::array::from_fn(|_| Pool {
@@ -199,7 +303,20 @@ impl Platform {
             warm_starts: AtomicU64::new(0),
             busy_us: std::array::from_fn(|_| AtomicU64::new(0)),
             metrics: std::array::from_fn(|i| KindMetrics::for_kind(ALL_KINDS[i])),
+            faults: Arc::new(FaultPlan::disabled()),
         }
+    }
+
+    /// Installs a fault-injection plan (builder style, before the platform
+    /// is shared). Only `try_invoke`/`invoke_retry` consult it.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The installed fault plan (a disabled plan when none was given).
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        &self.faults
     }
 
     /// Convenience constructor from a cluster profile, fast (recording) mode.
@@ -235,13 +352,46 @@ impl Platform {
         warm.push(Instant::now() + self.profile.keep_alive);
     }
 
-    /// Invokes a function: blocks for a slot, pays cold/warm startup, runs
-    /// `work` on the calling thread, releases the container (warm) and slot.
-    ///
-    /// Each invocation is traced as a `serverless.invoke` span (covering the
-    /// slot wait as well as the work) and recorded in the per-kind cold/warm
-    /// counters and startup/exec latency histograms.
-    pub fn invoke<R>(&self, kind: FunctionKind, work: impl FnOnce() -> R) -> (R, InvocationRecord) {
+    /// Records one finished attempt (successful or failed) in the latency
+    /// histograms, the utilisation accumulator and the record log.
+    #[allow(clippy::too_many_arguments)]
+    fn record_attempt(
+        &self,
+        kind: FunctionKind,
+        start: Duration,
+        cpu: Duration,
+        wall: Duration,
+        startup: Duration,
+        cold: bool,
+        failed: bool,
+    ) -> InvocationRecord {
+        self.metrics[kind_index(kind)].exec_us.record_duration(cpu);
+        self.busy_us[kind_index(kind)].fetch_add(cpu.as_micros() as u64, Ordering::Relaxed);
+        let record = InvocationRecord {
+            kind,
+            start,
+            exec: cpu,
+            wall,
+            startup,
+            cold,
+            failed,
+        };
+        self.records.lock().push(record);
+        record
+    }
+
+    /// One invocation attempt: blocks for a slot, pays startup, optionally
+    /// consults the fault plan, runs `work` under `catch_unwind`, then
+    /// drops the RAII slot permit and container lease. All resource release
+    /// is guard-driven, so no exit path — injected failure, crash, genuine
+    /// panic, deadline overrun — can leak a permit or a warm container.
+    fn attempt<R>(
+        &self,
+        kind: FunctionKind,
+        inject: bool,
+        deadline: Option<Duration>,
+        work: impl FnOnce() -> R,
+    ) -> Result<(R, InvocationRecord), (AttemptFail, InvocationRecord)> {
         let mut span =
             stellaris_telemetry::span_with("serverless.invoke", vec![("kind", kind.name().into())]);
         let sem = match kind {
@@ -249,6 +399,7 @@ impl Platform {
             _ => &self.learner_slots,
         };
         sem.acquire();
+        let _permit = SlotPermit { sem };
         let start = self.epoch.elapsed();
         let cold = !self.try_claim_warm(kind);
         span.field("cold", cold);
@@ -269,23 +420,169 @@ impl Platform {
         if self.mode == OverheadMode::Sleep && !startup.is_zero() {
             std::thread::sleep(startup);
         }
-        let t0 = Instant::now();
-        let (out, cpu, _used_cpu_clock) = crate::cputime::measure_cpu(work);
-        let wall = t0.elapsed();
-        self.release_container(kind);
-        sem.release();
-        m.exec_us.record_duration(cpu);
-        self.busy_us[kind_index(kind)].fetch_add(cpu.as_micros() as u64, Ordering::Relaxed);
-        let record = InvocationRecord {
+        let mut lease = ContainerLease {
+            platform: self,
             kind,
-            start,
-            exec: cpu,
-            wall,
-            startup,
-            cold,
+            poisoned: false,
         };
-        self.records.lock().push(record);
-        (out, record)
+        let faults = inject.then_some(&*self.faults);
+        if faults.is_some_and(FaultPlan::should_fail_invoke) {
+            // Platform-level failure before the work ran: the container
+            // died mid-startup, so the lease is poisoned and nothing is
+            // billed beyond the (zero-CPU) failed record.
+            span.field("failed", true);
+            lease.poison();
+            let record = self.record_attempt(
+                kind,
+                start,
+                Duration::ZERO,
+                Duration::ZERO,
+                startup,
+                cold,
+                true,
+            );
+            return Err((AttemptFail::Injected, record));
+        }
+        let t0 = Instant::now();
+        if let Some(delay) = faults.and_then(FaultPlan::straggle) {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        let crash = faults.is_some_and(FaultPlan::should_crash);
+        let (out, cpu, _used_cpu_clock) = crate::cputime::measure_cpu(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r = work();
+                if crash {
+                    // lint:allow(L1): this panic IS the injected mid-work container crash
+                    panic!("injected container crash");
+                }
+                r
+            }))
+        });
+        let wall = t0.elapsed();
+        match out {
+            Err(payload) => {
+                // The function died mid-work: its side effects happened but
+                // the result is lost and the container is never reused.
+                span.field("failed", true);
+                lease.poison();
+                let record = self.record_attempt(kind, start, cpu, wall, startup, cold, true);
+                let fail = if crash {
+                    AttemptFail::Crashed
+                } else {
+                    AttemptFail::Panicked(payload)
+                };
+                Err((fail, record))
+            }
+            Ok(r) => {
+                if let Some(d) = deadline {
+                    if wall > d {
+                        // Straggler timeout: the work finished, the
+                        // container is healthy (returned warm by the
+                        // lease), but the result arrived too late and is
+                        // discarded — the caller re-executes.
+                        span.field("failed", true);
+                        let record =
+                            self.record_attempt(kind, start, cpu, wall, startup, cold, true);
+                        return Err((AttemptFail::Deadline { wall, deadline: d }, record));
+                    }
+                }
+                let record = self.record_attempt(kind, start, cpu, wall, startup, cold, false);
+                Ok((r, record))
+            }
+        }
+    }
+
+    /// Invokes a function: blocks for a slot, pays cold/warm startup, runs
+    /// `work` on the calling thread, releases the container (warm) and slot.
+    ///
+    /// Never consults the fault plan and has no deadline; a panic in `work`
+    /// is re-raised on the caller *after* the RAII guards have returned the
+    /// slot permit and poisoned the container, so it cannot leak capacity.
+    ///
+    /// Each invocation is traced as a `serverless.invoke` span (covering the
+    /// slot wait as well as the work) and recorded in the per-kind cold/warm
+    /// counters and startup/exec latency histograms.
+    pub fn invoke<R>(&self, kind: FunctionKind, work: impl FnOnce() -> R) -> (R, InvocationRecord) {
+        match self.attempt(kind, false, None, work) {
+            Ok(out) => out,
+            Err((AttemptFail::Panicked(payload), _record)) => std::panic::resume_unwind(payload),
+            // With injection off and no deadline, only a panic can fail.
+            Err(_) => unreachable!("non-panic failure with fault injection disabled"),
+        }
+    }
+
+    /// One fault-injectable invocation attempt with an optional deadline.
+    /// On failure the attempt's record (billed, `failed = true`) rides
+    /// along with the error.
+    pub fn try_invoke<R>(
+        &self,
+        kind: FunctionKind,
+        deadline: Option<Duration>,
+        work: impl FnOnce() -> R,
+    ) -> Result<(R, InvocationRecord), (InvokeError, InvocationRecord)> {
+        self.attempt(kind, true, deadline, work)
+            .map_err(|(fail, record)| {
+                let err = match fail {
+                    AttemptFail::Injected | AttemptFail::Crashed => InvokeError::Injected,
+                    AttemptFail::Panicked(payload) => InvokeError::Panicked(panic_msg(&*payload)),
+                    AttemptFail::Deadline { wall, deadline } => {
+                        InvokeError::DeadlineExceeded { wall, deadline }
+                    }
+                };
+                (err, record)
+            })
+    }
+
+    /// Invokes with fault injection, deadline enforcement and retry:
+    /// exponential backoff with seeded jitter between attempts, giving up
+    /// after `retry.max_retries` retries. Stragglers that overrun the
+    /// deadline are re-executed like any other failed attempt; every
+    /// attempt (failed or not) is billed and recorded.
+    pub fn invoke_retry<R>(
+        &self,
+        kind: FunctionKind,
+        retry: &RetryPolicy,
+        deadline: Option<Duration>,
+        mut work: impl FnMut() -> R,
+    ) -> Result<(R, InvocationRecord), InvokeError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_invoke(kind, deadline, &mut work) {
+                Ok(out) => return Ok(out),
+                Err((err, _record)) => {
+                    if attempt >= retry.max_retries {
+                        self.faults.note_exhausted();
+                        return Err(err);
+                    }
+                    let backoff = retry.backoff(attempt, self.faults.jitter());
+                    self.faults.note_retry(backoff);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Free slots of a kind right now (learner and parameter functions
+    /// share the GPU semaphore).
+    pub fn free_slots(&self, kind: FunctionKind) -> usize {
+        match kind {
+            FunctionKind::Actor => self.actor_slots.available(),
+            _ => self.learner_slots.available(),
+        }
+    }
+
+    /// Slots not returned to the semaphores. At quiescence (no invocation
+    /// in flight) this must be zero; anything else means a permit leaked.
+    pub fn leaked_slots(&self) -> u64 {
+        let learner =
+            self.learner_capacity - self.learner_slots.available().min(self.learner_capacity);
+        let actor = self.actor_capacity - self.actor_slots.available().min(self.actor_capacity);
+        (learner + actor) as u64
     }
 
     /// Total idle keep-alive time currently accrued by warm containers of a
@@ -319,6 +616,7 @@ impl Platform {
             wall: held,
             startup: Duration::ZERO,
             cold: false,
+            failed: false,
         });
     }
 
@@ -546,5 +844,202 @@ mod tests {
         // tiny: 1 GPU * 2 learners per GPU = 2 learner slots.
         p.invoke(FunctionKind::Learner, || ());
         assert_eq!(p.records().len(), 1);
+    }
+
+    // ----- fault injection, retry and the panic-leak regression ----------
+
+    use crate::fault::{FaultConfig, FaultPlan, RetryPolicy};
+
+    #[test]
+    fn panicking_work_does_not_leak_slot_or_container() {
+        // Regression: before the RAII guards, a panic in `work` skipped
+        // both `release_container` and `sem.release()`, so a 1-slot
+        // platform deadlocked forever on the next invoke.
+        let p = fast_platform(1, 1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.invoke(FunctionKind::Learner, || panic!("learner died"));
+        }));
+        assert!(caught.is_err(), "panic must still propagate to the caller");
+        assert_eq!(p.leaked_slots(), 0, "permit must be returned on unwind");
+        assert_eq!(p.free_slots(FunctionKind::Learner), 1);
+        // The next invoke must run (this deadlocked before the fix) and
+        // must cold-start: a crashed container is never reused warm.
+        let (v, r) = p.invoke(FunctionKind::Learner, || 7);
+        assert_eq!(v, 7);
+        assert!(
+            r.cold,
+            "poisoned container must not be returned to the pool"
+        );
+        let records = p.records();
+        assert!(
+            records[0].failed,
+            "the panicked attempt is recorded as failed"
+        );
+        assert!(!records[1].failed);
+    }
+
+    #[test]
+    fn injected_failure_is_typed_recorded_and_leak_free() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            invoke_failure: 1.0,
+            ..FaultConfig::off()
+        }));
+        let p = fast_platform(1, 1).with_faults(plan);
+        let ran = AtomicU64::new(0);
+        let err = p.try_invoke(FunctionKind::Learner, None, || {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        match err {
+            Err((InvokeError::Injected, rec)) => {
+                assert!(rec.failed);
+                assert_eq!(rec.exec, Duration::ZERO, "work never ran, no CPU billed");
+            }
+            other => panic!("expected injected failure, got {:?}", other.map(|(_, r)| r)),
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(p.leaked_slots(), 0);
+        assert_eq!(p.faults().report().injected_failures, 1);
+    }
+
+    #[test]
+    fn invoke_retry_recovers_and_delivers_exactly_once() {
+        // failure p=0.5, seeded: some attempts fail, retries recover. The
+        // successful attempt's result is delivered exactly once.
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 3,
+            invoke_failure: 0.5,
+            ..FaultConfig::off()
+        }));
+        let p = fast_platform(2, 2).with_faults(plan);
+        let retry = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+        };
+        let mut delivered = 0u64;
+        for i in 0..40u64 {
+            let (v, _) = p
+                .invoke_retry(FunctionKind::Learner, &retry, None, || i)
+                .expect("10 retries at p=0.5 must eventually succeed");
+            assert_eq!(v, i);
+            delivered += 1;
+        }
+        assert_eq!(delivered, 40);
+        assert_eq!(p.leaked_slots(), 0);
+        let report = p.faults().report();
+        assert!(report.injected_failures > 0, "chaos must actually fire");
+        assert_eq!(report.retries, report.injected_failures);
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_last_error() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            invoke_failure: 1.0,
+            ..FaultConfig::off()
+        }));
+        let p = fast_platform(1, 1).with_faults(plan);
+        let retry = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(50),
+            cap: Duration::from_micros(200),
+        };
+        let out = p.invoke_retry(FunctionKind::Learner, &retry, None, || ());
+        assert_eq!(out.err(), Some(InvokeError::Injected));
+        let report = p.faults().report();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.exhausted, 1);
+        assert_eq!(p.records().len(), 3, "every attempt is recorded");
+        assert!(p.records().iter().all(|r| r.failed));
+        assert_eq!(p.leaked_slots(), 0);
+    }
+
+    #[test]
+    fn deadline_overrun_discards_result_and_reexecutes() {
+        let p = fast_platform(1, 1);
+        let attempts = AtomicU64::new(0);
+        let retry = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+        };
+        // First attempt straggles past the deadline; the re-execution is
+        // fast and its result is the one delivered.
+        let (v, rec) = p
+            .invoke_retry(
+                FunctionKind::Learner,
+                &retry,
+                Some(Duration::from_millis(20)),
+                || {
+                    if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        std::thread::sleep(Duration::from_millis(40));
+                    }
+                    attempts.load(Ordering::SeqCst)
+                },
+            )
+            .expect("re-execution must beat the deadline");
+        assert_eq!(v, 2, "the straggler's late result was discarded");
+        assert!(!rec.failed);
+        let records = p.records();
+        assert_eq!(records.len(), 2);
+        assert!(
+            records[0].failed,
+            "the timed-out attempt is a failed record"
+        );
+        assert!(
+            !records[1].cold,
+            "a straggler's container is healthy and reused warm"
+        );
+        assert_eq!(p.leaked_slots(), 0);
+    }
+
+    #[test]
+    fn injected_crash_runs_work_but_loses_result() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            invoke_crash: 1.0,
+            ..FaultConfig::off()
+        }));
+        let p = fast_platform(1, 1).with_faults(plan);
+        let ran = AtomicU64::new(0);
+        let out = p.try_invoke(FunctionKind::Learner, None, || {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(matches!(out, Err((InvokeError::Injected, _))));
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "a mid-work crash happens after the side effects"
+        );
+        assert_eq!(p.leaked_slots(), 0);
+        assert_eq!(p.faults().report().injected_crashes, 1);
+    }
+
+    #[test]
+    fn full_wave_still_fits_after_chaos() {
+        // The acceptance gate: after a burst of chaotic invocations the
+        // platform must accept a full concurrent wave — i.e. no slot leaked.
+        let plan = Arc::new(FaultPlan::new(FaultConfig::chaos(11)));
+        let p = Arc::new(fast_platform(2, 2).with_faults(plan));
+        let retry = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+        };
+        for i in 0..30u64 {
+            let _ = p.invoke_retry(FunctionKind::Learner, &retry, None, || i);
+        }
+        assert_eq!(p.leaked_slots(), 0);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                p.invoke(FunctionKind::Learner, || {
+                    std::thread::sleep(Duration::from_millis(5))
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.leaked_slots(), 0);
     }
 }

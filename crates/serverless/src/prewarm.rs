@@ -161,6 +161,7 @@ mod tests {
             wall: Duration::from_millis(exec_ms),
             startup: Duration::ZERO,
             cold,
+            failed: false,
         }
     }
 

@@ -308,6 +308,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                     learner_usd: (learner_busy + parameter_busy) / 1e6
                         * cfg.cluster.learner_fn_price(),
                     actor_usd: actor_busy / 1e6 * cfg.cluster.actor_fn_price(),
+                    wasted_usd: 0.0,
                 },
                 SimBilling::Serverful => {
                     let secs = now / 1e6;
@@ -318,6 +319,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                         actor_usd: cfg.cluster.cpu_vms.itype.per_second()
                             * cfg.cluster.cpu_vms.count as f64
                             * secs,
+                        wasted_usd: 0.0,
                     }
                 }
             }

@@ -45,5 +45,8 @@ pub mod prelude {
         evaluate, ImpactConfig, ImpalaConfig, PolicyNet, PolicySpec, PpoConfig, RolloutWorker,
         SampleBatch,
     };
-    pub use stellaris_serverless::{Cluster, CostBreakdown, Platform};
+    pub use stellaris_serverless::{
+        Cluster, CostBreakdown, FaultConfig, FaultPlan, FaultReport, InvokeError, Platform,
+        RetryPolicy,
+    };
 }

@@ -130,6 +130,75 @@ fn dynamic_learner_autoscaling_completes() {
 }
 
 #[test]
+fn chaos_run_is_deterministic_per_seed_and_leaks_nothing() {
+    // Seeded chaos (20% invocation failures, 5% mid-work crashes, 20%
+    // stragglers, 20% frame drops, 10% frame corruption) on the serialized
+    // Sync{n:1}/1-actor topology: every fault draw happens in program order,
+    // so two same-seed runs must agree bit-for-bit.
+    let run = || {
+        let mut cfg = TrainConfig::test_tiny(EnvId::ChainMdp, 11).with_chaos(99);
+        cfg.learner_mode = LearnerMode::Sync { n: 1 };
+        cfg.n_actors = 1;
+        cfg.max_learners = 1;
+        train(&cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.rows.len(), 3, "chaos must degrade rounds, not drop them");
+    assert!(a.policy_updates > 0, "retries must carry training through");
+    assert!(
+        a.faults.total_injected() > 0,
+        "chaos profile must actually fire"
+    );
+    assert_eq!(
+        a.slots_leaked, 0,
+        "failed invocations must release their slot permits"
+    );
+    assert_eq!(
+        a.grads_aggregated as usize,
+        a.staleness_log.len(),
+        "every aggregated gradient logs staleness exactly once (no double-apply)"
+    );
+    // Bit-for-bit agreement across runs: same faults injected, same retries
+    // taken, same gradients applied in the same order.
+    assert_eq!(a.policy_updates, b.policy_updates);
+    assert_eq!(a.grads_aggregated, b.grads_aggregated);
+    assert_eq!(a.staleness_log, b.staleness_log);
+    assert_eq!(a.degraded_rounds, b.degraded_rounds);
+    assert_eq!(a.faults, b.faults);
+    let rewards =
+        |r: &TrainResult| -> Vec<u32> { r.rows.iter().map(|row| row.reward.to_bits()).collect() };
+    assert_eq!(
+        rewards(&a),
+        rewards(&b),
+        "reward trajectories must match bitwise"
+    );
+    assert_eq!(a.final_reward.to_bits(), b.final_reward.to_bits());
+}
+
+#[test]
+fn async_chaos_run_survives_and_reports_faults() {
+    // Full asynchronous topology under the same chaos profile plus a
+    // (generous) per-invocation deadline so the straggler/deadline path is
+    // exercised. Thread interleaving makes this run nondeterministic; the
+    // assertions are about survival and accounting, not exact values.
+    let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 12).with_chaos(7);
+    cfg.invoke_deadline = Some(Duration::from_millis(500));
+    let result = train(&cfg);
+    assert_eq!(result.rows.len(), cfg.rounds);
+    assert!(result.policy_updates > 0, "chaos must not halt training");
+    assert!(result.faults.total_injected() > 0);
+    assert_eq!(result.slots_leaked, 0, "no leaked slot permits under chaos");
+    assert_eq!(
+        result.grads_aggregated as usize,
+        result.staleness_log.len(),
+        "gradient accounting must balance under failures"
+    );
+    assert!(result.final_reward.is_finite());
+    assert!(result.rows.iter().all(|r| r.reward.is_finite()));
+}
+
+#[test]
 fn long_staleness_tail_does_not_stall_aggregation() {
     // A pathological rule setting: tight Softsync count with few learners.
     let mut cfg = TrainConfig::test_tiny(EnvId::PointMass, 7);
