@@ -304,12 +304,13 @@ pub fn boundary_ok(hay: &str, at: usize, token: &str) -> bool {
 
 /// Every rule either tool can emit or suppress: the linter's L1–L5 plus the
 /// analyzer's A1–A3. One registry so `lint:allow(A2)` parses in both tools.
-pub const KNOWN_RULES: [(&str, &str); 8] = [
+pub const KNOWN_RULES: [(&str, &str); 9] = [
     ("L1", "panic-freedom"),
     ("L2", "determinism"),
     ("L3", "lock-discipline"),
     ("L4", "lossy-cast"),
     ("L5", "print-discipline"),
+    ("L6", "grad-alloc-discipline"),
     ("A1", "lock-order"),
     ("A2", "held-guard"),
     ("A3", "channel-topology"),

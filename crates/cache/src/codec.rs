@@ -36,11 +36,19 @@ pub trait Codec: Sized {
     fn encode(&self, buf: &mut BytesMut);
     /// Decodes a value, advancing `buf` past it.
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError>;
+    /// Exact number of bytes [`Codec::encode`] will append. Lets
+    /// [`Codec::to_bytes`] reserve the whole buffer up front instead of
+    /// growing `BytesMut` geometrically while a multi-megabyte gradient
+    /// message streams in.
+    fn encoded_len(&self) -> usize;
 
-    /// Encodes into a fresh buffer.
+    /// Encodes into a fresh buffer, sized exactly with
+    /// [`Codec::encoded_len`] so encoding never reallocates.
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let len = self.encoded_len();
+        let mut buf = BytesMut::with_capacity(len);
         self.encode(&mut buf);
+        debug_assert_eq!(buf.len(), len, "encoded_len out of sync with encode");
         buf.freeze()
     }
 
@@ -72,6 +80,9 @@ macro_rules! impl_codec_num {
                 need(buf, $size)?;
                 Ok(buf.$get())
             }
+            fn encoded_len(&self) -> usize {
+                $size
+            }
         }
     };
 }
@@ -95,6 +106,9 @@ impl Codec for bool {
             _ => Err(CodecError::Corrupt("bool tag")),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Codec for usize {
@@ -105,6 +119,9 @@ impl Codec for usize {
         need(buf, 8)?;
         let v = buf.get_u64_le();
         usize::try_from(v).map_err(|_| CodecError::Corrupt("usize overflow"))
+    }
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 
@@ -121,6 +138,9 @@ impl Codec for String {
             .to_owned();
         buf.advance(len);
         Ok(s)
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -141,6 +161,9 @@ impl Codec for Vec<f32> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.len() * 4
+    }
 }
 
 impl Codec for Vec<u64> {
@@ -159,6 +182,9 @@ impl Codec for Vec<u64> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.len() * 8
+    }
 }
 
 impl Codec for Vec<usize> {
@@ -173,6 +199,9 @@ impl Codec for Vec<usize> {
         raw.into_iter()
             .map(|v| usize::try_from(v).map_err(|_| CodecError::Corrupt("usize overflow")))
             .collect()
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len() * 8
     }
 }
 
@@ -204,6 +233,9 @@ impl Codec for Tensor {
         }
         Ok(Tensor::from_vec(data, &shape))
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.shape().len() * 4 + self.numel() * 4
+    }
 }
 
 impl<T: Codec> Codec for Option<T> {
@@ -224,6 +256,9 @@ impl<T: Codec> Codec for Option<T> {
             _ => Err(CodecError::Corrupt("option tag")),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Codec::encoded_len)
+    }
 }
 
 /// Encodes a slice of any `Codec` values with a length prefix.
@@ -232,6 +267,12 @@ pub fn encode_seq<T: Codec>(items: &[T], buf: &mut BytesMut) {
     for item in items {
         item.encode(buf);
     }
+}
+
+/// Exact encoded size of a length-prefixed sequence, for composite
+/// [`Codec::encoded_len`] implementations built on [`encode_seq`].
+pub fn seq_encoded_len<T: Codec>(items: &[T]) -> usize {
+    4 + items.iter().map(Codec::encoded_len).sum::<usize>()
 }
 
 /// Decodes a length-prefixed sequence.
@@ -317,6 +358,42 @@ mod tests {
         let mut b: &[u8] = &buf;
         let back: Vec<Tensor> = decode_seq(&mut b).unwrap();
         assert_eq!(back, items);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        assert_eq!(42u32.encoded_len(), 42u32.to_bytes().len());
+        assert_eq!(7u64.encoded_len(), 7u64.to_bytes().len());
+        assert_eq!((-3i64).encoded_len(), (-3i64).to_bytes().len());
+        assert_eq!(1.5f32.encoded_len(), 1.5f32.to_bytes().len());
+        assert_eq!(true.encoded_len(), true.to_bytes().len());
+        assert_eq!(9usize.encoded_len(), 9usize.to_bytes().len());
+        let s = "hello".to_string();
+        assert_eq!(s.encoded_len(), s.to_bytes().len());
+        let vf = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(vf.encoded_len(), vf.to_bytes().len());
+        let vu = vec![1u64, 2, 3];
+        assert_eq!(vu.encoded_len(), vu.to_bytes().len());
+        let vz = vec![4usize, 5];
+        assert_eq!(vz.encoded_len(), vz.to_bytes().len());
+        let t = Tensor::ones(&[3, 4]);
+        assert_eq!(t.encoded_len(), t.to_bytes().len());
+        let some: Option<Tensor> = Some(Tensor::zeros(&[2]));
+        let none: Option<Tensor> = None;
+        assert_eq!(some.encoded_len(), some.to_bytes().len());
+        assert_eq!(none.encoded_len(), none.to_bytes().len());
+    }
+
+    #[test]
+    fn seq_encoded_len_matches_encode_seq() {
+        let items = vec![Tensor::ones(&[2, 2]), Tensor::zeros(&[5])];
+        let mut buf = BytesMut::new();
+        encode_seq(&items, &mut buf);
+        assert_eq!(seq_encoded_len(&items), buf.len());
+        let empty: Vec<Tensor> = vec![];
+        let mut buf = BytesMut::new();
+        encode_seq(&empty, &mut buf);
+        assert_eq!(seq_encoded_len(&empty), buf.len());
     }
 
     proptest! {

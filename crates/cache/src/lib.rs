@@ -13,6 +13,6 @@ pub mod codec;
 pub mod queue;
 pub mod store;
 
-pub use codec::{decode_seq, encode_seq, Codec, CodecError};
+pub use codec::{decode_seq, encode_seq, seq_encoded_len, Codec, CodecError};
 pub use queue::{BlockingQueue, GradientQueue};
 pub use store::{Cache, CacheError, CacheStats, LatencyMode, LatencyModel};

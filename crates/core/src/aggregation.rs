@@ -3,6 +3,8 @@
 //! Synchronous Parallel and pure asynchrony — plus fully synchronous
 //! aggregation for the serverful baselines.
 
+use stellaris_nn::Tensor;
+
 use crate::staleness::{staleness_weight, StalenessSchedule};
 
 /// When (and how) queued gradients may be aggregated into a policy update.
@@ -110,6 +112,57 @@ impl AggregationRule {
             AggregationRule::Ssp { bound } => Some(*bound),
             _ => None,
         }
+    }
+}
+
+/// Pre-allocated accumulator for weighted gradient sums.
+///
+/// The parameter server folds every admitted batch into these buffers with
+/// axpy updates (`buf += w * g`); [`GradAccumulator::reset`] zeroes them in
+/// place, so steady-state aggregation performs no heap allocation regardless
+/// of batch size — the same discipline as the nn gradient arena (DESIGN.md
+/// §11).
+pub struct GradAccumulator {
+    bufs: Vec<Tensor>,
+}
+
+impl GradAccumulator {
+    /// Creates zeroed buffers matching the parameter `shapes`.
+    pub fn new(shapes: &[Vec<usize>]) -> Self {
+        Self {
+            bufs: shapes.iter().map(|s| Tensor::zeros(s)).collect(),
+        }
+    }
+
+    /// Zeroes all buffers in place, keeping their allocations.
+    pub fn reset(&mut self) {
+        for b in &mut self.bufs {
+            b.data_mut().fill(0.0);
+        }
+    }
+
+    /// Folds one gradient list in: `bufs[i] += w * grads[i]`.
+    pub fn accumulate(&mut self, grads: &[Tensor], w: f32) {
+        assert_eq!(grads.len(), self.bufs.len(), "gradient layout mismatch");
+        for (acc, grad) in self.bufs.iter_mut().zip(grads.iter()) {
+            assert_eq!(acc.shape(), grad.shape(), "gradient shape mismatch");
+            acc.axpy(w, grad);
+        }
+    }
+
+    /// The accumulated weighted sums.
+    pub fn grads(&self) -> &[Tensor] {
+        &self.bufs
+    }
+
+    /// Number of parameter tensors tracked.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// True when tracking no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
     }
 }
 
@@ -256,6 +309,28 @@ mod tests {
         let ss = AggregationRule::Softsync { c: 2 };
         assert!((ss.weight(4) - 0.25).abs() < 1e-6, "softsync uses 1/δ");
         assert_eq!(AggregationRule::PureAsync.weight(100), 1.0);
+    }
+
+    #[test]
+    fn grad_accumulator_weighted_sum_and_reset() {
+        let shapes = vec![vec![2], vec![3]];
+        let mut acc = GradAccumulator::new(&shapes);
+        assert_eq!(acc.len(), 2);
+        assert!(!acc.is_empty());
+        let g = vec![Tensor::full(&[2], 1.0), Tensor::full(&[3], 2.0)];
+        acc.accumulate(&g, 0.5);
+        acc.accumulate(&g, 0.25);
+        assert_eq!(acc.grads()[0].data(), &[0.75, 0.75]);
+        assert_eq!(acc.grads()[1].data(), &[1.5, 1.5, 1.5]);
+        acc.reset();
+        assert_eq!(acc.grads()[1].data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn grad_accumulator_rejects_shape_drift() {
+        let mut acc = GradAccumulator::new(&[vec![2]]);
+        acc.accumulate(&[Tensor::full(&[3], 1.0)], 1.0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod staleness;
 pub mod transport;
 pub mod truncation;
 
-pub use aggregation::{AggregationRule, SspThrottle};
+pub use aggregation::{AggregationRule, GradAccumulator, SspThrottle};
 pub use autoscale::LearnerAutoscaler;
 pub use config::{Algo, Deployment, LearnerMode, TrainConfig};
 pub use messages::GradientMsg;

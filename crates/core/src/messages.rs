@@ -2,7 +2,7 @@
 //! parameter function to aggregate (workflow Steps ② and ③).
 
 use bytes::BytesMut;
-use stellaris_cache::{decode_seq, encode_seq, Codec, CodecError};
+use stellaris_cache::{decode_seq, encode_seq, seq_encoded_len, Codec, CodecError};
 use stellaris_nn::Tensor;
 
 /// A gradient computed by one learner-function invocation.
@@ -55,6 +55,16 @@ impl Codec for GradientMsg {
             surrogate: f32::decode(buf)?,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        self.learner_id.encoded_len()
+            + seq_encoded_len(&self.grads)
+            + self.base_version.encoded_len()
+            + self.batch_len.encoded_len()
+            + self.is_ratio.encoded_len()
+            + self.kl.encoded_len()
+            + self.surrogate.encoded_len()
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +87,12 @@ mod tests {
     fn codec_roundtrip() {
         let m = msg();
         assert_eq!(GradientMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let m = msg();
+        assert_eq!(m.encoded_len(), m.to_bytes().len());
     }
 
     #[test]

@@ -235,6 +235,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     // permanently lost and the round degraded to a quorum of what arrived.
     let degraded_events = Arc::new(AtomicU64::new(0));
     let mut degraded_rounds = 0u64;
+    let mut prev_degraded = 0u64;
     let timers = Arc::new(Timers::default());
     let active_actors = Arc::new(AtomicUsize::new(if cfg.dynamic_actors {
         (cfg.n_actors / 2).max(1)
@@ -503,7 +504,6 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         let rounds_total = telemetry::global().counter("stellaris_core_rounds_total");
         let depth_gauge = telemetry::global().gauge("stellaris_core_work_queue_depth");
         let degraded_gauge = telemetry::global().gauge("stellaris_core_degraded_rounds");
-        let mut prev_degraded = 0u64;
         for round in 0..cfg.rounds {
             let mut round_span = telemetry::span_with("core.round", vec![("round", round.into())]);
             let target = (round as u64 + 1) * round_quota;
@@ -590,11 +590,20 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         // ----- shutdown ---------------------------------------------------------
         stop.store(true, Ordering::Release);
         traj_q.close();
-        work_q.close();
+        // work_q is NOT closed here: the data loader closes it after
+        // draining traj_q, so minibatches staged during shutdown still
+        // reach the learners instead of being dropped by a closed queue.
         grad_q.close();
     })
     // lint:allow(L1): re-raising a child thread's panic is the intended failure path
     .expect("orchestrator thread panicked");
+
+    // Learner/cache threads outlive the round loop's last bookkeeping pass;
+    // losses they report between that check and shutdown still degraded the
+    // final round.
+    if degraded_events.load(Ordering::Relaxed) > prev_degraded && cfg.rounds > 0 {
+        degraded_rounds += 1;
+    }
 
     // Copy what finalize needs out of the server before it touches the
     // platform: finalize locks `platform.records`, and holding the server

@@ -9,11 +9,11 @@
 
 use std::sync::Arc;
 
-use stellaris_nn::{Optimizer, ParamSet, Tensor};
+use stellaris_nn::{Optimizer, ParamSet};
 use stellaris_rl::{PolicyNet, PolicySnapshot};
 use stellaris_telemetry::{Counter, Histogram};
 
-use crate::aggregation::AggregationRule;
+use crate::aggregation::{AggregationRule, GradAccumulator};
 use crate::messages::GradientMsg;
 use crate::staleness::StalenessSchedule;
 
@@ -25,6 +25,9 @@ pub struct ParameterServer {
     rule: AggregationRule,
     schedule: Option<StalenessSchedule>,
     pending: Vec<GradientMsg>,
+    /// Reused across every update so aggregation allocates nothing at
+    /// steady state.
+    accumulator: GradAccumulator,
     /// Staleness of every aggregated gradient, in admission order
     /// (the data behind the paper's Fig. 3(b) PDFs).
     pub staleness_log: Vec<u64>,
@@ -44,12 +47,14 @@ impl ParameterServer {
     pub fn new(policy: PolicyNet, optimizer: Box<dyn Optimizer>, rule: AggregationRule) -> Self {
         let schedule = rule.make_schedule();
         let reg = stellaris_telemetry::global();
+        let shapes = policy.param_shapes();
         Self {
             policy,
             optimizer,
             rule,
             schedule,
             pending: Vec::new(),
+            accumulator: GradAccumulator::new(&shapes),
             staleness_log: Vec::new(),
             updates: 0,
             grads_aggregated: 0,
@@ -116,19 +121,13 @@ impl ParameterServer {
     fn apply(&mut self, batch: &[GradientMsg]) {
         debug_assert!(!batch.is_empty());
         let clock = self.clock();
-        let shapes: Vec<Vec<usize>> = self
-            .policy
-            .params()
-            .iter()
-            .map(|p| p.shape().to_vec())
-            .collect();
-        let mut agg: Vec<Tensor> = shapes.iter().map(|s| Tensor::zeros(s)).collect();
+        self.accumulator.reset();
         // lint:allow(L4): batch sizes are far below 2^24, exact in f32
         let h = batch.len() as f32;
         for msg in batch {
             assert_eq!(
                 msg.grads.len(),
-                agg.len(),
+                self.accumulator.len(),
                 "gradient layout mismatch from learner {}",
                 msg.learner_id
             );
@@ -136,15 +135,13 @@ impl ParameterServer {
             self.staleness_log.push(delta);
             self.staleness_hist.record(delta);
             let w = self.rule.weight(delta) / h;
-            for (acc, grad) in agg.iter_mut().zip(msg.grads.iter()) {
-                assert_eq!(acc.shape(), grad.shape(), "gradient shape mismatch");
-                acc.axpy(w, grad);
-            }
+            self.accumulator.accumulate(&msg.grads, w);
         }
-        let mut params: Vec<Tensor> = self.policy.params().into_iter().cloned().collect();
-        self.optimizer.step(&mut params, &agg);
-        let flat = stellaris_nn::flatten_all(&params);
-        self.policy.load_flat(&flat);
+        // The optimizer writes straight into the live policy tensors; no
+        // flatten/unflatten round-trip, no parameter copies.
+        let mut params = self.policy.params_mut();
+        self.optimizer
+            .step_refs(&mut params, self.accumulator.grads());
         self.policy.version += 1;
         self.updates += 1;
         self.grads_aggregated += batch.len() as u64;
@@ -184,7 +181,7 @@ impl ParameterServer {
 mod tests {
     use super::*;
     use stellaris_envs::ActionSpace;
-    use stellaris_nn::{OptimizerKind, Sgd};
+    use stellaris_nn::{OptimizerKind, Sgd, Tensor};
     use stellaris_rl::PolicySpec;
 
     fn tiny_policy(seed: u64) -> PolicyNet {

@@ -1,9 +1,9 @@
 //! `stellaris-lint`: repo-specific invariant linter for the Stellaris
 //! workspace.
 //!
-//! Five rules (see [`rules`]): panic-freedom (L1), determinism (L2),
-//! lock-discipline (L3), lossy-cast (L4), and print-discipline (L5).
-//! Rules are scoped per file by
+//! Six rules (see [`rules`]): panic-freedom (L1), determinism (L2),
+//! lock-discipline (L3), lossy-cast (L4), print-discipline (L5), and
+//! grad-alloc-discipline (L6). Rules are scoped per file by
 //! [`rules_for`]; violations carry `file:line` and can be suppressed with a
 //! justified `// lint:allow(<rule>): <why>` comment.
 //!
@@ -91,6 +91,9 @@ pub fn rules_for(rel: &str) -> RuleSet {
         l3: true,
         l4: L4_MODULES.contains(&rel),
         l5: !is_bin,
+        // The allocation-free backward pass lives (and must stay) in the
+        // graph tape; everywhere else `.clone()` is ordinary Rust.
+        l6: rel == "crates/nn/src/graph.rs",
     }
 }
 
@@ -128,6 +131,13 @@ mod tests {
         assert!(!r.l1 && r.l3 && !r.l5, "CLI may panic and print");
         let r = rules_for("crates/telemetry/src/trace.rs");
         assert!(r.l1 && r.l5, "telemetry is panic-free, print-free library");
+    }
+
+    #[test]
+    fn l6_is_scoped_to_the_graph_tape() {
+        assert!(rules_for("crates/nn/src/graph.rs").l6);
+        assert!(!rules_for("crates/nn/src/tensor.rs").l6);
+        assert!(!rules_for("crates/rl/src/learner.rs").l6);
     }
 
     #[test]

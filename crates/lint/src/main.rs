@@ -114,7 +114,7 @@ fn main() -> ExitCode {
     if diags.is_empty() {
         println!(
             "stellaris-lint: clean ({} rules over {})",
-            5,
+            6,
             root.display()
         );
         return ExitCode::SUCCESS;

@@ -7,6 +7,7 @@
 //! | L3 | lock-discipline  | no guard held across send/recv or a second lock   |
 //! | L4 | lossy-cast       | no `as f32`/`as f64` in gradient/staleness math   |
 //! | L5 | print-discipline | no `println!`-family macros in library code       |
+//! | L6 | grad-alloc-discipline | no `.clone()` inside backward closures       |
 //!
 //! Any diagnostic can be suppressed with a justified comment on the same
 //! line or the line above:
@@ -42,6 +43,11 @@ pub enum Rule {
     /// No `println!`/`eprintln!`/`dbg!` in non-test, non-bin library code;
     /// route output through telemetry events or the bench `progress!` helper.
     L5,
+    /// No `.clone()` inside the graph's boxed backward closures: gradients
+    /// must accumulate into the recycled arena (`GradSink`), not fresh
+    /// tensors. Scoped to `crates/nn/src/graph.rs` so the allocation-free
+    /// backward pass survives future edits.
+    L6,
 }
 
 impl Rule {
@@ -53,6 +59,7 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         }
     }
 
@@ -64,6 +71,7 @@ impl Rule {
             Rule::L3 => "lock-discipline",
             Rule::L4 => "lossy-cast",
             Rule::L5 => "print-discipline",
+            Rule::L6 => "grad-alloc-discipline",
         }
     }
 
@@ -75,6 +83,7 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
             _ => None, // analyzer rules (A1–A3) are not lint rules
         }
     }
@@ -93,10 +102,12 @@ pub struct RuleSet {
     pub l4: bool,
     /// Run L5 (print-discipline).
     pub l5: bool,
+    /// Run L6 (grad-alloc-discipline).
+    pub l6: bool,
 }
 
 impl RuleSet {
-    /// All five rules.
+    /// All six rules.
     pub fn all() -> Self {
         Self {
             l1: true,
@@ -104,6 +115,7 @@ impl RuleSet {
             l3: true,
             l4: true,
             l5: true,
+            l6: true,
         }
     }
 
@@ -114,7 +126,7 @@ impl RuleSet {
 
     /// True when at least one rule is enabled.
     pub fn any(self) -> bool {
-        self.l1 || self.l2 || self.l3 || self.l4 || self.l5
+        self.l1 || self.l2 || self.l3 || self.l4 || self.l5 || self.l6
     }
 }
 
@@ -223,6 +235,9 @@ pub fn lint_text(file: &str, text: &str, rules: RuleSet) -> Vec<Diagnostic> {
     if rules.l3 {
         check_lock_discipline(file, &src, &allows, &mut out);
     }
+    if rules.l6 {
+        check_grad_alloc_discipline(file, &src, &allows, &mut out);
+    }
     if rules.l4 {
         check_tokens(
             file,
@@ -300,6 +315,58 @@ fn check_tokens(
                 file: file.to_string(),
                 line,
                 message: message.to_string(),
+            });
+        }
+    }
+}
+
+/// L6: `.clone()` inside a boxed backward closure (`Box::new(move |...| …)`)
+/// allocates a fresh tensor per gradient contribution — exactly the churn the
+/// recycled gradient arena removed. Contributions must go through `GradSink`
+/// (`sink.with`/`sink.add`), or carry a justified `lint:allow(L6)`.
+fn check_grad_alloc_discipline(
+    file: &str,
+    src: &SourceFile,
+    allows: &Allows,
+    out: &mut Vec<Diagnostic>,
+) {
+    for at in find_token(&src.masked, "Box::new(") {
+        if src.in_test(at) {
+            continue;
+        }
+        // Walk the balanced parens to find the closure body's extent.
+        let open = at + "Box::new".len();
+        let mut depth = 0usize;
+        let mut end = src.masked.len();
+        for (i, b) in src.masked.bytes().enumerate().skip(open) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let region = &src.masked[open..end];
+        if !region.contains("move |") {
+            continue;
+        }
+        for hit in find_token(region, ".clone()") {
+            let line = src.line_of(open + hit);
+            if suppressed(allows, Rule::L6, line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: Rule::L6,
+                file: file.to_string(),
+                line,
+                message: "`.clone()` inside a backward closure; accumulate into the gradient \
+                          arena via GradSink or justify"
+                    .to_string(),
             });
         }
     }
@@ -467,6 +534,31 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l6_flags_clone_in_backward_closure() {
+        let src = "fn op(g: &Graph) {\n    g.push(\n        out,\n        Box::new(move |grad: &Tensor, sink: &mut GradSink| {\n            let t = grad.clone();\n            sink.add(a, t);\n        }),\n    );\n}";
+        let d = lint_all(src);
+        assert_eq!(rules_of(&d), ["L6"], "{d:?}");
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn l6_ignores_clone_outside_closures_and_non_move_boxes() {
+        // Clones on the forward path (outside `Box::new(move |..)`) are the
+        // tape's business, not L6's; a boxed non-closure is out of scope too.
+        let src = "fn op(g: &Graph) {\n    let v = value.clone();\n    let b = Box::new(v.clone());\n    g.push(out, Box::new(move |grad, sink| sink.add(a, grad)));\n}";
+        let d = lint_all(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l6_allows_with_justification_and_test_code() {
+        let src = "fn op(g: &Graph) {\n    g.push(out, Box::new(move |grad, sink| {\n        // lint:allow(L6): reshape must materialise the source shape once\n        let t = grad.clone();\n        sink.add(a, t);\n    }));\n}";
+        assert!(lint_all(src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let b = Box::new(move |g| g.clone()); }\n}";
+        assert!(lint_all(src).is_empty());
     }
 
     #[test]

@@ -107,16 +107,17 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Vec<Tensor> {
     cols
 }
 
-/// Scatters a `[ckk, oh*ow]` column-gradient back onto image `b` of `dx`
-/// (accumulating, since output windows overlap when `stride < k`).
-pub fn col2im(dcol: &Tensor, spec: &Conv2dSpec, b: usize, dx: &mut Tensor) {
+/// Scatters a `[ckk, oh*ow]` column-gradient (as a flat slice, so callers
+/// can reuse a scratch buffer) back onto image `b` of `dx` (accumulating,
+/// since output windows overlap when `stride < k`).
+pub fn col2im(dcol: &[f32], spec: &Conv2dSpec, b: usize, dx: &mut Tensor) {
     let chw = spec.in_c * spec.in_h * spec.in_w;
     let img = &mut dx.data_mut()[b * chw..(b + 1) * chw];
     let mut row = 0usize;
     for c in 0..spec.in_c {
         for ky in 0..spec.kh {
             for kx in 0..spec.kw {
-                let src = &dcol.data()[row * spec.out_hw()..(row + 1) * spec.out_hw()];
+                let src = &dcol[row * spec.out_hw()..(row + 1) * spec.out_hw()];
                 let mut si = 0usize;
                 for oy in 0..spec.out_h {
                     let iy = oy * spec.stride + ky;
@@ -174,7 +175,7 @@ mod tests {
     #[test]
     fn col2im_accumulates_overlaps() {
         let spec = Conv2dSpec::infer(&[1, 1, 3, 3], &[1, 1, 2, 2], 1);
-        let dcol = Tensor::ones(&[spec.ckk(), spec.out_hw()]);
+        let dcol = vec![1.0f32; spec.ckk() * spec.out_hw()];
         let mut dx = Tensor::zeros(&[1, 1, 3, 3]);
         col2im(&dcol, &spec, 0, &mut dx);
         // Centre pixel is covered by all four 2x2 windows.

@@ -1,0 +1,597 @@
+//! Cache-blocked, panel-packed GEMM with a register-tiled micro-kernel.
+//!
+//! This is the compute core behind [`crate::Tensor::matmul`] and the graph's
+//! backward pass. The structure follows the classic Goto/BLIS decomposition:
+//! the operands are cut into `MC x KC` (A) and `KC x NC` (B) cache blocks,
+//! each block is repacked into contiguous k-major panels of `MR` rows (A) and
+//! `NR` columns (B), and an `MR x NR` register-tiled micro-kernel sweeps the
+//! packed panels. Packing makes every inner-loop access unit-stride and lets
+//! the same kernel serve transposed operands for free: [`MatRef`] carries
+//! row/column strides, so `X^T` is just a stride swap — no materialised
+//! transpose anywhere on the hot path.
+//!
+//! # Exactness contract
+//!
+//! The packed kernel is **bit-identical** to the retained naive reference
+//! ([`gemm_naive`]) for every shape, including `k > KC`:
+//!
+//! * the micro-kernel initialises its accumulators *from C* (zeroed on the
+//!   first `KC` block unless accumulating), and an `f32` store/load
+//!   round-trip is exact, so splitting `k` into blocks does not reassociate
+//!   the per-element sum;
+//! * products are added in ascending-`k` order with separately rounded
+//!   multiply and add (no `mul_add`/FMA — Rust never fuses implicitly);
+//! * edge tiles are zero-padded in the packed panels; padded lanes only
+//!   produce values in padded rows/columns, which are never stored.
+//!
+//! The same argument makes `accumulate = true` (used by backward) exact: it
+//! merely seeds the accumulators with the existing C values.
+//!
+//! # Parallelism
+//!
+//! Row-slabs of `MC` rows are distributed over rayon when the FLOP count
+//! `m*n*k` crosses [`PAR_GEMM_FLOPS`]. Gating on FLOPs rather than output
+//! size (`m*n`) matters for tall-skinny products such as the policy head
+//! (`m*k` large, `n` tiny): their output is small but their work is not.
+//! Each slab repacks B independently — for `m/MC` slabs that costs
+//! `m/MC * k * n` extra copies, noise next to the `m*n*k` multiplies.
+
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+
+/// Micro-kernel tile height (rows of A per register tile).
+pub const MR: usize = 4;
+/// Micro-kernel tile width (columns of B per register tile). `MR * NR` is
+/// 64 f32 accumulators — small enough that LLVM keeps the whole tile in
+/// vector registers (wider tiles such as 6x16 or 4x32 spill to the stack
+/// and run an order of magnitude slower).
+pub const NR: usize = 16;
+/// Rows of A per cache block (L2-resident packed A panel).
+const MC: usize = 128;
+/// Inner (`k`) extent per cache block. `KC * NR * 4` bytes is one packed B
+/// panel; at 256 that is 16 KB, leaving half of a 32 KB L1d for the A panel
+/// and the C tile.
+const KC: usize = 256;
+/// Columns of B per cache block (L3-resident packed B panel).
+const NC: usize = 4096;
+
+/// Parallelise when `m*n*k` (one multiply-add each) reaches this many FLOPs.
+/// The old heuristic gated on output size `m*n`, which kept tall-skinny
+/// products (policy-head shapes like `[4096,256]x[256,4]`) serial forever.
+pub const PAR_GEMM_FLOPS: usize = 1 << 20;
+
+/// Whether a `[m,k] x [k,n]` product is worth distributing over rayon.
+/// Saturating so absurd shapes cannot overflow the predicate.
+#[inline]
+pub fn par_worthwhile(m: usize, n: usize, k: usize) -> bool {
+    m.saturating_mul(n).saturating_mul(k) >= PAR_GEMM_FLOPS
+}
+
+/// Activation fused into the GEMM epilogue by
+/// [`crate::Tensor::matmul_bias_act`] and `Graph::dense`.
+///
+/// The epilogue computes `c = act(c + bias)` as a separate pass after the
+/// full `k` reduction, so a fused call rounds identically to the unfused
+/// `matmul` → `add_row_broadcast` → `map` chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusedAct {
+    /// No activation; epilogue only adds the bias.
+    Identity,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit (`max(x, 0)`).
+    Relu,
+}
+
+impl FusedAct {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn activate(self, x: f32) -> f32 {
+        match self {
+            FusedAct::Identity => x,
+            FusedAct::Tanh => x.tanh(),
+            FusedAct::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = act(x)`, which is
+    /// what the fused dense backward has in hand (`tanh' = 1 - y²`,
+    /// `relu' = [y > 0]` — equivalent to `[x > 0]` since `y = max(x, 0)`).
+    #[inline]
+    pub fn deriv_from_output(self, y: f32) -> f32 {
+        match self {
+            FusedAct::Identity => 1.0,
+            FusedAct::Tanh => 1.0 - y * y,
+            FusedAct::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Borrowed view of a 2-D `f32` matrix with explicit strides.
+///
+/// `new` wraps a row-major buffer; [`MatRef::t`] yields the transposed view
+/// by swapping extents and strides, so transposed operands feed the packed
+/// kernel without copying.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Row-major `rows x cols` view over `data`.
+    pub fn new(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "MatRef backing buffer has wrong length"
+        );
+        Self {
+            data,
+            rows,
+            cols,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// The transposed view (no copy; strides swap).
+    pub fn t(self) -> Self {
+        Self {
+            data: self.data,
+            rows: self.cols,
+            cols: self.rows,
+            rs: self.cs,
+            cs: self.rs,
+        }
+    }
+
+    /// Logical number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// `c = a @ b` (or `c += a @ b` when `accumulate`), packed/blocked kernel.
+///
+/// `c` must hold exactly `a.rows * b.cols` elements, row-major.
+pub fn gemm(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], accumulate: bool) {
+    gemm_fused(a, b, None, FusedAct::Identity, c, accumulate);
+}
+
+/// `c = act(a @ b + bias)` with the bias broadcast over rows; the epilogue
+/// runs after the full reduction so rounding matches the unfused chain.
+pub fn gemm_bias_act(a: MatRef<'_>, b: MatRef<'_>, bias: &[f32], act: FusedAct, c: &mut [f32]) {
+    gemm_fused(a, b, Some(bias), act, c, false);
+}
+
+thread_local! {
+    /// Reusable (packed-A, packed-B) scratch so warm GEMM calls allocate
+    /// nothing. Thread-local: each rayon worker packs into its own buffers.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn gemm_fused(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    bias: Option<&[f32]>,
+    act: FusedAct,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    let (m, k) = (a.rows, a.cols);
+    let n = b.cols;
+    assert_eq!(
+        k, b.rows,
+        "matmul inner dimensions differ: {} vs {}",
+        k, b.rows
+    );
+    assert_eq!(c.len(), m * n, "gemm output buffer has wrong length");
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), n, "gemm bias length must equal output columns");
+    }
+    if c.is_empty() {
+        return;
+    }
+    if k == 0 {
+        // Empty reduction: C is all zeros (or untouched when accumulating),
+        // but the epilogue still applies.
+        if !accumulate {
+            c.fill(0.0);
+        }
+        epilogue(c, n, 0, n, bias, act);
+        return;
+    }
+
+    if par_worthwhile(m, n, k) && m > MC {
+        c.par_chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(blk, slab)| {
+                gemm_slab(a, b, blk * MC, slab, accumulate, bias, act);
+            });
+    } else {
+        for (blk, slab) in c.chunks_mut(MC * n).enumerate() {
+            gemm_slab(a, b, blk * MC, slab, accumulate, bias, act);
+        }
+    }
+}
+
+/// Computes one row-slab (`mc <= MC` rows starting at `i0`) of the output.
+fn gemm_slab(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    i0: usize,
+    cslab: &mut [f32],
+    accumulate: bool,
+    bias: Option<&[f32]>,
+    act: FusedAct,
+) {
+    let k = a.cols;
+    let n = b.cols;
+    let mc = cslab.len() / n;
+    PACK_BUFS.with(|cell| {
+        let bufs = &mut *cell.borrow_mut();
+        let (apack, bpack) = (&mut bufs.0, &mut bufs.1);
+        for j0 in (0..n).step_by(NC) {
+            let nc = (n - j0).min(NC);
+            for (pci, p0) in (0..k).step_by(KC).enumerate() {
+                let kc = (k - p0).min(KC);
+                pack_b(b, p0, kc, j0, nc, bpack);
+                pack_a(a, i0, mc, p0, kc, apack);
+                // First KC block seeds the accumulators (unless the caller
+                // asked to accumulate); later blocks resume from C, which
+                // keeps the per-element summation order sequential in k.
+                let init = !accumulate && pci == 0;
+                let npanels = nc.div_ceil(NR);
+                let mpanels = mc.div_ceil(MR);
+                for jp in 0..npanels {
+                    let jr = j0 + jp * NR;
+                    let nr = (nc - jp * NR).min(NR);
+                    let bp = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
+                    for ip in 0..mpanels {
+                        let ir = ip * MR;
+                        let mr = (mc - ir).min(MR);
+                        let ap = &apack[ip * kc * MR..(ip + 1) * kc * MR];
+                        micro_kernel(kc, ap, bp, &mut cslab[ir * n + jr..], n, mr, nr, init);
+                    }
+                }
+            }
+            epilogue(cslab, n, j0, nc, bias, act);
+        }
+    });
+}
+
+/// `c[r, j0..j0+nc] = act(c + bias)` over every row of the slab.
+fn epilogue(
+    cslab: &mut [f32],
+    n: usize,
+    j0: usize,
+    nc: usize,
+    bias: Option<&[f32]>,
+    act: FusedAct,
+) {
+    if bias.is_none() && act == FusedAct::Identity {
+        return;
+    }
+    let rows = cslab.len() / n.max(1);
+    for r in 0..rows {
+        let row = &mut cslab[r * n + j0..r * n + j0 + nc];
+        match bias {
+            Some(bv) => {
+                for (x, &bb) in row.iter_mut().zip(&bv[j0..j0 + nc]) {
+                    *x = act.activate(*x + bb);
+                }
+            }
+            None => {
+                for x in row.iter_mut() {
+                    *x = act.activate(*x);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `kc` columns of an `mc`-row slab of A into k-major `MR`-row panels,
+/// zero-padding the ragged final panel.
+fn pack_a(a: MatRef<'_>, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut Vec<f32>) {
+    let mpanels = mc.div_ceil(MR);
+    buf.truncate(0);
+    buf.resize(mpanels * kc * MR, 0.0);
+    for ip in 0..mpanels {
+        let ibase = i0 + ip * MR;
+        let h = (i0 + mc - ibase).min(MR);
+        let panel = &mut buf[ip * kc * MR..(ip + 1) * kc * MR];
+        for (p, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+            let kcol = p0 + p;
+            for (r, slot) in chunk.iter_mut().take(h).enumerate() {
+                *slot = a.at(ibase + r, kcol);
+            }
+        }
+    }
+}
+
+/// Packs a `kc x nc` block of B into k-major `NR`-column panels,
+/// zero-padding the ragged final panel.
+fn pack_b(b: MatRef<'_>, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut Vec<f32>) {
+    let npanels = nc.div_ceil(NR);
+    buf.truncate(0);
+    buf.resize(npanels * kc * NR, 0.0);
+    for jp in 0..npanels {
+        let jbase = j0 + jp * NR;
+        let w = (j0 + nc - jbase).min(NR);
+        let panel = &mut buf[jp * kc * NR..(jp + 1) * kc * NR];
+        for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+            let krow = p0 + p;
+            if b.cs == 1 {
+                let start = krow * b.rs + jbase;
+                chunk[..w].copy_from_slice(&b.data[start..start + w]);
+            } else {
+                for (cj, slot) in chunk.iter_mut().take(w).enumerate() {
+                    *slot = b.data[krow * b.rs + (jbase + cj) * b.cs];
+                }
+            }
+        }
+    }
+}
+
+/// The `MR x NR` register tile: seeds accumulators from C (or zero when
+/// `init`), sweeps the packed panels in ascending `k`, stores the valid
+/// `mr x nr` region back. Plain `a*b` + `+=` — no FMA — so rounding matches
+/// the naive reference bit for bit.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    init: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !init {
+        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+            accr[..nr].copy_from_slice(&c[r * ldc..r * ldc + nr]);
+        }
+    }
+    for (arow, brow) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for (x, &bb) in accr.iter_mut().zip(brow) {
+                *x += av * bb;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        c[r * ldc..r * ldc + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+/// Retained naive reference kernel (`ikj`, ascending `k`, no zero-skip, no
+/// blocking). The packed kernel is pinned to this bit for bit by the
+/// differential tests; the hotpath bench reports speedup against it.
+pub fn gemm_naive(a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32], accumulate: bool) {
+    let (m, k) = (a.rows, a.cols);
+    let n = b.cols;
+    assert_eq!(
+        k, b.rows,
+        "matmul inner dimensions differ: {} vs {}",
+        k, b.rows
+    );
+    assert_eq!(c.len(), m * n, "gemm output buffer has wrong length");
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a.at(i, p);
+            if b.cs == 1 {
+                let brow = &b.data[p * b.rs..p * b.rs + n];
+                for (o, &bv) in crow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            } else {
+                for (j, o) in crow.iter_mut().enumerate() {
+                    *o += av * b.data[p * b.rs + j * b.cs];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn rand_vec(rng: &mut ChaCha8Rng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.5f32..1.5)).collect()
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+        assert_eq!(got.len(), want.len(), "{ctx}: length");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{ctx}: element {i} differs: {g} vs {w}"
+            );
+        }
+    }
+
+    fn check_shape(m: usize, k: usize, n: usize, rng: &mut ChaCha8Rng) {
+        let a = rand_vec(rng, m * k);
+        let b = rand_vec(rng, k * n);
+        let mut packed = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        gemm(
+            MatRef::new(&a, m, k),
+            MatRef::new(&b, k, n),
+            &mut packed,
+            false,
+        );
+        gemm_naive(
+            MatRef::new(&a, m, k),
+            MatRef::new(&b, k, n),
+            &mut naive,
+            false,
+        );
+        assert_bits_eq(&packed, &naive, &format!("{m}x{k}x{n}"));
+    }
+
+    #[test]
+    fn packed_matches_naive_bitwise_on_edge_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // Deliberately ragged vs the MR=4 / NR=16 / MC=128 tiling.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 16, 16),
+            (5, 17, 19),
+            (33, 7, 130),
+            (130, 40, 33),
+        ] {
+            check_shape(m, k, n, &mut rng);
+        }
+    }
+
+    #[test]
+    fn packed_matches_naive_bitwise_across_kc_blocks() {
+        // k > KC forces multiple KC blocks; the accumulators reload C
+        // between blocks, so the result must still be bit-identical.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        check_shape(9, KC + 300, 21, &mut rng);
+    }
+
+    #[test]
+    fn accumulate_adds_on_top_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let (m, k, n) = (13, 37, 29);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let seed = rand_vec(&mut rng, m * n);
+        let mut packed = seed.clone();
+        let mut naive = seed.clone();
+        gemm(
+            MatRef::new(&a, m, k),
+            MatRef::new(&b, k, n),
+            &mut packed,
+            true,
+        );
+        gemm_naive(
+            MatRef::new(&a, m, k),
+            MatRef::new(&b, k, n),
+            &mut naive,
+            true,
+        );
+        assert_bits_eq(&packed, &naive, "accumulate");
+    }
+
+    #[test]
+    fn transposed_views_feed_the_kernel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let (m, k, n) = (11, 23, 9);
+        // a_t stored as [k, m]; b_t stored as [n, k].
+        let a_t = rand_vec(&mut rng, k * m);
+        let b_t = rand_vec(&mut rng, n * k);
+        let mut packed = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        let a = MatRef::new(&a_t, k, m).t();
+        let b = MatRef::new(&b_t, n, k).t();
+        gemm(a, b, &mut packed, false);
+        gemm_naive(a, b, &mut naive, false);
+        assert_bits_eq(&packed, &naive, "transposed");
+    }
+
+    #[test]
+    fn fused_bias_act_matches_unfused_chain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (m, k, n) = (7, 33, 18);
+        let a = rand_vec(&mut rng, m * k);
+        let b = rand_vec(&mut rng, k * n);
+        let bias = rand_vec(&mut rng, n);
+        for act in [FusedAct::Identity, FusedAct::Tanh, FusedAct::Relu] {
+            let mut fused = vec![0.0f32; m * n];
+            gemm_bias_act(
+                MatRef::new(&a, m, k),
+                MatRef::new(&b, k, n),
+                &bias,
+                act,
+                &mut fused,
+            );
+            let mut plain = vec![0.0f32; m * n];
+            gemm(
+                MatRef::new(&a, m, k),
+                MatRef::new(&b, k, n),
+                &mut plain,
+                false,
+            );
+            for (r, row) in plain.chunks_mut(n).enumerate() {
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = act.activate(*x + bias[j]);
+                }
+                assert_bits_eq(row, &fused[r * n..(r + 1) * n], "fused epilogue");
+            }
+        }
+    }
+
+    #[test]
+    fn par_threshold_keys_on_flops_not_output_size() {
+        // Policy-head shape: tiny output (m*n = 8192 was below the old
+        // m*n threshold of 16384) but 4.2M multiply-adds of work.
+        assert!(par_worthwhile(2048, 4, 512), "tall-skinny must parallelise");
+        assert!(!par_worthwhile(64, 64, 8), "small products stay serial");
+        assert!(
+            par_worthwhile(usize::MAX, usize::MAX, usize::MAX),
+            "saturates"
+        );
+    }
+
+    #[test]
+    fn degenerate_dims_are_safe() {
+        let a: Vec<f32> = vec![];
+        let b = vec![1.0f32, 2.0];
+        // k = 0: result is the zero matrix.
+        let mut c = vec![9.0f32; 2];
+        gemm(MatRef::new(&a, 1, 0), MatRef::new(&a, 0, 2), &mut c, false);
+        assert_eq!(c, vec![0.0, 0.0]);
+        // m = 0 / n = 0: empty output, no panic.
+        let mut empty: Vec<f32> = vec![];
+        gemm(
+            MatRef::new(&a, 0, 2),
+            MatRef::new(&b, 2, 1),
+            &mut empty,
+            false,
+        );
+        gemm(
+            MatRef::new(&b, 1, 2),
+            MatRef::new(&a, 2, 0),
+            &mut empty,
+            false,
+        );
+    }
+}

@@ -4,14 +4,30 @@
 //! [`Graph::backward`] replays the tape in reverse, accumulating gradients.
 //! Each learner function in Stellaris builds a fresh graph per mini-batch
 //! (mirroring the per-invocation lifetime of a serverless function), so the
-//! tape never outlives one gradient computation and node values can be
-//! captured by clone without memory pressure.
+//! tape never outlives one gradient computation. Node values are shared into
+//! backward closures via `Rc`, so recording an op never copies tensor data.
+//!
+//! # Gradient arena
+//!
+//! Backward closures do not return freshly allocated gradients; they
+//! *accumulate* into per-node buffers owned by a [`GradSink`] (axpy-style
+//! `+=`). The buffers live in a thread-local arena that is recycled across
+//! `Graph` lifetimes, so once warm, a PPO epoch performs O(1) heap
+//! allocations per backward step instead of O(nodes). The allocation
+//! discipline is enforced by lint rule L6 (`grad-alloc-discipline`): no
+//! `.clone()` inside a backward closure without a `lint:allow(L6)`
+//! justification. [`Graph::backward_cloning`] retains the historical
+//! allocate-per-contribution strategy as a differential-test reference and
+//! benchmark baseline; both paths run the same closures and produce
+//! identical gradients (see DESIGN.md §11 for the exactness argument).
 
 use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 use stellaris_telemetry as telemetry;
 
 use crate::conv::{col2im, im2col, Conv2dSpec};
+use crate::gemm::{self, FusedAct, MatRef};
 use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -26,13 +42,98 @@ impl Var {
     }
 }
 
-/// Gradient callback: receives the upstream gradient for the node and
-/// returns `(parent_id, gradient_contribution)` pairs.
-type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+/// Gradient callback: receives the node's upstream gradient and accumulates
+/// contributions for its parents into the sink.
+type BackwardFn = Box<dyn Fn(&Tensor, &mut GradSink)>;
 
 struct Node {
-    value: Tensor,
+    value: Rc<Tensor>,
     backward: Option<BackwardFn>,
+}
+
+/// Reusable backward workspace: one gradient buffer per node plus a flat
+/// scratch vector for ops that need a temporary (fused dense, conv2d).
+#[derive(Default)]
+struct GradArena {
+    bufs: Vec<Tensor>,
+    live: Vec<bool>,
+    scratch: Vec<f32>,
+}
+
+thread_local! {
+    /// Arena pool shared by every `Graph` on this thread. `backward` pops an
+    /// arena (or creates one cold) and returns it when done, so consecutive
+    /// graphs — e.g. the minibatch loop of a PPO epoch — reuse the same
+    /// gradient buffers. Nested backward calls (gradient checking) simply
+    /// grow the pool to the maximum concurrent depth.
+    static ARENA_POOL: RefCell<Vec<GradArena>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulation target handed to backward closures.
+///
+/// [`GradSink::with`] hands the closure a zero-initialised (on first touch)
+/// gradient buffer for a parent node to accumulate into. In arena mode the
+/// buffer is the node's recycled arena slot; in cloning mode (the
+/// [`Graph::backward_cloning`] reference path) a fresh tensor is allocated
+/// per contribution and merged, reproducing the historical allocation
+/// behaviour exactly.
+pub struct GradSink<'a> {
+    bufs: &'a mut [Tensor],
+    live: &'a mut [bool],
+    nodes: &'a [Node],
+    scratch: &'a mut Vec<f32>,
+    cloning: bool,
+}
+
+impl GradSink<'_> {
+    /// Accumulates into the gradient buffer of `parent`. The closure sees a
+    /// buffer shaped like the parent's value; on the parent's first
+    /// contribution it is all zeros, afterwards it holds the running sum, so
+    /// closures must only ever `+=` into it.
+    pub fn with(&mut self, parent: Var, f: impl FnOnce(&mut Tensor)) {
+        let pid = parent.0;
+        // The tape is append-only, so parents always precede their children;
+        // the slice handed to us ends right before the current node.
+        assert!(
+            pid < self.bufs.len(),
+            "backward contribution targets a non-parent node"
+        );
+        let shape = self.nodes[pid].value.shape();
+        if self.cloning {
+            let mut tmp = Tensor::zeros(shape);
+            f(&mut tmp);
+            if self.live[pid] {
+                self.bufs[pid].add_assign(&tmp);
+            } else {
+                self.bufs[pid] = tmp;
+                self.live[pid] = true;
+            }
+        } else {
+            if !self.live[pid] {
+                self.bufs[pid].reuse_as_zeros(shape);
+                self.live[pid] = true;
+            }
+            f(&mut self.bufs[pid]);
+        }
+    }
+
+    /// Adds `g` verbatim to the parent's gradient (the identity-Jacobian
+    /// case: add, broadcast pass-through, ...).
+    pub fn add(&mut self, parent: Var, g: &Tensor) {
+        self.with(parent, |d| d.add_assign(g));
+    }
+
+    /// Borrows the arena's flat scratch vector (empty or holding garbage
+    /// from a previous op; callers must clear/resize). Return it with
+    /// [`GradSink::restore_scratch`] so the capacity is recycled.
+    pub fn take_scratch(&mut self) -> Vec<f32> {
+        std::mem::take(self.scratch)
+    }
+
+    /// Returns the scratch vector taken with [`GradSink::take_scratch`].
+    pub fn restore_scratch(&mut self, scratch: Vec<f32>) {
+        *self.scratch = scratch;
+    }
 }
 
 /// A single-use autodiff tape.
@@ -61,10 +162,29 @@ impl Graph {
         }
     }
 
+    /// Clears the tape for reuse, keeping the node vector's capacity. The
+    /// telemetry forward-span clock restarts, as if freshly constructed.
+    pub fn reset(&mut self) {
+        // truncate(0) over clear(): identical for Vec, avoids a name-based
+        // false edge to locking `clear` methods in stellaris-analyze.
+        self.nodes.get_mut().truncate(0);
+        self.born_us = telemetry::now_us();
+        self.forward_emitted.set(false);
+    }
+
     fn push(&self, value: Tensor, backward: Option<BackwardFn>) -> Var {
+        self.push_rc(Rc::new(value), backward)
+    }
+
+    fn push_rc(&self, value: Rc<Tensor>, backward: Option<BackwardFn>) -> Var {
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, backward });
         Var(nodes.len() - 1)
+    }
+
+    /// Shared handle to a node's value (cheap; no data copy).
+    fn rc(&self, v: Var) -> Rc<Tensor> {
+        Rc::clone(&self.nodes.borrow()[v.0].value)
     }
 
     /// Inserts a leaf node (input or parameter). Gradients accumulate here
@@ -85,7 +205,7 @@ impl Graph {
 
     /// Clones the current value of a node.
     pub fn value(&self, v: Var) -> Tensor {
-        self.nodes.borrow()[v.0].value.clone()
+        (*self.nodes.borrow()[v.0].value).clone()
     }
 
     /// Shape of a node's value.
@@ -93,91 +213,94 @@ impl Graph {
         self.nodes.borrow()[v.0].value.shape().to_vec()
     }
 
-    /// Cuts the tape: returns a new leaf holding the same value so no
+    /// Cuts the tape: returns a new leaf sharing the same value so no
     /// gradient flows into `v`'s subgraph.
     pub fn detach(&self, v: Var) -> Var {
-        let value = self.value(v);
-        self.input(value)
+        let value = self.rc(v);
+        self.push_rc(value, None)
     }
 
     // ----- elementwise binary ops ------------------------------------------------
 
     /// Elementwise addition of same-shaped tensors.
     pub fn add(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.value(a), self.value(b));
-        let out = va.add(&vb);
+        let out = self.rc(a).add(&self.rc(b));
         self.push(
             out,
-            Some(Box::new(move |g| vec![(a.0, g.clone()), (b.0, g.clone())])),
+            Some(Box::new(move |g, sink| {
+                sink.add(a, g);
+                sink.add(b, g);
+            })),
         )
     }
 
     /// Elementwise subtraction.
     pub fn sub(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.value(a), self.value(b));
-        let out = va.sub(&vb);
+        let out = self.rc(a).sub(&self.rc(b));
         self.push(
             out,
-            Some(Box::new(move |g| {
-                vec![(a.0, g.clone()), (b.0, g.map(|x| -x))]
+            Some(Box::new(move |g, sink| {
+                sink.add(a, g);
+                sink.with(b, |d| d.add_assign_map(g, |x| -x));
             })),
         )
     }
 
     /// Elementwise multiplication.
     pub fn mul(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.value(a), self.value(b));
+        let (va, vb) = (self.rc(a), self.rc(b));
         let out = va.mul(&vb);
         self.push(
             out,
-            Some(Box::new(move |g| {
-                vec![(a.0, g.mul(&vb)), (b.0, g.mul(&va))]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| d.add_assign_zip(g, &vb, |gv, y| gv * y));
+                sink.with(b, |d| d.add_assign_zip(g, &va, |gv, x| gv * x));
             })),
         )
     }
 
     /// Elementwise division.
     pub fn div(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.value(a), self.value(b));
+        let (va, vb) = (self.rc(a), self.rc(b));
         let out = va.zip_map(&vb, |x, y| x / y);
         self.push(
             out,
-            Some(Box::new(move |g| {
-                let da = g.zip_map(&vb, |gv, y| gv / y);
-                let db = g
-                    .zip_map(&va, |gv, x| gv * x)
-                    .zip_map(&vb, |gx, y| -gx / (y * y));
-                vec![(a.0, da), (b.0, db)]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| d.add_assign_zip(g, &vb, |gv, y| gv / y));
+                sink.with(b, |d| {
+                    d.add_assign_zip3(g, &va, &vb, |gv, x, y| {
+                        let gx = gv * x;
+                        -gx / (y * y)
+                    })
+                });
             })),
         )
     }
 
     /// Elementwise minimum; gradient routes to the smaller operand (ties to `a`).
     pub fn minimum(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.value(a), self.value(b));
+        let (va, vb) = (self.rc(a), self.rc(b));
         let out = va.zip_map(&vb, f32::min);
         let mask = va.zip_map(&vb, |x, y| if x <= y { 1.0 } else { 0.0 });
         self.push(
             out,
-            Some(Box::new(move |g| {
-                let da = g.mul(&mask);
-                let db = g.zip_map(&mask, |gv, m| gv * (1.0 - m));
-                vec![(a.0, da), (b.0, db)]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| d.add_assign_zip(g, &mask, |gv, m| gv * m));
+                sink.with(b, |d| d.add_assign_zip(g, &mask, |gv, m| gv * (1.0 - m)));
             })),
         )
     }
 
     /// Elementwise maximum; gradient routes to the larger operand (ties to `a`).
     pub fn maximum(&self, a: Var, b: Var) -> Var {
-        let (va, vb) = (self.value(a), self.value(b));
+        let (va, vb) = (self.rc(a), self.rc(b));
         let out = va.zip_map(&vb, f32::max);
         let mask = va.zip_map(&vb, |x, y| if x >= y { 1.0 } else { 0.0 });
         self.push(
             out,
-            Some(Box::new(move |g| {
-                let da = g.mul(&mask);
-                let db = g.zip_map(&mask, |gv, m| gv * (1.0 - m));
-                vec![(a.0, da), (b.0, db)]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| d.add_assign_zip(g, &mask, |gv, m| gv * m));
+                sink.with(b, |d| d.add_assign_zip(g, &mask, |gv, m| gv * (1.0 - m)));
             })),
         )
     }
@@ -186,46 +309,53 @@ impl Graph {
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, a: Var, c: f32) -> Var {
-        let out = self.value(a).scaled(c);
-        self.push(out, Some(Box::new(move |g| vec![(a.0, g.scaled(c))])))
+        let out = self.rc(a).scaled(c);
+        self.push(
+            out,
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| d.add_assign_map(g, |x| x * c));
+            })),
+        )
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, a: Var, c: f32) -> Var {
-        let out = self.value(a).map(|x| x + c);
-        self.push(out, Some(Box::new(move |g| vec![(a.0, g.clone())])))
+        let out = self.rc(a).map(|x| x + c);
+        self.push(out, Some(Box::new(move |g, sink| sink.add(a, g))))
     }
 
     /// Adds a scalar-valued node (`[1]`) to every element of `a`, scaled by
     /// `coeff`: `out = a + coeff * s`.
     pub fn add_scalar_var(&self, a: Var, s: Var, coeff: f32) -> Var {
-        let sval = self.value(s);
+        let sval = self.rc(s);
         assert_eq!(sval.numel(), 1, "add_scalar_var expects scalar rhs");
-        let out = self.value(a).map(|x| x + coeff * sval.data()[0]);
+        let out = self.rc(a).map(|x| x + coeff * sval.data()[0]);
         self.push(
             out,
-            Some(Box::new(move |g| {
-                vec![(a.0, g.clone()), (s.0, Tensor::scalar(coeff * g.sum()))]
+            Some(Box::new(move |g, sink| {
+                sink.add(a, g);
+                sink.with(s, |d| d.data_mut()[0] += coeff * g.sum());
             })),
         )
     }
 
     /// Adds a `[n]` bias row to every row of a `[m,n]` matrix.
     pub fn add_bias(&self, a: Var, bias: Var) -> Var {
-        let va = self.value(a);
-        let vb = self.value(bias);
+        let vb = self.rc(bias);
         let n = vb.numel();
-        let out = va.add_row_broadcast(&vb);
+        let out = self.rc(a).add_row_broadcast(&vb);
         self.push(
             out,
-            Some(Box::new(move |g| {
-                let mut db = vec![0.0f32; n];
-                for row in g.data().chunks(n) {
-                    for (acc, &gv) in db.iter_mut().zip(row.iter()) {
-                        *acc += gv;
+            Some(Box::new(move |g, sink| {
+                sink.add(a, g);
+                sink.with(bias, |d| {
+                    let db = d.data_mut();
+                    for row in g.data().chunks(n) {
+                        for (acc, &gv) in db.iter_mut().zip(row.iter()) {
+                            *acc += gv;
+                        }
                     }
-                }
-                vec![(a.0, g.clone()), (bias.0, Tensor::from_vec(db, &[n]))]
+                });
             })),
         )
     }
@@ -238,12 +368,12 @@ impl Graph {
 
     /// Multiplies every row of a `[m,n]` matrix elementwise by a `[n]` row.
     pub fn mul_row(&self, a: Var, row: Var) -> Var {
-        let va = self.value(a);
-        let vr = self.value(row);
+        let va = self.rc(a);
+        let vr = self.rc(row);
         assert_eq!(va.shape().len(), 2, "mul_row lhs must be 2-D");
         let n = va.shape()[1];
         assert_eq!(vr.numel(), n, "mul_row row length mismatch");
-        let mut out = va.clone();
+        let mut out = (*va).clone();
         for r in out.data_mut().chunks_mut(n) {
             for (x, &w) in r.iter_mut().zip(vr.data().iter()) {
                 *x *= w;
@@ -251,20 +381,23 @@ impl Graph {
         }
         self.push(
             out,
-            Some(Box::new(move |g| {
-                let mut da = g.clone();
-                for r in da.data_mut().chunks_mut(n) {
-                    for (x, &w) in r.iter_mut().zip(vr.data().iter()) {
-                        *x *= w;
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| {
+                    for (drow, grow) in d.data_mut().chunks_mut(n).zip(g.data().chunks(n)) {
+                        for ((x, &gv), &w) in drow.iter_mut().zip(grow.iter()).zip(vr.data().iter())
+                        {
+                            *x += gv * w;
+                        }
                     }
-                }
-                let mut drow = vec![0.0f32; n];
-                for (grow, arow) in g.data().chunks(n).zip(va.data().chunks(n)) {
-                    for j in 0..n {
-                        drow[j] += grow[j] * arow[j];
+                });
+                sink.with(row, |d| {
+                    let dr = d.data_mut();
+                    for (grow, arow) in g.data().chunks(n).zip(va.data().chunks(n)) {
+                        for j in 0..n {
+                            dr[j] += grow[j] * arow[j];
+                        }
                     }
-                }
-                vec![(a.0, da), (row.0, Tensor::from_vec(drow, &[n]))]
+                });
             })),
         )
     }
@@ -277,22 +410,15 @@ impl Graph {
         f: impl Fn(f32) -> f32,
         dfdx_from_out: impl Fn(f32, f32) -> f32 + 'static,
     ) -> Var {
-        let va = self.value(a);
-        let out = va.map(f);
-        let out_cap = out.clone();
-        self.push(
+        let va = self.rc(a);
+        let out = Rc::new(va.map(f));
+        let out_cap = Rc::clone(&out);
+        self.push_rc(
             out,
-            Some(Box::new(move |g| {
-                let mut d = g.clone();
-                for ((dv, &x), &y) in d
-                    .data_mut()
-                    .iter_mut()
-                    .zip(va.data().iter())
-                    .zip(out_cap.data().iter())
-                {
-                    *dv *= dfdx_from_out(x, y);
-                }
-                vec![(a.0, d)]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| {
+                    d.add_assign_zip3(g, &va, &out_cap, |gv, x, y| gv * dfdx_from_out(x, y))
+                });
             })),
         )
     }
@@ -354,38 +480,44 @@ impl Graph {
 
     /// Sum of all elements, producing a `[1]` scalar node.
     pub fn sum_all(&self, a: Var) -> Var {
-        let va = self.value(a);
-        let shape = va.shape().to_vec();
-        let out = Tensor::scalar(va.sum());
+        let out = Tensor::scalar(self.rc(a).sum());
         self.push(
             out,
-            Some(Box::new(move |g| {
-                vec![(a.0, Tensor::full(&shape, g.data()[0]))]
+            Some(Box::new(move |g, sink| {
+                let g0 = g.data()[0];
+                sink.with(a, |d| {
+                    for x in d.data_mut() {
+                        *x += g0;
+                    }
+                });
             })),
         )
     }
 
     /// Mean of all elements, producing a `[1]` scalar node.
     pub fn mean_all(&self, a: Var) -> Var {
-        let n = self.value(a).numel().max(1);
+        let n = self.rc(a).numel().max(1);
         let s = self.sum_all(a);
         self.scale(s, 1.0 / n as f32)
     }
 
     /// Row sums of a `[m,n]` matrix, producing a `[m]` vector node.
     pub fn sum_rows(&self, a: Var) -> Var {
-        let va = self.value(a);
+        let va = self.rc(a);
         assert_eq!(va.shape().len(), 2, "sum_rows requires a 2-D tensor");
         let (m, n) = (va.shape()[0], va.shape()[1]);
         let data: Vec<f32> = va.data().chunks(n).map(|r| r.iter().sum()).collect();
         self.push(
             Tensor::from_vec(data, &[m]),
-            Some(Box::new(move |g| {
-                let mut d = vec![0.0f32; m * n];
-                for (i, chunk) in d.chunks_mut(n).enumerate() {
-                    chunk.fill(g.data()[i]);
-                }
-                vec![(a.0, Tensor::from_vec(d, &[m, n]))]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| {
+                    for (i, chunk) in d.data_mut().chunks_mut(n).enumerate() {
+                        let gi = g.data()[i];
+                        for x in chunk {
+                            *x += gi;
+                        }
+                    }
+                });
             })),
         )
     }
@@ -402,27 +534,91 @@ impl Graph {
 
     /// Matrix product of 2-D nodes.
     pub fn matmul(&self, a: Var, b: Var) -> Var {
-        let va = self.value(a);
-        let vb = self.value(b);
+        let (va, vb) = (self.rc(a), self.rc(b));
         let out = va.matmul(&vb);
+        let (m, k) = (va.shape()[0], va.shape()[1]);
+        let n = vb.shape()[1];
         self.push(
             out,
-            Some(Box::new(move |g| {
-                let da = g.matmul(&vb.transpose());
-                let db = va.transpose().matmul(g);
-                vec![(a.0, da), (b.0, db)]
+            Some(Box::new(move |g, sink| {
+                // da += g @ bᵀ, db += aᵀ @ g — transposes are stride views,
+                // accumulation happens inside the GEMM (no temporaries).
+                sink.with(a, |d| {
+                    gemm::gemm(
+                        MatRef::new(g.data(), m, n),
+                        MatRef::new(vb.data(), k, n).t(),
+                        d.data_mut(),
+                        true,
+                    )
+                });
+                sink.with(b, |d| {
+                    gemm::gemm(
+                        MatRef::new(va.data(), m, k).t(),
+                        MatRef::new(g.data(), m, n),
+                        d.data_mut(),
+                        true,
+                    )
+                });
+            })),
+        )
+    }
+
+    /// Fused dense layer: `act(x @ w + bias)` recorded as a single node.
+    ///
+    /// Forward runs [`Tensor::matmul_bias_act`]; backward modulates the
+    /// upstream gradient by the activation derivative (recovered from the
+    /// node's own output) into the arena scratch, then feeds the three
+    /// parent gradients with accumulating GEMMs and a column sum. Gradients
+    /// are bit-identical to the unfused `matmul`+`add_bias`+activation
+    /// chain.
+    pub fn dense(&self, x: Var, w: Var, bias: Var, act: FusedAct) -> Var {
+        let (vx, vw, vb) = (self.rc(x), self.rc(w), self.rc(bias));
+        let out = Rc::new(vx.matmul_bias_act(&vw, &vb, act));
+        let (m, k) = (vx.shape()[0], vx.shape()[1]);
+        let n = vw.shape()[1];
+        let out_cap = Rc::clone(&out);
+        self.push_rc(
+            out,
+            Some(Box::new(move |g, sink| {
+                // gmod = g ⊙ act'(y), with act' read off the stored output.
+                let mut gmod = sink.take_scratch();
+                gmod.truncate(0);
+                gmod.reserve(m * n);
+                gmod.extend(
+                    g.data()
+                        .iter()
+                        .zip(out_cap.data().iter())
+                        .map(|(&gv, &y)| gv * act.deriv_from_output(y)),
+                );
+                let gm = MatRef::new(&gmod, m, n);
+                sink.with(x, |d| {
+                    gemm::gemm(gm, MatRef::new(vw.data(), k, n).t(), d.data_mut(), true)
+                });
+                sink.with(w, |d| {
+                    gemm::gemm(MatRef::new(vx.data(), m, k).t(), gm, d.data_mut(), true)
+                });
+                sink.with(bias, |d| {
+                    let db = d.data_mut();
+                    for row in gmod.chunks(n) {
+                        for (acc, &gv) in db.iter_mut().zip(row.iter()) {
+                            *acc += gv;
+                        }
+                    }
+                });
+                sink.restore_scratch(gmod);
             })),
         )
     }
 
     /// Reshape (no data movement in the forward value; gradient is reshaped back).
     pub fn reshape(&self, a: Var, shape: &[usize]) -> Var {
-        let va = self.value(a);
-        let old_shape = va.shape().to_vec();
-        let out = va.reshaped(shape);
+        let out = self.value(a).reshaped(shape);
         self.push(
             out,
-            Some(Box::new(move |g| vec![(a.0, g.reshape(&old_shape))])),
+            Some(Box::new(move |g, sink| {
+                // Same flat buffer, different shape: accumulate flat.
+                sink.with(a, |d| d.add_assign_flat(g));
+            })),
         )
     }
 
@@ -430,7 +626,7 @@ impl Graph {
 
     /// Row-wise log-softmax of a `[m,n]` logits matrix.
     pub fn log_softmax(&self, logits: Var) -> Var {
-        let v = self.value(logits);
+        let v = self.rc(logits);
         assert_eq!(v.shape().len(), 2, "log_softmax requires a 2-D tensor");
         let (m, n) = (v.shape()[0], v.shape()[1]);
         let mut out = vec![0.0f32; m * n];
@@ -441,27 +637,32 @@ impl Graph {
                 *o = x - lse;
             }
         }
-        let out = Tensor::from_vec(out, &[m, n]);
-        let out_cap = out.clone();
-        self.push(
+        let out = Rc::new(Tensor::from_vec(out, &[m, n]));
+        let out_cap = Rc::clone(&out);
+        self.push_rc(
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |g, sink| {
                 // d logits = g - softmax * rowsum(g)
-                let mut d = g.clone();
-                for (drow, orow) in d.data_mut().chunks_mut(n).zip(out_cap.data().chunks(n)) {
-                    let gsum: f32 = drow.iter().sum();
-                    for (dv, &lo) in drow.iter_mut().zip(orow.iter()) {
-                        *dv -= lo.exp() * gsum;
+                sink.with(logits, |d| {
+                    for ((drow, grow), orow) in d
+                        .data_mut()
+                        .chunks_mut(n)
+                        .zip(g.data().chunks(n))
+                        .zip(out_cap.data().chunks(n))
+                    {
+                        let gsum: f32 = grow.iter().sum();
+                        for ((dv, &gv), &lo) in drow.iter_mut().zip(grow.iter()).zip(orow.iter()) {
+                            *dv += gv - lo.exp() * gsum;
+                        }
                     }
-                }
-                vec![(logits.0, d)]
+                });
             })),
         )
     }
 
     /// Gathers one column per row: `out[i] = a[i, idx[i]]`, producing `[m]`.
     pub fn gather_cols(&self, a: Var, idx: &[usize]) -> Var {
-        let va = self.value(a);
+        let va = self.rc(a);
         assert_eq!(va.shape().len(), 2, "gather_cols requires a 2-D tensor");
         let (m, n) = (va.shape()[0], va.shape()[1]);
         assert_eq!(idx.len(), m, "gather_cols index length mismatch");
@@ -469,12 +670,13 @@ impl Graph {
         let idx = idx.to_vec();
         self.push(
             Tensor::from_vec(data, &[m]),
-            Some(Box::new(move |g| {
-                let mut d = vec![0.0f32; m * n];
-                for (i, &j) in idx.iter().enumerate() {
-                    d[i * n + j] = g.data()[i];
-                }
-                vec![(a.0, Tensor::from_vec(d, &[m, n]))]
+            Some(Box::new(move |g, sink| {
+                sink.with(a, |d| {
+                    let dm = d.data_mut();
+                    for (i, &j) in idx.iter().enumerate() {
+                        dm[i * n + j] += g.data()[i];
+                    }
+                });
             })),
         )
     }
@@ -483,9 +685,9 @@ impl Graph {
 
     /// 2-D convolution: input `[b,c,h,w]`, weight `[o,c,kh,kw]`, bias `[o]`.
     pub fn conv2d(&self, input: Var, weight: Var, bias: Var, stride: usize) -> Var {
-        let x = self.value(input);
-        let w = self.value(weight);
-        let bv = self.value(bias);
+        let x = self.rc(input);
+        let w = self.rc(weight);
+        let bv = self.rc(bias);
         let spec = Conv2dSpec::infer(x.shape(), w.shape(), stride);
         let cols = im2col(&x, &spec); // [b] of [ckk, oh*ow]
         let w2 = w.reshape(&[spec.out_c, spec.ckk()]);
@@ -499,31 +701,51 @@ impl Graph {
             }
         }
         let out = Tensor::from_vec(out, &[b, oc, oh, ow]);
-        let x_shape = x.shape().to_vec();
-        let w_shape = w.shape().to_vec();
         self.push(
             out,
-            Some(Box::new(move |g| {
+            Some(Box::new(move |g, sink| {
                 let hw = oh * ow;
-                let mut dw = Tensor::zeros(&[spec.out_c, spec.ckk()]);
-                let mut db = vec![0.0f32; oc];
-                let mut dx = Tensor::zeros(&x_shape);
-                let w2t = w2.transpose();
-                for (bi, col) in cols.iter().enumerate() {
-                    let gslice = &g.data()[bi * oc * hw..(bi + 1) * oc * hw];
-                    let gmat = Tensor::from_vec(gslice.to_vec(), &[oc, hw]);
-                    dw.axpy(1.0, &gmat.matmul(&col.transpose()));
-                    for (ch, chunk) in gslice.chunks(hw).enumerate() {
-                        db[ch] += chunk.iter().sum::<f32>();
+                let ckk = spec.ckk();
+                // dw: the [o,c,kh,kw] buffer is flat-identical to [oc,ckk],
+                // so the per-image GEMMs accumulate straight into it.
+                sink.with(weight, |d| {
+                    for (bi, col) in cols.iter().enumerate() {
+                        let gslice = &g.data()[bi * oc * hw..(bi + 1) * oc * hw];
+                        gemm::gemm(
+                            MatRef::new(gslice, oc, hw),
+                            MatRef::new(col.data(), ckk, hw).t(),
+                            d.data_mut(),
+                            true,
+                        );
                     }
-                    let dcol = w2t.matmul(&gmat); // [ckk, hw]
-                    col2im(&dcol, &spec, bi, &mut dx);
-                }
-                vec![
-                    (input.0, dx),
-                    (weight.0, dw.reshape(&w_shape)),
-                    (bias.0, Tensor::from_vec(db, &[oc])),
-                ]
+                });
+                sink.with(bias, |d| {
+                    let db = d.data_mut();
+                    for bi in 0..b {
+                        let gslice = &g.data()[bi * oc * hw..(bi + 1) * oc * hw];
+                        for (ch, chunk) in gslice.chunks(hw).enumerate() {
+                            db[ch] += chunk.iter().sum::<f32>();
+                        }
+                    }
+                });
+                // dx: dcol = w2ᵀ @ g_i into the arena scratch, scattered
+                // back through col2im. w2ᵀ is a stride view.
+                let mut dcol = sink.take_scratch();
+                dcol.truncate(0);
+                dcol.resize(ckk * hw, 0.0);
+                sink.with(input, |d| {
+                    for bi in 0..b {
+                        let gslice = &g.data()[bi * oc * hw..(bi + 1) * oc * hw];
+                        gemm::gemm(
+                            MatRef::new(w2.data(), oc, ckk).t(),
+                            MatRef::new(gslice, oc, hw),
+                            &mut dcol,
+                            false,
+                        );
+                        col2im(&dcol, &spec, bi, d);
+                    }
+                });
+                sink.restore_scratch(dcol);
             })),
         )
     }
@@ -533,11 +755,52 @@ impl Graph {
     /// Runs reverse-mode accumulation from the scalar node `loss` and returns
     /// the gradients of the requested variables (zeros where disconnected).
     ///
+    /// Gradients accumulate in a recycled thread-local arena, so a warm call
+    /// performs O(1) heap allocations (the returned `wrt` clones) regardless
+    /// of tape size.
+    ///
     /// The first call emits a retroactive `nn.forward` span (tape creation
     /// to now — the window in which all forward ops were recorded) and every
     /// call runs under an `nn.backward` span; tape sizes feed the
     /// `stellaris_nn_backward_nodes` histogram.
     pub fn backward(&self, loss: Var, wrt: &[Var]) -> Vec<Tensor> {
+        let mut out = Vec::with_capacity(wrt.len());
+        self.backward_into(loss, wrt, &mut out);
+        out
+    }
+
+    /// Like [`Graph::backward`] but writes the gradients into `out`, reusing
+    /// its tensors' storage. With warm buffers (same parameter layout as the
+    /// previous step) a call performs zero gradient-related heap allocations;
+    /// this is the variant the hotpath bench counts.
+    pub fn backward_into(&self, loss: Var, wrt: &[Var], out: &mut Vec<Tensor>) {
+        ARENA_POOL.with(|pool| {
+            let mut arena = pool.borrow_mut().pop().unwrap_or_default();
+            self.backward_impl(loss, wrt, &mut arena, false, out);
+            pool.borrow_mut().push(arena);
+        });
+    }
+
+    /// Reference backward pass with the historical allocation strategy: a
+    /// fresh tensor per gradient contribution, merged with `+=`. Produces
+    /// gradients identical to [`Graph::backward`] (same closures, same
+    /// accumulation order); kept as the differential-test oracle and as the
+    /// "before" baseline for the hotpath benchmark.
+    pub fn backward_cloning(&self, loss: Var, wrt: &[Var]) -> Vec<Tensor> {
+        let mut arena = GradArena::default();
+        let mut out = Vec::with_capacity(wrt.len());
+        self.backward_impl(loss, wrt, &mut arena, true, &mut out);
+        out
+    }
+
+    fn backward_impl(
+        &self,
+        loss: Var,
+        wrt: &[Var],
+        arena: &mut GradArena,
+        cloning: bool,
+        out: &mut Vec<Tensor>,
+    ) {
         let nodes = self.nodes.borrow();
         if !self.forward_emitted.replace(true) {
             let fwd_end = telemetry::now_us();
@@ -557,28 +820,46 @@ impl Graph {
             1,
             "backward requires a scalar loss node"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        grads[loss.0] = Some(Tensor::ones(nodes[loss.0].value.shape()));
-        for i in (0..=loss.0).rev() {
-            let Some(g) = grads[i].take() else { continue };
-            if let Some(back) = &nodes[i].backward {
-                for (pid, contrib) in back(&g) {
-                    match &mut grads[pid] {
-                        Some(acc) => acc.axpy(1.0, &contrib),
-                        slot @ None => *slot = Some(contrib),
-                    }
-                }
-            }
-            // Leaf gradients for requested vars must survive; restore.
-            grads[i] = Some(g);
+        let n = nodes.len();
+        if arena.bufs.len() < n {
+            arena.bufs.resize_with(n, || Tensor::zeros(&[0]));
         }
-        wrt.iter()
-            .map(|v| {
-                grads[v.0]
-                    .clone()
-                    .unwrap_or_else(|| Tensor::zeros(nodes[v.0].value.shape()))
-            })
-            .collect()
+        arena.live.truncate(0);
+        arena.live.resize(n, false);
+        {
+            let seed = &mut arena.bufs[loss.0];
+            seed.reuse_as_zeros(nodes[loss.0].value.shape());
+            seed.data_mut().fill(1.0);
+            arena.live[loss.0] = true;
+        }
+        for i in (0..=loss.0).rev() {
+            if !arena.live[i] {
+                continue;
+            }
+            let Some(back) = &nodes[i].backward else {
+                continue;
+            };
+            // Parents strictly precede node `i` on the tape, so the buffers
+            // below `i` (writable by the sink) never alias `i`'s gradient.
+            let (bufs_head, bufs_tail) = arena.bufs.split_at_mut(i);
+            let (live_head, _) = arena.live.split_at_mut(i);
+            let mut sink = GradSink {
+                bufs: bufs_head,
+                live: live_head,
+                nodes: &nodes[..i],
+                scratch: &mut arena.scratch,
+                cloning,
+            };
+            back(&bufs_tail[0], &mut sink);
+        }
+        out.resize_with(wrt.len(), || Tensor::zeros(&[0]));
+        for (slot, v) in out.iter_mut().zip(wrt) {
+            if arena.live[v.0] {
+                slot.copy_from(&arena.bufs[v.0]);
+            } else {
+                slot.reuse_as_zeros(nodes[v.0].value.shape());
+            }
+        }
     }
 }
 
@@ -804,6 +1085,46 @@ mod tests {
     }
 
     #[test]
+    fn grad_dense_matches_unfused_chain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let x0 = Tensor::randn(&[5, 7], 0.7, &mut rng);
+        let w0 = Tensor::randn(&[7, 3], 0.7, &mut rng);
+        let b0 = Tensor::randn(&[3], 0.7, &mut rng);
+        for act in [FusedAct::Identity, FusedAct::Tanh, FusedAct::Relu] {
+            // Fused graph.
+            let gf = Graph::new();
+            let (xf, wf, bf) = (
+                gf.input(x0.clone()),
+                gf.input(w0.clone()),
+                gf.input(b0.clone()),
+            );
+            let yf = gf.dense(xf, wf, bf, act);
+            let lf = gf.mean_all(gf.square(yf));
+            let grads_f = gf.backward(lf, &[xf, wf, bf]);
+            // Unfused graph.
+            let gu = Graph::new();
+            let (xu, wu, bu) = (
+                gu.input(x0.clone()),
+                gu.input(w0.clone()),
+                gu.input(b0.clone()),
+            );
+            let mm = gu.matmul(xu, wu);
+            let pre = gu.add_bias(mm, bu);
+            let yu = match act {
+                FusedAct::Identity => pre,
+                FusedAct::Tanh => gu.tanh(pre),
+                FusedAct::Relu => gu.relu(pre),
+            };
+            let lu = gu.mean_all(gu.square(yu));
+            let grads_u = gu.backward(lu, &[xu, wu, bu]);
+            assert_eq!(gf.value(yf), gu.value(yu), "forward {act:?}");
+            for (f, u) in grads_f.iter().zip(grads_u.iter()) {
+                assert_eq!(f, u, "gradients must match bitwise for {act:?}");
+            }
+        }
+    }
+
+    #[test]
     fn detach_blocks_gradient() {
         let g = Graph::new();
         let x = g.input(Tensor::from_vec(vec![2.0], &[1]));
@@ -847,5 +1168,58 @@ mod tests {
         let grads = g.backward(loss, &[a, s]);
         assert_eq!(grads[0], Tensor::ones(&[4]));
         assert!((grads[1].data()[0] + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_cloning_reference() {
+        // One graph, both strategies: the recycled-arena path must produce
+        // the same gradients as the allocate-per-contribution reference.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let g = Graph::new();
+        let x = g.input(Tensor::randn(&[4, 6], 1.0, &mut rng));
+        let w = g.input(Tensor::randn(&[6, 3], 0.5, &mut rng));
+        let b = g.input(Tensor::randn(&[3], 0.5, &mut rng));
+        let mm = g.matmul(x, w);
+        let h = g.add_bias(mm, b);
+        let t = g.tanh(h);
+        let loss = g.mean_all(g.square(t));
+        let inplace = g.backward(loss, &[x, w, b]);
+        let cloning = g.backward_cloning(loss, &[x, w, b]);
+        assert_eq!(inplace, cloning);
+    }
+
+    #[test]
+    fn arena_recycles_across_graphs() {
+        // Three graphs in sequence share the thread-local arena; each must
+        // still agree with the cloning reference (no stale-gradient leaks).
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        for round in 0..3 {
+            let g = Graph::new();
+            let dim = 3 + round; // vary shapes so buffers get reshaped
+            let x = g.input(Tensor::randn(&[2, dim], 1.0, &mut rng));
+            let w = g.input(Tensor::randn(&[dim, 2], 1.0, &mut rng));
+            let y = g.matmul(x, w);
+            let loss = g.mean_all(g.square(y));
+            assert_eq!(
+                g.backward(loss, &[x, w]),
+                g.backward_cloning(loss, &[x, w]),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_tape_for_reuse() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2.0], &[1]));
+        let y = g.square(x);
+        let _ = g.backward(y, &[x]);
+        assert_eq!(g.len(), 2);
+        g.reset();
+        assert!(g.is_empty());
+        let x2 = g.input(Tensor::from_vec(vec![3.0], &[1]));
+        let y2 = g.square(x2);
+        let grad = g.backward(y2, &[x2]).remove(0);
+        assert!((grad.data()[0] - 6.0).abs() < 1e-6);
     }
 }

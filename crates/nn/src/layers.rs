@@ -7,6 +7,7 @@
 
 use rand::Rng;
 
+use crate::gemm::FusedAct;
 use crate::graph::{Graph, Var};
 use crate::tensor::{flatten_all, unflatten_all, Tensor};
 
@@ -25,6 +26,16 @@ impl Activation {
         match self {
             Activation::Tanh => g.tanh(x),
             Activation::Relu => g.relu(x),
+        }
+    }
+
+    /// The fused-epilogue equivalent, for [`Graph::dense`] and
+    /// [`Tensor::matmul_bias_act`]. Bit-identical to applying the
+    /// activation as a separate op (see DESIGN.md §11).
+    pub fn fused(self) -> FusedAct {
+        match self {
+            Activation::Tanh => FusedAct::Tanh,
+            Activation::Relu => FusedAct::Relu,
         }
     }
 }
@@ -97,10 +108,10 @@ impl Linear {
         self.w.shape()[1]
     }
 
-    /// `x @ w + b` where `wv`/`bv` are this layer's bound parameter vars.
+    /// `x @ w + b` where `wv`/`bv` are this layer's bound parameter vars,
+    /// recorded as a single fused node.
     pub fn forward(&self, g: &Graph, x: Var, wv: Var, bv: Var) -> Var {
-        let xw = g.matmul(x, wv);
-        g.add_bias(xw, bv)
+        g.dense(x, wv, bv, FusedAct::Identity)
     }
 }
 
@@ -151,19 +162,19 @@ impl Mlp {
     pub fn forward_plain(&self, x: &Tensor) -> Tensor {
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            h = h.matmul(&layer.w).add_row_broadcast(&layer.b);
-            if i + 1 < self.layers.len() {
-                h = match self.activation {
-                    Activation::Tanh => h.map(f32::tanh),
-                    Activation::Relu => h.map(|v| v.max(0.0)),
-                };
-            }
+            let act = if i + 1 < self.layers.len() {
+                self.activation.fused()
+            } else {
+                FusedAct::Identity
+            };
+            h = h.matmul_bias_act(&layer.w, &layer.b, act);
         }
         h
     }
 
     /// Forward pass; `params` must come from [`bind_params`] over
-    /// [`ParamSet::params`] (order: `w0, b0, w1, b1, ...`).
+    /// [`ParamSet::params`] (order: `w0, b0, w1, b1, ...`). Each layer is
+    /// one fused dense node.
     pub fn forward(&self, g: &Graph, x: Var, params: &[Var]) -> Var {
         assert_eq!(
             params.len(),
@@ -171,11 +182,13 @@ impl Mlp {
             "param var count mismatch"
         );
         let mut h = x;
-        for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, h, params[2 * i], params[2 * i + 1]);
-            if i + 1 < self.layers.len() {
-                h = self.activation.apply(g, h);
-            }
+        for i in 0..self.layers.len() {
+            let act = if i + 1 < self.layers.len() {
+                self.activation.fused()
+            } else {
+                FusedAct::Identity
+            };
+            h = g.dense(h, params[2 * i], params[2 * i + 1], act);
         }
         h
     }
@@ -308,11 +321,8 @@ impl Cnn {
         }
         let flat: usize = cur.shape()[1..].iter().product();
         let cur = cur.reshape(&[batch, flat]);
-        let feat = cur
-            .matmul(&self.fc.w)
-            .add_row_broadcast(&self.fc.b)
-            .map(|v| v.max(0.0));
-        feat.matmul(&self.head.w).add_row_broadcast(&self.head.b)
+        let feat = cur.matmul_bias_act(&self.fc.w, &self.fc.b, self.activation.fused());
+        feat.matmul_bias_act(&self.head.w, &self.head.b, FusedAct::Identity)
     }
 
     /// Forward pass over a `[batch, c*h*w]` observation matrix.
@@ -330,8 +340,12 @@ impl Cnn {
         let flat: usize = cur_shape[1..].iter().product();
         let flat_v = g.reshape(cur, &[batch, flat]);
         let base = self.convs.len() * 2;
-        let feat = self.fc.forward(g, flat_v, params[base], params[base + 1]);
-        let feat = self.activation.apply(g, feat);
+        let feat = g.dense(
+            flat_v,
+            params[base],
+            params[base + 1],
+            self.activation.fused(),
+        );
         self.head
             .forward(g, feat, params[base + 2], params[base + 3])
     }

@@ -9,8 +9,17 @@ use crate::tensor::Tensor;
 
 /// A stateful first-order optimizer over a flat parameter list.
 pub trait Optimizer: Send {
+    /// Applies one update step through mutable references. This is the
+    /// zero-copy entry point: the parameter server hands in borrows of the
+    /// live policy tensors (via [`crate::ParamSet::params_mut`]) so no
+    /// parameter copies are made around the update.
+    fn step_refs(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]);
+
     /// Applies one update step in place. `grads` must align with `params`.
-    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]);
+    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+        let mut refs: Vec<&mut Tensor> = params.iter_mut().collect();
+        self.step_refs(&mut refs, grads);
+    }
     /// Current base learning rate (the paper's `α_0`).
     fn lr(&self) -> f32;
     /// Overrides the base learning rate.
@@ -38,7 +47,7 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+    fn step_refs(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
         assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
         if self.momentum > 0.0 && self.velocity.is_empty() {
             self.velocity = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
@@ -100,7 +109,7 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+    fn step_refs(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
         assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
         if self.m.is_empty() {
             self.m = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
@@ -163,7 +172,7 @@ impl RmsProp {
 }
 
 impl Optimizer for RmsProp {
-    fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+    fn step_refs(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
         assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
         if self.sq.is_empty() {
             self.sq = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
@@ -298,6 +307,19 @@ mod tests {
             (small[0].norm() - 0.5).abs() < 1e-6,
             "unchanged when under bound"
         );
+    }
+
+    #[test]
+    fn step_refs_matches_step() {
+        let grads = vec![Tensor::from_vec(vec![1.0, -2.0], &[2])];
+        let mut owned = vec![Tensor::from_vec(vec![3.0, 4.0], &[2])];
+        let mut borrowed = owned.clone();
+        let mut opt_a = Adam::new(0.1);
+        let mut opt_b = Adam::new(0.1);
+        opt_a.step(&mut owned, &grads);
+        let mut refs: Vec<&mut Tensor> = borrowed.iter_mut().collect();
+        opt_b.step_refs(&mut refs, &grads);
+        assert_eq!(owned, borrowed);
     }
 
     #[test]

@@ -4,14 +4,13 @@
 //! buffer. Stellaris' policy networks are small (Table II of the paper:
 //! 2x256 MLPs and three-layer CNNs), so the priority is predictable memory
 //! behaviour and cheap cloning for the gradient-message pipeline rather than
-//! a full broadcasting engine. Matrix multiplication parallelises over rows
-//! with rayon once the work is large enough to amortise the fork.
+//! a full broadcasting engine. Matrix multiplication runs on the packed,
+//! cache-blocked kernel in [`crate::gemm`], which parallelises over row
+//! slabs with rayon once the FLOP count (`m*n*k`, not output size) is large
+//! enough to amortise the fork.
 
+use crate::gemm::{self, FusedAct, MatRef};
 use rand::Rng;
-use rayon::prelude::*;
-
-/// Minimum number of output elements before `matmul` fans out to rayon.
-const PAR_MATMUL_THRESHOLD: usize = 16 * 1024;
 
 /// A dense row-major tensor of `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -186,59 +185,98 @@ impl Tensor {
 
     /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`).
     ///
-    /// Parallelises over output rows with rayon when the output is large.
+    /// Runs the packed/blocked GEMM in [`crate::gemm`]; parallelises over
+    /// row slabs once `m*n*k` crosses the FLOP threshold.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, n) = self.matmul_dims(rhs);
+        let mut out = Tensor::zeros(&[m, n]);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place matrix product: `out = self @ rhs` without allocating.
+    /// `out` must already have shape `[m, n]`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (m, n) = self.matmul_dims(rhs);
+        assert_eq!(out.shape, [m, n], "matmul_into output shape mismatch");
+        let k = self.shape[1];
+        gemm::gemm(
+            MatRef::new(&self.data, m, k),
+            MatRef::new(&rhs.data, k, n),
+            &mut out.data,
+            false,
+        );
+    }
+
+    /// Fused dense-layer forward: `act(self @ w + bias)` in one pass.
+    ///
+    /// The bias add and activation run as a GEMM epilogue after the full
+    /// reduction, so the result rounds identically to the unfused
+    /// `matmul` → [`Tensor::add_row_broadcast`] → [`Tensor::map`] chain.
+    pub fn matmul_bias_act(&self, w: &Tensor, bias: &Tensor, act: FusedAct) -> Tensor {
+        let (m, n) = self.matmul_dims(w);
+        assert_eq!(bias.numel(), n, "matmul_bias_act bias length mismatch");
+        let k = self.shape[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm::gemm_bias_act(
+            MatRef::new(&self.data, m, k),
+            MatRef::new(&w.data, k, n),
+            &bias.data,
+            act,
+            &mut out.data,
+        );
+        out
+    }
+
+    fn matmul_dims(&self, rhs: &Tensor) -> (usize, usize) {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        let (k, k2) = (self.shape[1], rhs.shape[0]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        let a = &self.data;
-        let b = &rhs.data;
-        let row_op = |(i, out_row): (usize, &mut [f32])| {
-            let a_row = &a[i * k..(i + 1) * k];
-            for (kk, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
-        };
-        if m * n >= PAR_MATMUL_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(row_op);
-        } else {
-            out.chunks_mut(n).enumerate().for_each(row_op);
-        }
-        Tensor {
-            shape: vec![m, n],
-            data: out,
-        }
+        (self.shape[0], rhs.shape[1])
     }
 
     /// Elementwise binary operation against a same-shaped tensor.
     pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "zip_map shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = Vec::with_capacity(self.data.len());
+        data.extend(
+            self.data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Tensor {
             shape: self.shape.clone(),
             data,
         }
     }
 
+    /// Elementwise binary operation written into an existing tensor
+    /// (`out[i] = f(self[i], rhs[i])`, no allocation).
+    pub fn zip_map_into(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32, out: &mut Tensor) {
+        assert_eq!(self.shape, rhs.shape, "zip_map_into shape mismatch");
+        assert_eq!(self.shape, out.shape, "zip_map_into output shape mismatch");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
+    }
+
     /// Elementwise unary map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = Vec::with_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
+        }
+    }
+
+    /// Elementwise unary map written into an existing tensor (no allocation).
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Tensor) {
+        assert_eq!(self.shape, out.shape, "map_into output shape mismatch");
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
     }
 
@@ -263,6 +301,91 @@ impl Tensor {
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += alpha * b;
         }
+    }
+
+    /// Plain in-place addition (`self += rhs`, same shape).
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place addition ignoring shape (`self.flat += rhs.flat`); used by
+    /// the reshape backward, where element counts match but shapes differ.
+    pub fn add_assign_flat(&mut self, rhs: &Tensor) {
+        assert_eq!(
+            self.data.len(),
+            rhs.data.len(),
+            "add_assign_flat element count mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Accumulating unary map: `self[i] += f(src[i])`.
+    pub fn add_assign_map(&mut self, src: &Tensor, f: impl Fn(f32) -> f32) {
+        assert_eq!(self.shape, src.shape, "add_assign_map shape mismatch");
+        for (a, &x) in self.data.iter_mut().zip(src.data.iter()) {
+            *a += f(x);
+        }
+    }
+
+    /// Accumulating binary map: `self[i] += f(x[i], y[i])`.
+    pub fn add_assign_zip(&mut self, x: &Tensor, y: &Tensor, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape, x.shape, "add_assign_zip shape mismatch");
+        assert_eq!(self.shape, y.shape, "add_assign_zip shape mismatch");
+        for ((a, &xv), &yv) in self.data.iter_mut().zip(x.data.iter()).zip(y.data.iter()) {
+            *a += f(xv, yv);
+        }
+    }
+
+    /// Accumulating ternary map: `self[i] += f(x[i], y[i], z[i])`.
+    pub fn add_assign_zip3(
+        &mut self,
+        x: &Tensor,
+        y: &Tensor,
+        z: &Tensor,
+        f: impl Fn(f32, f32, f32) -> f32,
+    ) {
+        assert_eq!(self.shape, x.shape, "add_assign_zip3 shape mismatch");
+        assert_eq!(self.shape, y.shape, "add_assign_zip3 shape mismatch");
+        assert_eq!(self.shape, z.shape, "add_assign_zip3 shape mismatch");
+        for (((a, &xv), &yv), &zv) in self
+            .data
+            .iter_mut()
+            .zip(x.data.iter())
+            .zip(y.data.iter())
+            .zip(z.data.iter())
+        {
+            *a += f(xv, yv, zv);
+        }
+    }
+
+    /// Reshapes this tensor in place to `shape` and zero-fills it, keeping
+    /// the existing heap allocation whenever the capacity suffices. This is
+    /// the gradient-arena recycling primitive: a warm arena buffer is reused
+    /// across backward passes without touching the allocator.
+    pub(crate) fn reuse_as_zeros(&mut self, shape: &[usize]) {
+        let numel: usize = shape.iter().product();
+        // truncate(0) rather than clear(): same semantics on Vec, but the
+        // name `clear` collides with locking methods elsewhere in the
+        // workspace and trips stellaris-analyze's name-based call graph.
+        self.shape.truncate(0);
+        self.shape.extend_from_slice(shape);
+        self.data.truncate(0);
+        self.data.resize(numel, 0.0);
+    }
+
+    /// Becomes a copy of `src` (shape and data), reusing this tensor's heap
+    /// allocations whenever their capacity suffices. The in-place counterpart
+    /// of `clone()` for warm gradient buffers.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.truncate(0);
+        self.shape.extend_from_slice(&src.shape);
+        self.data.truncate(0);
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Scales every element in place.
@@ -480,5 +603,102 @@ mod tests {
         let m = Tensor::stack_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m.shape(), &[2, 2]);
         assert_eq!(m.at2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn tall_skinny_policy_head_parallelises_and_matches_reference() {
+        // Regression for the parallel heuristic: a policy-head product has a
+        // tiny output (m*n = 8192, below the old m*n threshold of 16384) but
+        // lots of work. The FLOP gate must take the parallel path, and the
+        // result must stay bit-identical to the naive reference.
+        use crate::gemm::{gemm_naive, par_worthwhile, MatRef};
+        let (m, k, n) = (2048usize, 512usize, 4usize);
+        assert!(m * n < 16 * 1024, "shape must sit below the old threshold");
+        assert!(par_worthwhile(m, n, k), "FLOP gate must parallelise this");
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let c = a.matmul(&b);
+        let mut want = vec![0.0f32; m * n];
+        gemm_naive(
+            MatRef::new(a.data(), m, k),
+            MatRef::new(b.data(), k, n),
+            &mut want,
+            false,
+        );
+        for (got, want) in c.data().iter().zip(want.iter()) {
+            assert_eq!(got.to_bits(), want.to_bits(), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = Tensor::randn(&[9, 17], 1.0, &mut rng);
+        let b = Tensor::randn(&[17, 5], 1.0, &mut rng);
+        let mut out = Tensor::full(&[9, 5], 7.0); // stale values must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn map_and_zip_map_into_variants_match() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![0.5, 0.5, 2.0, 2.0], &[2, 2]);
+        let mut out = Tensor::zeros(&[2, 2]);
+        a.zip_map_into(&b, |x, y| x * y, &mut out);
+        assert_eq!(out, a.zip_map(&b, |x, y| x * y));
+        a.map_into(|x| x.abs(), &mut out);
+        assert_eq!(out, a.map(f32::abs));
+    }
+
+    #[test]
+    fn fused_matmul_bias_act_matches_unfused_chain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let x = Tensor::randn(&[6, 13], 1.0, &mut rng);
+        let w = Tensor::randn(&[13, 4], 0.5, &mut rng);
+        let b = Tensor::randn(&[4], 0.5, &mut rng);
+        for (act, f) in [
+            (FusedAct::Identity, None),
+            (FusedAct::Tanh, Some(f32::tanh as fn(f32) -> f32)),
+            (
+                FusedAct::Relu,
+                Some((|v: f32| v.max(0.0)) as fn(f32) -> f32),
+            ),
+        ] {
+            let fused = x.matmul_bias_act(&w, &b, act);
+            let mut plain = x.matmul(&w).add_row_broadcast(&b);
+            if let Some(f) = f {
+                plain = plain.map(f);
+            }
+            assert_eq!(fused, plain, "fused {act:?} must match unfused chain");
+        }
+    }
+
+    #[test]
+    fn accumulate_helpers_match_axpy_semantics() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[2.0, 3.0, 4.0]);
+        a.add_assign_map(&b, |x| -x);
+        assert_eq!(a.data(), &[1.0, 1.0, 1.0]);
+        a.add_assign_zip(&b, &b, |x, y| x * y);
+        assert_eq!(a.data(), &[2.0, 5.0, 10.0]);
+        a.add_assign_zip3(&b, &b, &b, |x, y, z| x * y * z);
+        assert_eq!(a.data(), &[3.0, 13.0, 37.0]);
+        let flat = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3, 1]);
+        a.add_assign_flat(&flat);
+        assert_eq!(a.data(), &[4.0, 14.0, 38.0]);
+    }
+
+    #[test]
+    fn reuse_as_zeros_keeps_capacity() {
+        let mut t = Tensor::from_vec(vec![1.0; 64], &[8, 8]);
+        let cap = t.data.capacity();
+        t.reuse_as_zeros(&[4, 4]);
+        assert_eq!(t.shape(), &[4, 4]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        assert_eq!(t.data.capacity(), cap, "allocation must be reused");
     }
 }

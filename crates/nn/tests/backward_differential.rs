@@ -1,0 +1,185 @@
+//! Differential tests pinning the packed hot-path kernels to the retained
+//! naive references.
+//!
+//! The GEMM contract is **bit-exact** (see the exactness argument in
+//! `gemm.rs`): the packed kernel adds products in the same ascending-`k`
+//! order as the naive `ikj` loop, never fuses multiply and add, and splits
+//! the reduction only at exact f32 store/load boundaries — so every
+//! comparison here is `==`, not a tolerance. The same holds for the
+//! arena-recycling backward pass vs the historical cloning strategy: both
+//! run the identical closures in the identical order, so gradients match
+//! bit for bit on the Table II MLP and CNN.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stellaris_nn::gemm::{gemm, gemm_naive, MatRef};
+use stellaris_nn::{bind_params, Activation, Cnn, Graph, Mlp, ParamSet, Tensor, Var};
+
+fn randvec(rng: &mut ChaCha8Rng, n: usize) -> Vec<f32> {
+    Tensor::randn(&[n.max(1)], 1.0, rng).data()[..n].to_vec()
+}
+
+proptest! {
+    /// Packed GEMM is bit-identical to the naive reference for arbitrary
+    /// shapes, including edge tiles (m, n not multiples of MR/NR) and
+    /// reductions longer than one KC block.
+    #[test]
+    fn packed_gemm_matches_naive(
+        m in 1usize..70,
+        n in 1usize..70,
+        k in 0usize..40,
+        seed in 0u64..1000,
+        accumulate in any::<bool>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = randvec(&mut rng, m * k);
+        let b = randvec(&mut rng, k * n);
+        let c0 = randvec(&mut rng, m * n);
+        let mut c_naive = c0.clone();
+        let mut c_packed = c0;
+        gemm_naive(MatRef::new(&a, m, k), MatRef::new(&b, k, n), &mut c_naive, accumulate);
+        gemm(MatRef::new(&a, m, k), MatRef::new(&b, k, n), &mut c_packed, accumulate);
+        prop_assert_eq!(c_naive, c_packed);
+    }
+
+    /// Transposed views feed the packed kernel through stride swaps; the
+    /// result must still match the naive reference walking the same strides.
+    #[test]
+    fn packed_gemm_matches_naive_transposed(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // a stored as [k, m], used as a^T; b stored as [n, k], used as b^T.
+        let a = randvec(&mut rng, k * m);
+        let b = randvec(&mut rng, n * k);
+        let mut c_naive = vec![0.0f32; m * n];
+        let mut c_packed = vec![0.0f32; m * n];
+        let at = MatRef::new(&a, k, m).t();
+        let bt = MatRef::new(&b, n, k).t();
+        gemm_naive(at, bt, &mut c_naive, false);
+        gemm(at, bt, &mut c_packed, false);
+        prop_assert_eq!(c_naive, c_packed);
+    }
+}
+
+#[test]
+fn packed_gemm_matches_naive_beyond_one_kc_block() {
+    // k = 700 spans multiple KC blocks; the store/load seam must not
+    // reassociate the per-element sum.
+    let (m, n, k) = (9, 21, 700);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let a = randvec(&mut rng, m * k);
+    let b = randvec(&mut rng, k * n);
+    let mut c_naive = vec![0.0f32; m * n];
+    let mut c_packed = vec![0.0f32; m * n];
+    gemm_naive(
+        MatRef::new(&a, m, k),
+        MatRef::new(&b, k, n),
+        &mut c_naive,
+        false,
+    );
+    gemm(
+        MatRef::new(&a, m, k),
+        MatRef::new(&b, k, n),
+        &mut c_packed,
+        false,
+    );
+    assert_eq!(c_naive, c_packed);
+}
+
+/// Builds the graph, runs one forward pass, and returns gradients from the
+/// requested strategy.
+fn grads_of(
+    x: &Tensor,
+    params: &[&Tensor],
+    fwd: impl Fn(&Graph, &[Var]) -> Var,
+    cloning: bool,
+) -> Vec<Tensor> {
+    let g = Graph::new();
+    let mut vars = vec![g.input(x.clone())];
+    vars.extend(bind_params(&g, params));
+    let out = fwd(&g, &vars);
+    let loss = g.mean_all(g.square(out));
+    if cloning {
+        g.backward_cloning(loss, &vars[1..])
+    } else {
+        g.backward(loss, &vars[1..])
+    }
+}
+
+#[test]
+fn inplace_backward_matches_cloning_on_table2_mlp() {
+    // Table II Hopper actor: 11 -> 256 -> 256 -> 3.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mlp = Mlp::new(&[11, 256, 256, 3], Activation::Tanh, 0.01, &mut rng);
+    let x = Tensor::randn(&[16, 11], 1.0, &mut rng);
+    let params = mlp.params();
+    let fwd = |g: &Graph, vars: &[Var]| mlp.forward(g, vars[0], &vars[1..]);
+    let arena = grads_of(&x, &params, fwd, false);
+    let cloned = grads_of(&x, &params, fwd, true);
+    assert_eq!(arena.len(), cloned.len());
+    for (a, c) in arena.iter().zip(&cloned) {
+        assert_eq!(a, c, "arena backward diverged from the cloning reference");
+    }
+}
+
+#[test]
+fn inplace_backward_matches_cloning_on_table2_cnn() {
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let cnn = Cnn::table2([4, 20, 20], 6, 0.01, &mut rng);
+    let x = Tensor::randn(&[3, cnn.in_dim()], 1.0, &mut rng);
+    let params = cnn.params();
+    let fwd = |g: &Graph, vars: &[Var]| cnn.forward(g, vars[0], &vars[1..]);
+    let arena = grads_of(&x, &params, fwd, false);
+    let cloned = grads_of(&x, &params, fwd, true);
+    assert_eq!(arena.len(), cloned.len());
+    for (a, c) in arena.iter().zip(&cloned) {
+        assert_eq!(a, c, "arena backward diverged from the cloning reference");
+    }
+}
+
+#[test]
+fn backward_into_reuses_buffers_and_matches_backward() {
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    let mlp = Mlp::new(&[5, 8, 2], Activation::Relu, 1.0, &mut rng);
+    let params = mlp.params();
+    let mut grads: Vec<Tensor> = Vec::new();
+    for step in 0..3 {
+        let x = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let g = Graph::new();
+        let mut vars = vec![g.input(x.clone())];
+        vars.extend(bind_params(&g, &params));
+        let out = mlp.forward(&g, vars[0], &vars[1..]);
+        let loss = g.mean_all(g.square(out));
+        g.backward_into(loss, &vars[1..], &mut grads);
+        let fresh = g.backward(loss, &vars[1..]);
+        assert_eq!(grads, fresh, "backward_into diverged at step {step}");
+    }
+}
+
+#[test]
+fn multi_use_node_gradients_match_between_strategies() {
+    // A node consumed by several ops exercises the accumulation ("+=") path
+    // in both strategies; order is identical, so equality is still exact.
+    let mut rng = ChaCha8Rng::seed_from_u64(45);
+    let w = Tensor::randn(&[6, 6], 1.0, &mut rng);
+    let x = Tensor::randn(&[4, 6], 1.0, &mut rng);
+    let run = |cloning: bool| {
+        let g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.input(w.clone());
+        let h = g.matmul(xv, wv);
+        let s = g.add(g.tanh(h), g.square(h)); // h used twice
+        let loss = g.mean_all(g.mul(s, s)); // s used twice
+        if cloning {
+            g.backward_cloning(loss, &[xv, wv])
+        } else {
+            g.backward(loss, &[xv, wv])
+        }
+    };
+    assert_eq!(run(false), run(true));
+}

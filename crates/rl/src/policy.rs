@@ -424,6 +424,10 @@ impl Codec for PolicySnapshot {
             flat: Vec::<f32>::decode(buf)?,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        self.version.encoded_len() + self.flat.encoded_len()
+    }
 }
 
 #[cfg(test)]
@@ -477,6 +481,7 @@ mod tests {
         a.version = 42;
         let snap = a.snapshot();
         let bytes = snap.to_bytes();
+        assert_eq!(snap.encoded_len(), bytes.len());
         let snap2 = PolicySnapshot::from_bytes(&bytes).unwrap();
         let mut b = PolicyNet::new(hopper_spec(), 999);
         b.load_snapshot(&snap2);

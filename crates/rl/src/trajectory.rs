@@ -177,6 +177,25 @@ impl Codec for SampleBatch {
             episode_returns: Vec::<f32>::decode(buf)?,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        self.env.encoded_len()
+            + self.obs.encoded_len()
+            + self.actions_disc.encoded_len()
+            + self.actions_cont.encoded_len()
+            + self.rewards.encoded_len()
+            + (4 + self.dones.len() * 8) // dones travel widened to Vec<u64>
+            + self.behaviour_logp.encoded_len()
+            + self.values.encoded_len()
+            + self.bootstrap_value.encoded_len()
+            + self.advantages.encoded_len()
+            + self.returns.encoded_len()
+            + self.behaviour_mu.encoded_len()
+            + self.behaviour_log_std.encoded_len()
+            + self.behaviour_logits.encoded_len()
+            + self.policy_version.encoded_len()
+            + self.episode_returns.encoded_len()
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +239,13 @@ mod tests {
         let b = dummy_batch(4, 2, false);
         let back = SampleBatch::from_bytes(&b.to_bytes()).unwrap();
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for b in [dummy_batch(5, 3, true), dummy_batch(4, 2, false)] {
+            assert_eq!(b.encoded_len(), b.to_bytes().len());
+        }
     }
 
     #[test]
