@@ -38,6 +38,10 @@ pub fn rule_name(rule: &str) -> &'static str {
         "A1" => "lock-order",
         "A2" => "held-guard",
         "A3" => "channel-topology",
+        "A4" => "determinism-taint",
+        "A5" => "atomics-ordering",
+        "A6" => "float-reduction-order",
+        "A7" => "unsafe-justification",
         _ => "unknown",
     }
 }

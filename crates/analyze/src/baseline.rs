@@ -25,6 +25,9 @@ pub struct BaselineKey {
 #[derive(Debug, Default)]
 pub struct Baseline {
     counts: HashMap<BaselineKey, usize>,
+    /// Counts as parsed, before any `take` — the difference against
+    /// `counts` is what actually matched (used by `--prune-baseline`).
+    original: HashMap<BaselineKey, usize>,
 }
 
 impl Baseline {
@@ -54,7 +57,10 @@ impl Baseline {
             };
             *counts.entry(key).or_insert(0) += 1;
         }
-        Ok(Baseline { counts })
+        Ok(Baseline {
+            original: counts.clone(),
+            counts,
+        })
     }
 
     /// True when the baseline has no entries.
@@ -97,6 +103,21 @@ impl Baseline {
             .filter(|(_, &n)| n > 0)
             .map(|(k, _)| k.clone())
             .collect();
+        keys.sort_by(|a, b| (&a.rule, &a.file, &a.message).cmp(&(&b.rule, &b.file, &b.message)));
+        keys
+    }
+
+    /// Entries that *were* matched by findings in this run, with their
+    /// matched multiplicity — the baseline as it should be rewritten to
+    /// drop stale lines (`--prune-baseline`).
+    pub fn matched(&self) -> Vec<BaselineKey> {
+        let mut keys = Vec::new();
+        for (key, &orig) in &self.original {
+            let remaining = self.counts.get(key).copied().unwrap_or(0);
+            for _ in 0..orig.saturating_sub(remaining) {
+                keys.push(key.clone());
+            }
+        }
         keys.sort_by(|a, b| (&a.rule, &a.file, &a.message).cmp(&(&b.rule, &b.file, &b.message)));
         keys
     }
@@ -164,6 +185,31 @@ mod tests {
         let stale = b.stale();
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].rule, "A3");
+    }
+
+    #[test]
+    fn matched_keeps_only_consumed_entries_with_multiplicity() {
+        let text =
+            "A1\tsrc/a.rs\tcycle\nA2\tsrc/b.rs\tmsg\nA2\tsrc/b.rs\tmsg\nA3\tsrc/c.rs\tgone\n";
+        let mut b = Baseline::parse(text).expect("parses");
+        assert!(b.take("A1", "src/a.rs", "cycle"));
+        assert!(b.take("A2", "src/b.rs", "msg"));
+        // One A2 duplicate and the A3 entry go unmatched (stale).
+        let matched = b.matched();
+        let keys: Vec<(&str, &str)> = matched
+            .iter()
+            .map(|k| (k.rule.as_str(), k.file.as_str()))
+            .collect();
+        assert_eq!(keys, [("A1", "src/a.rs"), ("A2", "src/b.rs")]);
+        // Rewriting from `matched` drops stale lines but keeps live ones.
+        let pruned = render_baseline(
+            matched
+                .iter()
+                .map(|k| (k.rule.as_str(), k.file.as_str(), k.message.as_str())),
+        );
+        assert!(!pruned.contains("gone"));
+        assert_eq!(pruned.matches("A2\t").count(), 1, "multiplicity pruned");
+        Baseline::parse(&pruned).expect("stays parseable");
     }
 
     #[test]

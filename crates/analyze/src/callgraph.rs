@@ -130,8 +130,22 @@ pub struct Summary {
     pub may_block: Option<Witness>,
     /// May perform a channel send/recv.
     pub may_chan: Option<Witness>,
+    /// May read a non-deterministic source (unsanitized), directly or
+    /// transitively. Telemetry-crate functions never propagate taint: their
+    /// timestamps feed observability, not training results (the A4
+    /// telemetry-sink sanitizer, DESIGN.md §12).
+    pub may_taint: Option<Witness>,
     /// All lock ids this function may acquire (capped), with witnesses.
     pub acquires: BTreeMap<String, Witness>,
+}
+
+/// Functions defined under these path prefixes absorb taint instead of
+/// propagating it: their non-deterministic reads are observability-only.
+const TAINT_BARRIER_PREFIXES: [&str; 1] = ["crates/telemetry/"];
+
+/// Whether functions in `file` absorb determinism taint (telemetry sink).
+pub fn taint_barrier(file: &str) -> bool {
+    TAINT_BARRIER_PREFIXES.iter().any(|p| file.starts_with(p))
 }
 
 /// Per-summary cap on the transitive acquire set; beyond this the summary
@@ -142,6 +156,19 @@ const ACQUIRES_CAP: usize = 32;
 pub struct CallGraph {
     /// Outgoing resolved edges per function.
     pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    /// Whether call `ci` of function `i` resolved to exactly one candidate.
+    ///
+    /// Multi-candidate name matches are kept for the soundness-critical
+    /// lock/block summaries (missing a lock is worse than over-reporting),
+    /// but precision-critical facts — determinism taint, unsafe
+    /// reachability — only flow along unambiguous edges, so a method-name
+    /// collision cannot smear taint across unrelated types.
+    pub fn is_unique(&self, i: usize, ci: usize) -> bool {
+        self.edges[i].iter().filter(|&&(_, c)| c == ci).count() == 1
+    }
 }
 
 /// Index over function names for resolution.
@@ -233,6 +260,16 @@ fn resolve(index: &Index, caller: &FnInfo, call: &CallSite) -> Vec<usize> {
         if caller.live_guard(first, call.offset).is_some() {
             return Vec::new();
         }
+        // `self.method(..)` dispatches on the caller's own type: resolve it
+        // like `Self::method` when that type defines the method, instead of
+        // fanning out to every same-named method in the workspace.
+        if recv == "self" {
+            if let Some(ty) = &caller.impl_type {
+                if let Some(&i) = index.typed.get(&(ty.clone(), call.name.clone())) {
+                    return vec![i];
+                }
+            }
+        }
         return index.methods.get(&call.name).cloned().unwrap_or_default();
     }
     index.free.get(&call.name).cloned().unwrap_or_default()
@@ -293,6 +330,14 @@ pub fn summarize(fns: &[FnInfo], graph: &CallGraph) -> Vec<Summary> {
                     site: format!("{}:{} — channel {op}", f.file, c.line),
                 });
             }
+            if !taint_barrier(&f.file) {
+                if let Some(t) = f.taints.iter().find(|t| !t.sanitized) {
+                    s.may_taint = Some(Witness {
+                        via: Vec::new(),
+                        site: format!("{}:{} — {} `{}`", f.file, t.line, t.kind.describe(), t.what),
+                    });
+                }
+            }
             s
         })
         .collect();
@@ -300,16 +345,17 @@ pub fn summarize(fns: &[FnInfo], graph: &CallGraph) -> Vec<Summary> {
     loop {
         let mut changed = false;
         for i in 0..fns.len() {
-            for &(callee, _) in &graph.edges[i] {
+            for &(callee, ci) in &graph.edges[i] {
                 if callee == i {
                     continue;
                 }
-                let (lock, block, chan, acq) = {
+                let (lock, block, chan, taint, acq) = {
                     let cs = &sums[callee];
                     (
                         cs.may_lock.clone(),
                         cs.may_block.clone(),
                         cs.may_chan.clone(),
+                        cs.may_taint.clone(),
                         cs.acquires.clone(),
                     )
                 };
@@ -330,6 +376,15 @@ pub fn summarize(fns: &[FnInfo], graph: &CallGraph) -> Vec<Summary> {
                 if s.may_chan.is_none() {
                     if let Some(w) = &chan {
                         s.may_chan = Some(w.through(&name));
+                        changed = true;
+                    }
+                }
+                // Taint stops at telemetry-crate callers (whatever they do
+                // with a tainted value is observability, not a result) and
+                // does not flow along ambiguous name-resolved edges.
+                if s.may_taint.is_none() && !taint_barrier(&fns[i].file) && graph.is_unique(i, ci) {
+                    if let Some(w) = &taint {
+                        s.may_taint = Some(w.through(&name));
                         changed = true;
                     }
                 }
@@ -403,6 +458,47 @@ mod tests {
             .unwrap();
         assert!(sums[ca].may_lock.is_some());
         assert!(g.edges[cu].is_empty(), "unknown type stays unresolved");
+    }
+
+    #[test]
+    fn self_method_calls_resolve_to_own_type() {
+        let fns = fns_of(
+            "struct A; impl A {\n    fn work(&self, x: &M) { x.lock(); }\n    fn run(&self, x: &M) { self.work(x); }\n}\n\
+             struct B; impl B {\n    fn work(&self) {}\n}\n",
+        );
+        let g = build_graph(&fns);
+        let run = fns.iter().position(|f| f.name.ends_with("run")).unwrap();
+        let a_work = fns
+            .iter()
+            .position(|f| f.impl_type.as_deref() == Some("A") && f.name.ends_with("work"))
+            .unwrap();
+        assert_eq!(
+            g.edges[run],
+            vec![(a_work, 0)],
+            "self call binds to own impl"
+        );
+    }
+
+    #[test]
+    fn taint_does_not_cross_ambiguous_method_edges() {
+        let fns = fns_of(
+            "struct A; impl A {\n    fn tick(&self) -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n}\n\
+             struct B; impl B {\n    fn tick(&self) -> u64 { 0 }\n}\n\
+             fn probe(x: &X) -> u64 { x.tick() }\n",
+        );
+        let g = build_graph(&fns);
+        let sums = summarize(&fns, &g);
+        let probe = fns.iter().position(|f| f.name.ends_with("probe")).unwrap();
+        assert_eq!(
+            g.edges[probe].len(),
+            2,
+            "ambiguous edges kept for soundness"
+        );
+        assert!(!g.is_unique(probe, 0));
+        assert!(
+            sums[probe].may_taint.is_none(),
+            "taint must not flow along a name collision"
+        );
     }
 
     #[test]

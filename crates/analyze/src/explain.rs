@@ -1,0 +1,229 @@
+//! `--explain <RULE>`: rationale, example, and sanitizer/escape list for
+//! every rule in the shared registry ([`crate::source::KNOWN_RULES`]).
+//!
+//! Keeping the table here (not in help text) means a rule cannot be added
+//! to the registry without an explanation: [`explain`] is exhaustiveness-
+//! checked against `KNOWN_RULES` by a unit test, and CI smoke-runs
+//! `--explain` for every id.
+
+use crate::source::{canonical_rule, KNOWN_RULES};
+
+/// One rule's documentation.
+struct Entry {
+    id: &'static str,
+    rationale: &'static str,
+    example: &'static str,
+    escapes: &'static str,
+}
+
+const ENTRIES: [Entry; 13] = [
+    Entry {
+        id: "L1",
+        rationale: "Library crates must not panic: a panicking learner function takes \
+                    down its whole serverless invocation, which the orchestrator then \
+                    bills and retries. `unwrap`/`expect`/`panic!` are for bins/tests.",
+        example: "let v = map.get(&k).unwrap();  // L1: propagate an error instead",
+        escapes: "Return Result/Option; `lint:allow(L1): <why>` for provably-held \
+                  invariants.",
+    },
+    Entry {
+        id: "L2",
+        rationale: "Determinism scopes (nn, rl, aggregation, staleness, truncation, \
+                    parameter server) must produce bit-identical results for a fixed \
+                    seed; ambient entropy there invalidates ablations.",
+        example: "let jitter = rand::random::<f32>();  // L2 in crates/nn",
+        escapes: "Thread a seeded `ChaCha8Rng` through the call path; \
+                  `lint:allow(L2): <why>` when the value provably never reaches a \
+                  result.",
+    },
+    Entry {
+        id: "L3",
+        rationale: "A lock guard held across `.await`-like blocking (channel recv, \
+                    sleep, join) in the same statement serializes the hot path and \
+                    risks deadlock.",
+        example: "self.state.lock().queue.recv();  // L3: split the statement",
+        escapes: "Bind the guard, copy what you need, drop it before blocking; \
+                  `lint:allow(L3): <why>`.",
+    },
+    Entry {
+        id: "L4",
+        rationale: "`as` casts silently truncate/round; gradient ids, step counters, \
+                    and byte lengths must use `try_into` or checked conversions.",
+        example: "let n = big_len as u32;  // L4: u32::try_from(big_len)?",
+        escapes: "`try_from`/`try_into`, or `lint:allow(L4): <why>` when the domain \
+                  is provably in range.",
+    },
+    Entry {
+        id: "L5",
+        rationale: "Library crates log through `stellaris-telemetry`, not stdout: \
+                    `println!` in a learner function interleaves with the driver's \
+                    protocol stream.",
+        example: "println!(\"step {}\", s);  // L5: telemetry::event instead",
+        escapes: "Use telemetry spans/events; bins and tests are exempt by scope.",
+    },
+    Entry {
+        id: "L6",
+        rationale: "The gradient hot path must not allocate per step: allocation \
+                    inside `apply_gradient`/`backward` paths shows up as tail \
+                    latency at every aggregation round.",
+        example: "let tmp = vec![0.0; n];  // L6 in a hot-path fn: reuse a buffer",
+        escapes: "Preallocate in the owner and reuse; `lint:allow(L6): <why>` for \
+                  cold setup paths.",
+    },
+    Entry {
+        id: "A1",
+        rationale: "Two code paths acquiring the same locks in opposite orders can \
+                    deadlock under concurrency. The analyzer builds the transitive \
+                    acquisition-order graph and reports each cycle once, with the \
+                    full path as a witness.",
+        example: "fn a() { let g = x.lock(); y.lock(); }\n\
+                  fn b() { let g = y.lock(); x.lock(); }  // A1 cycle x -> y -> x",
+        escapes: "Fix a global acquisition order; `lint:allow(A1): <why>` when an \
+                  external invariant (e.g. shard index order) prevents the cycle.",
+    },
+    Entry {
+        id: "A2",
+        rationale: "A guard held across a blocking operation (condvar wait, join, \
+                    sleep, channel op in a later statement, or a call that may \
+                    block/lock) stalls every other thread contending for that lock.",
+        example: "let g = self.state.lock();\nself.rx.recv();  // A2: g held across recv",
+        escapes: "Drop the guard first (`drop(g)` or a scope); condvar waits that \
+                  release the waited guard are exempt; `lint:allow(A2): <why>`.",
+    },
+    Entry {
+        id: "A3",
+        rationale: "A sender whose receiver is provably dropped unused, or a queue \
+                    pushed to but never popped anywhere in the workspace, is dead \
+                    plumbing that silently loses data.",
+        example: "let (tx, rx) = channel();\ndrop(rx);\ntx.send(x);  // A3 orphan",
+        escapes: "Consume the receiver or delete the channel; \
+                  `lint:allow(A3): <why>` for intentionally fire-and-forget sends.",
+    },
+    Entry {
+        id: "A4",
+        rationale: "Non-deterministic sources — wall clocks (`Instant::now`, \
+                    `SystemTime`, `.elapsed()`), ambient RNG (`thread_rng`, \
+                    `from_entropy`, `rand::random`), `HashMap`/`HashSet` iteration \
+                    order, thread identity — must not flow into determinism sinks \
+                    (gradient aggregation, staleness schedule, codec output, \
+                    parameter updates). One leaked read invalidates same-seed \
+                    reproducibility, so ablation deltas can no longer be attributed \
+                    to the controller under test. Flow is tracked interprocedurally \
+                    through the call graph with per-callee witnesses.",
+        example: "// in crates/core/src/staleness.rs\n\
+                  let age = self.started.elapsed();  // A4: schedule depends on wall clock",
+        escapes: "Sanitizers: seeded `ChaCha8Rng` streams are not sources; the \
+                  telemetry crate is a taint barrier (observability-only); \
+                  order-insensitive min/max folds over maps are exempt; \
+                  collect-then-sort neutralizes iteration order. Otherwise \
+                  `lint:allow(A4): <why>`.",
+    },
+    Entry {
+        id: "A5",
+        rationale: "One atomic whose sites mix `Ordering::Relaxed` with a stronger \
+                    ordering is half a protocol: a Relaxed load against a Release \
+                    store synchronizes nothing, so flag-protected data races. \
+                    Conversely, `SeqCst` on an atomic that participates in no \
+                    multi-atomic protocol pays a full fence for an unobservable \
+                    total order. Every finding names the paired site.",
+        example: "self.ready.store(true, Ordering::Release);  // writer\n\
+                  self.ready.load(Ordering::Relaxed)          // A5: reader sees stale data",
+        escapes: "Use Release stores with Acquire loads for flags; Relaxed \
+                  everywhere for pure counters; `lint:allow(A5): <why>` when an \
+                  external fence provides the ordering.",
+    },
+    Entry {
+        id: "A6",
+        rationale: "Float addition is not associative: reducing over a parallel \
+                    iterator or hash-iteration order makes the accumulation order \
+                    run-dependent, which breaks the repo's bit-exactness guarantees \
+                    (gradient aggregation, kernel differential tests).",
+        example: "parts.values().sum::<f32>()  // A6: order changes the bits",
+        escapes: "Reduce sequentially over a sorted/indexed collection (BTreeMap, \
+                  Vec by index); min/max-only folds are order-insensitive and \
+                  exempt; `lint:allow(A6): <why>`.",
+    },
+    Entry {
+        id: "A7",
+        rationale: "Every `unsafe` block/fn/impl must state the invariant that makes \
+                    it sound in a `// SAFETY:` comment within the three preceding \
+                    lines — unsound unsafe corrupts results silently. Additionally, \
+                    an `unsafe fn` reached from a caller carrying determinism taint \
+                    is flagged: pointer/length invariants must not rest on \
+                    non-deterministic values.",
+        example: "let rc = unsafe { clock_gettime(ID, &mut ts) };  // A7 without SAFETY",
+        escapes: "Write the `// SAFETY:` justification (an `unsafe impl`'s comment \
+                  covers the `unsafe fn`s its trait contract requires); \
+                  `lint:allow(A7): <why>` as a last resort.",
+    },
+];
+
+/// Renders the explanation for `rule` (id or name, case-insensitive), or
+/// `None` if the rule is unknown.
+pub fn explain(rule: &str) -> Option<String> {
+    let id = canonical_rule(rule)?;
+    let entry = ENTRIES.iter().find(|e| e.id == id)?;
+    let name = KNOWN_RULES
+        .iter()
+        .find(|(i, _)| *i == id)
+        .map(|&(_, n)| n)
+        .unwrap_or("unknown");
+    Some(format!(
+        "{id} ({name})\n\nWhy:\n  {}\n\nExample:\n  {}\n\nSanitizers / escapes:\n  {}\n",
+        entry
+            .rationale
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" "),
+        entry.example.replace('\n', "\n  "),
+        entry
+            .escapes
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" "),
+    ))
+}
+
+/// Renders every rule's explanation, separated by rules.
+pub fn explain_all() -> String {
+    let mut out = String::new();
+    for (id, _) in KNOWN_RULES {
+        if !out.is_empty() {
+            out.push_str("\n----------------------------------------\n\n");
+        }
+        out.push_str(&explain(id).expect("every registered rule has an entry"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_rule_has_a_complete_explanation() {
+        for (id, name) in KNOWN_RULES {
+            let text = explain(id).unwrap_or_else(|| panic!("no explanation for {id}"));
+            assert!(text.starts_with(&format!("{id} ({name})")), "{text}");
+            for section in ["Why:", "Example:", "Sanitizers / escapes:"] {
+                assert!(text.contains(section), "{id} missing {section}");
+            }
+        }
+        assert_eq!(ENTRIES.len(), KNOWN_RULES.len(), "tables must stay in sync");
+    }
+
+    #[test]
+    fn explain_accepts_names_and_mixed_case() {
+        assert!(explain("determinism-taint").is_some());
+        assert!(explain("a5").is_some());
+        assert!(explain("Z9").is_none());
+    }
+
+    #[test]
+    fn explain_all_covers_all_rules() {
+        let all = explain_all();
+        for (id, name) in KNOWN_RULES {
+            assert!(all.contains(&format!("{id} ({name})")));
+        }
+    }
+}

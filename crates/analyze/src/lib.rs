@@ -5,7 +5,7 @@
 //! ([`token`]), masked source with comment/test tracking ([`source`]), and
 //! per-function concurrency facts ([`model`]) — assembles a workspace call
 //! graph with interprocedural lock/block/channel summaries ([`callgraph`]),
-//! and runs three analyses ([`analyses`]):
+//! and runs seven analyses ([`analyses`], [`dataflow`]):
 //!
 //! * **A1 `lock-order`** — lock acquisition-order graph; cycles (including
 //!   through calls) are potential deadlocks.
@@ -13,6 +13,15 @@
 //!   channel op, or another acquisition reached through a call chain.
 //! * **A3 `channel-topology`** — senders whose receiver is dropped unused,
 //!   and unbounded queues that are pushed to but never popped.
+//! * **A4 `determinism-taint`** — non-deterministic sources (wall clock,
+//!   ambient RNG, hash-iteration order, thread identity) flowing into
+//!   training-result sinks, interprocedurally, with a sanitizer set.
+//! * **A5 `atomics-ordering`** — `Relaxed` on one side of an
+//!   acquire/release protocol, and unobservable `SeqCst`.
+//! * **A6 `float-reduction-order`** — order-unstable float reductions in
+//!   numeric scopes.
+//! * **A7 `unsafe-justification`** — `unsafe` without `// SAFETY:`, and
+//!   `unsafe fn`s reached from taint-carrying callers.
 //!
 //! Findings can be suppressed with a justified
 //! `// lint:allow(A1): <why>` comment (same syntax as `stellaris-lint`,
@@ -26,6 +35,8 @@
 pub mod analyses;
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
+pub mod explain;
 pub mod model;
 pub mod report;
 pub mod source;
@@ -33,6 +44,7 @@ pub mod token;
 
 pub use analyses::{channel_topology, held_guard, lock_order, rule_name, Finding};
 pub use callgraph::{build_graph, summarize, CallGraph, Summary};
+pub use dataflow::{atomics_ordering, determinism_taint, float_reduction, unsafe_audit};
 pub use model::{model_file, FileModel, FnInfo};
 pub use report::{render, Format};
 pub use source::{canonical_rule, parse_allows, Allows, SourceFile, KNOWN_RULES};
@@ -99,6 +111,10 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
     let mut findings = lock_order(&all_fns, &sums, &graph);
     findings.extend(held_guard(&all_fns, &sums, &graph));
     findings.extend(channel_topology(&models, &all_fns));
+    findings.extend(determinism_taint(&all_fns, &sums, &graph));
+    findings.extend(atomics_ordering(&all_fns));
+    findings.extend(float_reduction(&all_fns));
+    findings.extend(unsafe_audit(&models, &all_fns, &sums, &graph));
 
     let allows: HashMap<&str, Allows> = models
         .iter()

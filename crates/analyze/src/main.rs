@@ -3,14 +3,19 @@
 //! ```text
 //! stellaris-analyze [root] [--format human|json|sarif] [--out FILE]
 //!                   [--baseline FILE] [--write-baseline FILE]
+//!                   [--prune-baseline] [--explain RULE|all]
 //! ```
 //!
-//! Without `root`, analyzes the enclosing workspace. Exit codes: 0 when
-//! clean (or everything is baselined), 1 when unsuppressed findings remain,
-//! 2 on usage or I/O errors.
+//! Without `root`, analyzes the enclosing workspace. `--explain` prints the
+//! rationale/example/sanitizer documentation for one rule (or `all`) and
+//! exits without analyzing. `--prune-baseline` (with `--baseline`) rewrites
+//! the baseline file without entries that no longer match any finding.
+//! Exit codes: 0 when clean (or everything is baselined), 1 when
+//! unsuppressed findings remain, 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use stellaris_analyze::baseline::{render_baseline, Baseline};
 use stellaris_analyze::report::{render, Format};
@@ -21,11 +26,14 @@ struct Opts {
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    prune_baseline: bool,
+    explain: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: stellaris-analyze [root] [--format human|json|sarif] [--out FILE] \
-     [--baseline FILE] [--write-baseline FILE]"
+     [--baseline FILE] [--write-baseline FILE] [--prune-baseline] \
+     [--explain RULE|all]"
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -35,6 +43,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         baseline: None,
         write_baseline: None,
+        prune_baseline: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -54,6 +64,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--write-baseline" => {
                 let v = it.next().ok_or("--write-baseline needs a value")?;
                 opts.write_baseline = Some(PathBuf::from(v));
+            }
+            "--prune-baseline" => opts.prune_baseline = true,
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule id or `all`")?;
+                opts.explain = Some(v.clone());
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
@@ -83,6 +98,27 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(rule) = &opts.explain {
+        if rule.eq_ignore_ascii_case("all") {
+            print!("{}", stellaris_analyze::explain::explain_all());
+            return ExitCode::SUCCESS;
+        }
+        return match stellaris_analyze::explain::explain(rule) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("stellaris-analyze: unknown rule `{rule}` (try L1–L6, A1–A7, or `all`)");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if opts.prune_baseline && opts.baseline.is_none() {
+        eprintln!("stellaris-analyze: --prune-baseline requires --baseline FILE");
+        return ExitCode::from(2);
+    }
+
     let root = match opts.root {
         Some(r) => r,
         None => {
@@ -100,6 +136,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let started = Instant::now();
     let analysis = match stellaris_analyze::analyze_workspace(&root) {
         Ok(a) => a,
         Err(e) => {
@@ -107,6 +144,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
     if let Some(path) = &opts.write_baseline {
         let text = render_baseline(
@@ -156,10 +194,30 @@ fn main() -> ExitCode {
             }
             !known
         });
-        for stale in base.stale() {
+        let stale = base.stale();
+        for s in &stale {
             eprintln!(
                 "stellaris-analyze: stale baseline entry (no longer reported): {}\t{}\t{}",
-                stale.rule, stale.file, stale.message
+                s.rule, s.file, s.message
+            );
+        }
+        if opts.prune_baseline {
+            let matched = base.matched();
+            let text = render_baseline(
+                matched
+                    .iter()
+                    .map(|k| (k.rule.as_str(), k.file.as_str(), k.message.as_str())),
+            );
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("stellaris-analyze: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "stellaris-analyze: pruned {} stale entr{} from {} ({} kept)",
+                stale.len(),
+                if stale.len() == 1 { "y" } else { "ies" },
+                path.display(),
+                matched.len()
             );
         }
     }
@@ -177,7 +235,7 @@ fn main() -> ExitCode {
     // Keep the human-readable status on stderr so `--format json/sarif`
     // stdout stays machine-parseable.
     let status = format!(
-        "{} file(s), {} function(s), {} suppressed, {} baselined",
+        "{} file(s), {} function(s), {} suppressed, {} baselined, analyzed in {elapsed_ms:.1} ms",
         analysis.files, analysis.fns, analysis.suppressed, baselined
     );
     if findings.is_empty() {

@@ -6,14 +6,19 @@
 //! `drop(..)`, temporaries to the end of their statement span), channel
 //! sends/receives, directly-blocking operations (condvar waits, joins,
 //! sleeps), outgoing calls, thread/rayon spawns, channel-pair and queue
-//! declarations. The call graph ([`crate::callgraph`]) stitches these facts
-//! into whole-workspace summaries; the analyses ([`crate::analyses`])
-//! consume both.
+//! declarations, non-deterministic source reads (wall clocks, ambient RNGs,
+//! `HashMap`/`HashSet` iteration, thread identity), atomic operations with
+//! their `Ordering`, float-reduction sites, and `unsafe` occurrences with
+//! their `// SAFETY:` status. The call graph ([`crate::callgraph`]) stitches
+//! these facts into whole-workspace summaries; the analyses
+//! ([`crate::analyses`], [`crate::dataflow`]) consume both.
 //!
 //! The model is linear, not path-sensitive: a guard dropped on one branch is
 //! treated as dropped for the rest of the function. That trades a small
 //! false-negative surface for a zero-false-positive bar on this repo (see
 //! DESIGN.md §9).
+
+use std::collections::BTreeSet;
 
 use crate::source::{boundary_ok, find_token, match_brace, statement_spans, SourceFile};
 
@@ -132,6 +137,133 @@ pub struct QueueDecl {
     pub line: usize,
 }
 
+/// Kind of non-deterministic source read tracked by the A4 taint analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaintKind {
+    /// Wall-clock reads: `Instant::now`, `SystemTime::now`, `.elapsed()`.
+    Time,
+    /// Ambient (unseeded) RNG: `thread_rng`, `from_entropy`, `rand::random`.
+    Rng,
+    /// `HashMap`/`HashSet` iteration order.
+    MapIter,
+    /// Thread identity / parallelism reads.
+    ThreadId,
+}
+
+impl TaintKind {
+    /// Human description used in findings and witnesses.
+    pub fn describe(self) -> &'static str {
+        match self {
+            TaintKind::Time => "wall-clock time",
+            TaintKind::Rng => "ambient (unseeded) RNG",
+            TaintKind::MapIter => "HashMap/HashSet iteration order",
+            TaintKind::ThreadId => "thread identity/parallelism",
+        }
+    }
+}
+
+/// One non-deterministic source read.
+#[derive(Clone, Debug)]
+pub struct TaintSite {
+    /// What kind of source this is.
+    pub kind: TaintKind,
+    /// The source as written, e.g. `Instant::now` or `self.parts.values()`.
+    pub what: String,
+    /// Byte offset of the token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// A recognized sanitizer neutralizes the read (order-insensitive
+    /// min/max reduction or collect-then-sort for map iteration; see
+    /// DESIGN.md §12).
+    pub sanitized: bool,
+}
+
+/// Atomic operation shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicOp {
+    Load,
+    Store,
+    /// Read-modify-write: `fetch_*`, `swap`, `compare_exchange*`.
+    Rmw,
+}
+
+impl AtomicOp {
+    /// Lower-case label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomicOp::Load => "load",
+            AtomicOp::Store => "store",
+            AtomicOp::Rmw => "read-modify-write",
+        }
+    }
+}
+
+/// One atomic operation with an explicit `Ordering` argument.
+#[derive(Clone, Debug)]
+pub struct AtomicSite {
+    /// Normalized atomic identity (same qualification scheme as lock ids).
+    pub atom_id: String,
+    /// Operation shape.
+    pub op: AtomicOp,
+    /// Ordering name: `Relaxed`, `Acquire`, `Release`, `AcqRel`, `SeqCst`.
+    /// For `compare_exchange`/`fetch_update` this is the success ordering.
+    pub ordering: String,
+    /// Byte offset of the token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One float reduction whose accumulation order is unstable.
+#[derive(Clone, Debug)]
+pub struct ReduceSite {
+    /// What destabilizes the order: `parallel iterator` or
+    /// `HashMap/HashSet iteration`.
+    pub over: &'static str,
+    /// Reduction adapter, e.g. `.sum` / `.fold`.
+    pub what: String,
+    /// Byte offset of the token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// What an `unsafe` keyword introduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    /// `unsafe impl` / `unsafe trait` / `unsafe extern`.
+    Impl,
+}
+
+impl UnsafeKind {
+    /// Lower-case label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+        }
+    }
+}
+
+/// One non-test `unsafe` occurrence in a file.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// Block, fn, or impl/trait.
+    pub kind: UnsafeKind,
+    /// Byte offset of the `unsafe` keyword.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// A `// SAFETY:` comment sits on the same or one of the three
+    /// preceding lines (an `unsafe impl`'s justification also covers the
+    /// `unsafe fn`s the trait contract requires).
+    pub has_safety: bool,
+}
+
 /// Everything the analyses need to know about one function.
 #[derive(Clone, Debug)]
 pub struct FnInfo {
@@ -164,6 +296,14 @@ pub struct FnInfo {
     pub queues: Vec<QueueDecl>,
     /// `drop(name)` sites as `(name, offset)`.
     pub drops: Vec<(String, usize)>,
+    /// Non-deterministic source reads (A4).
+    pub taints: Vec<TaintSite>,
+    /// Atomic operations with explicit orderings (A5).
+    pub atomics: Vec<AtomicSite>,
+    /// Order-unstable float reductions (A6).
+    pub reductions: Vec<ReduceSite>,
+    /// Declared `unsafe fn` (A7 reachability).
+    pub is_unsafe_fn: bool,
 }
 
 impl FnInfo {
@@ -193,6 +333,9 @@ pub struct FileModel {
     pub stem: String,
     /// Functions, in source order.
     pub fns: Vec<FnInfo>,
+    /// Non-test `unsafe` occurrences anywhere in the file — item-level
+    /// `unsafe impl` included, so this lives on the file, not a function.
+    pub unsafes: Vec<UnsafeSite>,
 }
 
 /// Extracts the model for one source file.
@@ -215,6 +358,7 @@ pub fn model_file(path: &str, src: &SourceFile) -> FileModel {
     // when scanning events (closures are kept: they run on the owner's
     // facts).
     let bodies: Vec<(usize, usize)> = fns.iter().map(|f| f.body).collect();
+    let maps = map_idents(masked);
     for (idx, f) in fns.iter_mut().enumerate() {
         let nested: Vec<(usize, usize)> = bodies
             .iter()
@@ -222,12 +366,13 @@ pub fn model_file(path: &str, src: &SourceFile) -> FileModel {
             .filter(|&(j, b)| j != idx && b.0 >= f.body.0 && b.1 <= f.body.1)
             .map(|(_, &b)| b)
             .collect();
-        extract_facts(f, src, bytes, &spans, &nested);
+        extract_facts(f, src, bytes, &spans, &nested, &maps);
     }
     FileModel {
         path: path.to_string(),
         stem,
         fns,
+        unsafes: unsafe_sites(masked, src),
     }
 }
 
@@ -319,6 +464,7 @@ fn raw_fns(
         }
         let Some(open) = open else { continue };
         let close = match_brace(bytes, open);
+        let is_unsafe_fn = masked[..at].trim_end().ends_with("unsafe");
         let impl_type = impls
             .iter()
             .rfind(|&&(_, o, c)| o < at && at < c)
@@ -342,6 +488,10 @@ fn raw_fns(
             pairs: Vec::new(),
             queues: Vec::new(),
             drops: Vec::new(),
+            taints: Vec::new(),
+            atomics: Vec::new(),
+            reductions: Vec::new(),
+            is_unsafe_fn,
         });
     }
     out
@@ -389,6 +539,7 @@ fn extract_facts(
     bytes: &[u8],
     spans: &[(usize, usize)],
     nested: &[(usize, usize)],
+    maps: &BTreeSet<String>,
 ) {
     let masked = std::str::from_utf8(bytes).expect("masked text is the source UTF-8");
     let (b0, b1) = f.body;
@@ -480,6 +631,12 @@ fn extract_facts(
     // Calls, spawns, sleeps, and drops.
     scan_calls(f, src, masked, b0, b1, nested);
 
+    // Non-deterministic sources (A4), atomic orderings (A5), and
+    // order-unstable reductions (A6).
+    scan_taints(f, src, masked, b0, b1, nested, spans, maps);
+    scan_atomics(f, src, masked, b0, b1, nested);
+    scan_reductions(f, src, masked, b0, b1, nested, spans);
+
     // Truncate named-guard ranges at `drop(binding)`.
     let drops = f.drops.clone();
     for g in &mut f.guards {
@@ -522,6 +679,440 @@ fn extract_facts(
 
 fn stem_of(name: &str) -> String {
     name.split("::").next().unwrap_or(name).to_string()
+}
+
+/// Wall-clock reads.
+const TIME_TOKENS: [&str; 4] = [
+    "Instant::now(",
+    "SystemTime::now(",
+    "UNIX_EPOCH",
+    ".elapsed()",
+];
+
+/// Ambient (unseeded) RNG reads. Seeded streams (`ChaCha8Rng::seed_from_u64`
+/// et al.) are deterministic and deliberately absent.
+const RNG_TOKENS: [&str; 3] = ["thread_rng(", "from_entropy(", "rand::random"];
+
+/// Thread-identity / parallelism reads.
+const THREAD_TOKENS: [&str; 3] = [
+    "available_parallelism(",
+    "thread::current(",
+    "current_num_threads(",
+];
+
+/// Iteration adapters whose order is arbitrary on hash collections.
+const MAP_ITER_TOKENS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+];
+
+/// Rayon adapters that make reduction order scheduling-dependent.
+const PAR_TOKENS: [&str; 6] = [
+    ".par_iter()",
+    ".par_iter_mut()",
+    ".into_par_iter()",
+    ".par_chunks(",
+    ".par_chunks_mut(",
+    ".par_bridge()",
+];
+
+/// Bindings and fields in a file whose declared (or constructed) type is a
+/// `HashMap`/`HashSet`. Walks back from each type token over wrappers
+/// (`Arc<`, `Mutex<`, `&`, paths) to the `name:` field/param or `name =`
+/// binding that owns it.
+fn map_idents(masked: &str) -> BTreeSet<String> {
+    let bytes = masked.as_bytes();
+    let mut out = BTreeSet::new();
+    for tok in ["HashMap", "HashSet"] {
+        for at in find_token(masked, tok) {
+            if !boundary_ok(masked, at, tok) {
+                continue;
+            }
+            let mut i = at;
+            loop {
+                while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                    i -= 1;
+                }
+                if i > 0 && bytes[i - 1] == b'<' {
+                    i -= 1;
+                    while i > 0
+                        && (bytes[i - 1] == b'_'
+                            || bytes[i - 1] == b':'
+                            || bytes[i - 1].is_ascii_alphanumeric())
+                    {
+                        i -= 1;
+                    }
+                    continue;
+                }
+                if i > 0 && bytes[i - 1] == b'&' {
+                    i -= 1;
+                    continue;
+                }
+                break;
+            }
+            if i == 0 {
+                continue;
+            }
+            // `name: HashMap<..>` (struct field / typed binding, not `::`)
+            // or `name = HashMap::new()` (assignment, not `==`/`!=`/…).
+            let field = bytes[i - 1] == b':' && !(i >= 2 && bytes[i - 2] == b':');
+            let assign = bytes[i - 1] == b'='
+                && !(i >= 2 && matches!(bytes[i - 2], b'=' | b'!' | b'<' | b'>'));
+            let name = if field || assign {
+                ident_before(masked, i - 1)
+            } else {
+                None
+            };
+            if let Some(n) = name {
+                out.insert(n);
+            }
+        }
+    }
+    out
+}
+
+/// The identifier ending just before `end` (after skipping whitespace).
+fn ident_before(masked: &str, end: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let mut i = end;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let stop = i;
+    while i > 0 && (bytes[i - 1] == b'_' || bytes[i - 1].is_ascii_alphanumeric()) {
+        i -= 1;
+    }
+    if i == stop {
+        return None;
+    }
+    let name = &masked[i..stop];
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) || name == "mut" || name == "let" {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Order-insensitive reduction tail: the combiner is pure min/max with no
+/// arithmetic, e.g. `.fold(f32::INFINITY, |m, &r| m.min(r))`.
+fn order_insensitive(tail: &str) -> bool {
+    (tail.contains(".min(") || tail.contains(".max("))
+        && !tail.contains('+')
+        && !tail.contains('*')
+        && !tail.contains('/')
+        && !tail.contains(" - ")
+}
+
+/// Collect-then-sort: a later in-function sort neutralizes iteration order
+/// before it can reach a result.
+fn sorted_later(masked: &str, after: usize, b1: usize) -> bool {
+    let rest = &masked[after.min(b1)..b1];
+    [
+        ".sort()",
+        ".sort_unstable()",
+        ".sort_by(",
+        ".sort_by_key(",
+        ".sort_unstable_by(",
+        ".sort_unstable_by_key(",
+    ]
+    .iter()
+    .any(|t| rest.contains(t))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_taints(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+    spans: &[(usize, usize)],
+    maps: &BTreeSet<String>,
+) {
+    let body = &masked[b0..b1];
+    let skip = |at: usize| in_ranges(nested, at) || src.in_test(at);
+
+    for (kind, tokens) in [
+        (TaintKind::Time, &TIME_TOKENS[..]),
+        (TaintKind::Rng, &RNG_TOKENS[..]),
+        (TaintKind::ThreadId, &THREAD_TOKENS[..]),
+    ] {
+        for &token in tokens {
+            for rel in find_token(body, token) {
+                let at = b0 + rel;
+                if skip(at) || !boundary_ok(body, rel, token) {
+                    continue;
+                }
+                f.taints.push(TaintSite {
+                    kind,
+                    what: token.trim_end_matches('(').to_string(),
+                    offset: at,
+                    line: src.line_of(at),
+                    sanitized: false,
+                });
+            }
+        }
+    }
+
+    // Iteration adapters on known hash-collection bindings.
+    for token in MAP_ITER_TOKENS {
+        for rel in find_token(body, token) {
+            let at = b0 + rel;
+            if skip(at) {
+                continue;
+            }
+            let recv = receiver_chain(masked, at);
+            let last = recv.rsplit('.').next().unwrap_or("");
+            if !maps.contains(last) {
+                continue;
+            }
+            let span = span_of(spans, at);
+            let tail = &masked[(at + token.len()).min(span.1)..span.1];
+            let sanitized = order_insensitive(tail) || sorted_later(masked, at + token.len(), b1);
+            f.taints.push(TaintSite {
+                kind: TaintKind::MapIter,
+                what: format!("{recv}{}", token.trim_end_matches('(')),
+                offset: at,
+                line: src.line_of(at),
+                sanitized,
+            });
+        }
+    }
+
+    // `for x in &self.map { .. }` — direct iteration without an adapter.
+    let bb = body.as_bytes();
+    for rel in find_token(body, "in") {
+        let at = b0 + rel;
+        if skip(at) || !boundary_ok(body, rel, "in") {
+            continue;
+        }
+        // Keyword position: whitespace on both sides.
+        if rel == 0
+            || !bb[rel - 1].is_ascii_whitespace()
+            || rel + 2 >= bb.len()
+            || !bb[rel + 2].is_ascii_whitespace()
+        {
+            continue;
+        }
+        let mut k = rel + 2;
+        while k < bb.len() && bb[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        while k < bb.len() && bb[k] == b'&' {
+            k += 1;
+        }
+        if body[k..].starts_with("mut ") {
+            k += 4;
+        }
+        let mut last_seg: Option<(usize, usize)>;
+        loop {
+            let s = k;
+            while k < bb.len() && (bb[k] == b'_' || bb[k].is_ascii_alphanumeric()) {
+                k += 1;
+            }
+            if k == s {
+                last_seg = None;
+                break;
+            }
+            last_seg = Some((s, k));
+            if k < bb.len() && bb[k] == b'.' {
+                k += 1;
+                continue;
+            }
+            break;
+        }
+        let Some((s, e)) = last_seg else { continue };
+        let mut w = k;
+        while w < bb.len() && bb[w].is_ascii_whitespace() {
+            w += 1;
+        }
+        if w >= bb.len() || bb[w] != b'{' || !maps.contains(&body[s..e]) {
+            continue;
+        }
+        f.taints.push(TaintSite {
+            kind: TaintKind::MapIter,
+            what: format!("for .. in {}", &body[s..e]),
+            offset: b0 + s,
+            line: src.line_of(b0 + s),
+            sanitized: sorted_later(masked, e + b0, b1),
+        });
+    }
+    f.taints.sort_by_key(|t| t.offset);
+}
+
+/// Atomic operations carrying an explicit `Ordering` argument.
+const ATOMIC_TOKENS: [(AtomicOp, &str); 14] = [
+    (AtomicOp::Load, ".load("),
+    (AtomicOp::Store, ".store("),
+    (AtomicOp::Rmw, ".swap("),
+    (AtomicOp::Rmw, ".fetch_add("),
+    (AtomicOp::Rmw, ".fetch_sub("),
+    (AtomicOp::Rmw, ".fetch_and("),
+    (AtomicOp::Rmw, ".fetch_or("),
+    (AtomicOp::Rmw, ".fetch_xor("),
+    (AtomicOp::Rmw, ".fetch_min("),
+    (AtomicOp::Rmw, ".fetch_max("),
+    (AtomicOp::Rmw, ".fetch_update("),
+    (AtomicOp::Rmw, ".fetch_nand("),
+    (AtomicOp::Rmw, ".compare_exchange("),
+    (AtomicOp::Rmw, ".compare_exchange_weak("),
+];
+
+fn scan_atomics(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+) {
+    let body = &masked[b0..b1];
+    let bytes = masked.as_bytes();
+    let skip = |at: usize| in_ranges(nested, at) || src.in_test(at);
+    let qual = f.impl_type.clone();
+    for (op, token) in ATOMIC_TOKENS {
+        for rel in find_token(body, token) {
+            let at = b0 + rel;
+            if skip(at) {
+                continue;
+            }
+            let open = at + token.len() - 1;
+            let close = match_paren(bytes, open);
+            let args = &masked[open + 1..close.saturating_sub(1).max(open + 1).min(b1)];
+            // The `Ordering::` in the arguments is what distinguishes an
+            // atomic op from e.g. `Vec::swap` or a config `load`. For
+            // two-ordering ops the first (success) ordering is the protocol.
+            let Some(ord_at) = args.find("Ordering::") else {
+                continue;
+            };
+            let ord = args["Ordering::".len() + ord_at..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>();
+            if ord.is_empty() {
+                continue;
+            }
+            let receiver = receiver_chain(masked, at);
+            f.atomics.push(AtomicSite {
+                atom_id: lock_id(&receiver, qual.as_deref(), &stem_of(&f.name)),
+                op,
+                ordering: ord,
+                offset: at,
+                line: src.line_of(at),
+            });
+        }
+    }
+    f.atomics.sort_by_key(|a| a.offset);
+}
+
+fn scan_reductions(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+    spans: &[(usize, usize)],
+) {
+    let body = &masked[b0..b1];
+    let skip = |at: usize| in_ranges(nested, at) || src.in_test(at);
+    for token in [".sum", ".product", ".fold(", ".reduce("] {
+        for rel in find_token(body, token) {
+            let at = b0 + rel;
+            if skip(at) {
+                continue;
+            }
+            if !token.ends_with('(') {
+                // `.sum()` / `.sum::<f32>()` — not `.summary(..)`.
+                let next = body[rel + token.len()..].chars().next();
+                if !matches!(next, Some('(') | Some(':')) {
+                    continue;
+                }
+            }
+            let span = span_of(spans, at);
+            let prefix = &masked[span.0.min(at)..at];
+            let over = if PAR_TOKENS.iter().any(|t| prefix.contains(t)) {
+                "parallel iterator"
+            } else if f
+                .taints
+                .iter()
+                .any(|t| t.kind == TaintKind::MapIter && span.0 <= t.offset && t.offset < at)
+            {
+                "HashMap/HashSet iteration"
+            } else {
+                continue;
+            };
+            let tail = &masked[at..span.1.max(at)];
+            if order_insensitive(tail) {
+                continue;
+            }
+            f.reductions.push(ReduceSite {
+                over,
+                what: token.trim_end_matches('(').to_string(),
+                offset: at,
+                line: src.line_of(at),
+            });
+        }
+    }
+    f.reductions.sort_by_key(|r| r.offset);
+}
+
+/// Non-test `unsafe` occurrences with their `// SAFETY:` status. An
+/// `unsafe fn` inside a SAFETY-justified `unsafe impl`/`unsafe trait` is
+/// covered by the impl's justification (the trait contract requires the
+/// signature).
+fn unsafe_sites(masked: &str, src: &SourceFile) -> Vec<UnsafeSite> {
+    let bytes = masked.as_bytes();
+    let mut raw = Vec::new();
+    for at in find_token(masked, "unsafe") {
+        if !boundary_ok(masked, at, "unsafe") || src.in_test(at) {
+            continue;
+        }
+        let mut k = at + "unsafe".len();
+        while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        let w0 = k;
+        while k < bytes.len() && (bytes[k] == b'_' || bytes[k].is_ascii_alphanumeric()) {
+            k += 1;
+        }
+        let kind = match &masked[w0..k] {
+            "" if w0 < bytes.len() && bytes[w0] == b'{' => UnsafeKind::Block,
+            "impl" | "trait" | "extern" => UnsafeKind::Impl,
+            "fn" => UnsafeKind::Fn,
+            _ => continue,
+        };
+        let line = src.line_of(at);
+        let has_safety = (line.saturating_sub(3)..=line)
+            .any(|l| l >= 1 && src.comment_text(l).is_some_and(|c| c.contains("SAFETY:")));
+        raw.push(UnsafeSite {
+            kind,
+            offset: at,
+            line,
+            has_safety,
+        });
+    }
+    // Justified impl/trait spans cover their required unsafe fns.
+    let covered: Vec<(usize, usize)> = raw
+        .iter()
+        .filter(|u| u.kind == UnsafeKind::Impl && u.has_safety)
+        .filter_map(|u| {
+            masked[u.offset..]
+                .find('{')
+                .map(|rel| (u.offset + rel, match_brace(bytes, u.offset + rel)))
+        })
+        .collect();
+    for u in &mut raw {
+        if u.kind == UnsafeKind::Fn && !u.has_safety && in_ranges(&covered, u.offset) {
+            u.has_safety = true;
+        }
+    }
+    raw
 }
 
 /// Normalized lock identity. `self.*` receivers are qualified by the impl

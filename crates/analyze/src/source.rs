@@ -302,9 +302,9 @@ pub fn boundary_ok(hay: &str, at: usize, token: &str) -> bool {
     true
 }
 
-/// Every rule either tool can emit or suppress: the linter's L1–L5 plus the
-/// analyzer's A1–A3. One registry so `lint:allow(A2)` parses in both tools.
-pub const KNOWN_RULES: [(&str, &str); 9] = [
+/// Every rule either tool can emit or suppress: the linter's L1–L6 plus the
+/// analyzer's A1–A7. One registry so `lint:allow(A2)` parses in both tools.
+pub const KNOWN_RULES: [(&str, &str); 13] = [
     ("L1", "panic-freedom"),
     ("L2", "determinism"),
     ("L3", "lock-discipline"),
@@ -314,6 +314,10 @@ pub const KNOWN_RULES: [(&str, &str); 9] = [
     ("A1", "lock-order"),
     ("A2", "held-guard"),
     ("A3", "channel-topology"),
+    ("A4", "determinism-taint"),
+    ("A5", "atomics-ordering"),
+    ("A6", "float-reduction-order"),
+    ("A7", "unsafe-justification"),
 ];
 
 /// Parses `L1` / `l1` / `panic-freedom` style spellings to the canonical id.

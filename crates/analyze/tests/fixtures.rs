@@ -1,5 +1,6 @@
-//! Seeded-hazard fixtures: the analyzer must flag all three hazard classes
-//! and stay silent on the clean twin of each shape.
+//! Seeded-hazard fixtures: the analyzer must flag every hazard class
+//! (A1–A3 concurrency, A4–A7 dataflow) and stay silent on the clean twin
+//! of each shape.
 //!
 //! Fixture sources live under `tests/fixtures/` and are fed to the analyzer
 //! with synthetic in-scope paths; they are never compiled.
@@ -11,6 +12,11 @@ const GUARD_ACROSS_RECV: &str = include_str!("fixtures/guard_across_recv.rs");
 const ORPHAN_SENDER: &str = include_str!("fixtures/orphan_sender.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
 const PERMIT_GUARD: &str = include_str!("fixtures/permit_guard.rs");
+const TAINT_TIME_TO_GRAD: &str = include_str!("fixtures/taint_time_to_grad.rs");
+const RELAXED_FLAG_PAIR: &str = include_str!("fixtures/relaxed_flag_pair.rs");
+const HASHMAP_REDUCE: &str = include_str!("fixtures/hashmap_reduce.rs");
+const UNSAFE_NO_SAFETY: &str = include_str!("fixtures/unsafe_no_safety.rs");
+const CLEAN_DATAFLOW: &str = include_str!("fixtures/clean_dataflow.rs");
 
 fn run_one(path: &str, text: &str) -> Analysis {
     analyze_sources(&[(path.to_string(), text.to_string())])
@@ -95,6 +101,123 @@ fn raii_permit_guard_pattern_is_clean() {
 }
 
 #[test]
+fn clock_taint_reaches_gradient_aggregation() {
+    // Two direct clock reads in `jitter_scale`, plus one interprocedural
+    // finding at the `aggregate` call site — exactly three A4, nothing else.
+    let a = run_one("crates/nn/src/taint_time_to_grad.rs", TAINT_TIME_TO_GRAD);
+    assert_eq!(rules(&a), ["A4"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 3, "{:#?}", a.findings);
+    let direct: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.message.contains("reads wall-clock time"))
+        .collect();
+    assert_eq!(direct.len(), 2, "{:#?}", a.findings);
+    let call = a
+        .findings
+        .iter()
+        .find(|f| f.message.contains("calls `jitter_scale`"))
+        .expect("interprocedural finding");
+    assert!(
+        call.message.contains("Instant::now"),
+        "witness names the source: {}",
+        call.message
+    );
+}
+
+#[test]
+fn mismatched_and_overstrong_orderings_are_flagged() {
+    // `ready`: Release store vs Relaxed load — half a protocol. `slots`:
+    // SeqCst everywhere with no multi-atomic protocol. Exactly two A5.
+    let a = run_one("crates/cache/src/relaxed_flag_pair.rs", RELAXED_FLAG_PAIR);
+    assert_eq!(rules(&a), ["A5"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 2, "{:#?}", a.findings);
+    let half = a
+        .findings
+        .iter()
+        .find(|f| f.message.contains("`Ordering::Relaxed`"))
+        .expect("Relaxed half-protocol finding");
+    assert!(
+        half.message.contains("Gate::self.ready")
+            && half.message.contains("Release")
+            && half.message.contains("relaxed_flag_pair.rs:17"),
+        "names the paired store site: {}",
+        half.message
+    );
+    let strong = a
+        .findings
+        .iter()
+        .find(|f| f.message.contains("unobservable"))
+        .expect("SeqCst-everywhere finding");
+    assert!(
+        strong.message.contains("Gate::self.slots"),
+        "{}",
+        strong.message
+    );
+}
+
+#[test]
+fn hash_order_reduction_is_flagged_and_minmax_fold_is_not() {
+    let a = run_one("crates/cache/src/hashmap_reduce.rs", HASHMAP_REDUCE);
+    assert_eq!(rules(&a), ["A6"], "{:#?}", a.findings);
+    assert_eq!(
+        a.findings.len(),
+        1,
+        "`largest` must stay silent: {:#?}",
+        a.findings
+    );
+    let f = &a.findings[0];
+    assert!(
+        f.message.contains("HashMap/HashSet iteration") && f.message.contains("total"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn undocumented_and_taint_reachable_unsafe_are_flagged() {
+    // Exactly three A7: the `unsafe fn` without a contract, the
+    // undocumented `unsafe` block, and the taint-carrying call into it.
+    let a = run_one(
+        "crates/serverless/src/unsafe_no_safety.rs",
+        UNSAFE_NO_SAFETY,
+    );
+    assert_eq!(rules(&a), ["A7"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 3, "{:#?}", a.findings);
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("unsafe fn without a `// SAFETY:`")),
+        "{:#?}",
+        a.findings
+    );
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("unsafe block without a `// SAFETY:`")),
+        "{:#?}",
+        a.findings
+    );
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("carrying non-deterministic taint")),
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
+fn clean_dataflow_twin_is_silent_in_sink_scope() {
+    // Sanctioned versions of every A4–A7 hazard (BTreeMap order, min/max
+    // folds, collect-then-sort, Release/Acquire, Relaxed counter,
+    // SAFETY-commented unsafe) under the strictest sink path.
+    let a = run_one("crates/nn/src/clean_dataflow.rs", CLEAN_DATAFLOW);
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
+    assert_eq!(a.suppressed, 0, "clean without suppressions");
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let a = run_one("crates/fx/src/clean.rs", CLEAN);
     assert!(a.findings.is_empty(), "{:#?}", a.findings);
@@ -102,7 +225,7 @@ fn clean_fixture_is_silent() {
 }
 
 #[test]
-fn all_fixtures_together_yield_all_three_rules() {
+fn all_fixtures_together_yield_all_seven_rules() {
     let files = vec![
         ("crates/fx/src/ab_ba.rs".to_string(), AB_BA.to_string()),
         (
@@ -114,16 +237,35 @@ fn all_fixtures_together_yield_all_three_rules() {
             ORPHAN_SENDER.to_string(),
         ),
         ("crates/fx/src/clean.rs".to_string(), CLEAN.to_string()),
+        (
+            "crates/nn/src/taint_time_to_grad.rs".to_string(),
+            TAINT_TIME_TO_GRAD.to_string(),
+        ),
+        (
+            "crates/cache/src/relaxed_flag_pair.rs".to_string(),
+            RELAXED_FLAG_PAIR.to_string(),
+        ),
+        (
+            "crates/cache/src/hashmap_reduce.rs".to_string(),
+            HASHMAP_REDUCE.to_string(),
+        ),
+        (
+            "crates/serverless/src/unsafe_no_safety.rs".to_string(),
+            UNSAFE_NO_SAFETY.to_string(),
+        ),
+        (
+            "crates/nn/src/clean_dataflow.rs".to_string(),
+            CLEAN_DATAFLOW.to_string(),
+        ),
     ];
     let a = analyze_sources(&files);
     let r = rules(&a);
+    assert_eq!(r, ["A1", "A2", "A3", "A4", "A5", "A6", "A7"], "{r:?}");
+    // The clean files contribute nothing even with the whole set in view.
     assert!(
-        r.contains(&"A1") && r.contains(&"A2") && r.contains(&"A3"),
-        "{r:?}"
-    );
-    // The clean file contributes nothing even with the whole set in view.
-    assert!(
-        a.findings.iter().all(|f| !f.file.ends_with("clean.rs")),
+        a.findings
+            .iter()
+            .all(|f| !f.file.ends_with("clean.rs") && !f.file.ends_with("clean_dataflow.rs")),
         "{:#?}",
         a.findings
     );

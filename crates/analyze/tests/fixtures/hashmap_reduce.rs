@@ -1,0 +1,23 @@
+//! Seeded hazard: float reduction over hash-iteration order (A6).
+//!
+//! `total` sums `HashMap` values in iteration order, which varies run to
+//! run, so the float accumulation is not bit-stable. `largest` folds with
+//! `max` only — order-insensitive, and must stay silent. Fed to the
+//! analyzer under a `crates/cache/src/` path (reduction scope but not an
+//! A4 sink); never compiled.
+
+use std::collections::HashMap;
+
+pub struct Acc {
+    parts: HashMap<u64, f32>,
+}
+
+impl Acc {
+    pub fn total(&self) -> f32 {
+        self.parts.values().map(|v| *v).sum::<f32>()
+    }
+
+    pub fn largest(&self) -> f32 {
+        self.parts.values().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded hazard: mismatched atomic orderings (A5).
+//!
+//! `ready` is half an acquire/release protocol — a Release store paired
+//! with a Relaxed load, which synchronizes nothing. `slots` pays for
+//! `SeqCst` at every site although no function touching it touches any
+//! other atomic, so the total order is unobservable. Never compiled.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Gate {
+    ready: AtomicBool,
+    slots: AtomicU64,
+}
+
+impl Gate {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn check(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    pub fn reserve(&self) -> u64 {
+        self.slots.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn reserved(&self) -> u64 {
+        self.slots.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded hazard: undocumented unsafe + taint-reaching unsafe (A7).
+//!
+//! `poke` is an `unsafe fn` with no `// SAFETY:` contract; `stamp` opens
+//! an undocumented `unsafe` block *and* carries wall-clock taint into the
+//! unsafe call, so the pointer-write's soundness rests on a
+//! non-deterministic value. Never compiled.
+
+pub unsafe fn poke(p: *mut u64, v: u64) {
+    *p = v;
+}
+
+pub fn stamp(out: &mut u64) {
+    let nonce = std::time::Instant::now().elapsed().as_nanos() as u64;
+    let p: *mut u64 = out;
+    unsafe { poke(p, nonce) };
+}

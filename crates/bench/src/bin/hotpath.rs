@@ -36,14 +36,17 @@ static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 // SAFETY: delegates every operation to `System`; the counters are plain
 // relaxed atomics and never allocate.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System.alloc` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: `ptr`/`layout` come straight from the caller's contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
+    // SAFETY: forwards the caller's pointer and sizes to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);

@@ -35,19 +35,24 @@ fn epoch() -> Instant {
 
 /// Turns event recording on. Also pins the trace epoch so timestamps are
 /// relative to (at latest) this call.
+///
+/// Release/Acquire on `ENABLED` (analyzer rule A5): the Release store
+/// publishes the pinned epoch to any thread whose Acquire load in
+/// [`enabled`] observes `true`, without paying a full `SeqCst` fence on
+/// the hot path.
 pub fn enable() {
     epoch();
-    ENABLED.store(true, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::Release);
 }
 
 /// Turns event recording off. Already-buffered events are kept.
 pub fn disable() {
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::Release);
 }
 
 /// Whether event recording is currently on.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Acquire)
 }
 
 /// Microseconds since the trace epoch (first telemetry call or [`enable`]).

@@ -1,0 +1,52 @@
+//! Regression test for the `trace::ENABLED` memory-ordering fix.
+//!
+//! `stellaris-analyze` rule A5 originally flagged this crate: `enable`/
+//! `disable` stored with `SeqCst` while the hot-path `enabled()` load was
+//! `Relaxed` — half an acquire/release protocol, so a reader observing
+//! `true` was not guaranteed to observe anything published before the
+//! store. The fix is Release stores paired with an Acquire load. This test
+//! re-analyzes the shipped source so the mismatch cannot quietly return.
+
+use stellaris_analyze::analyze_sources;
+
+const TRACE_RS: &str = include_str!("../src/trace.rs");
+
+/// The shipped `trace.rs` must carry no atomics-ordering findings.
+#[test]
+fn shipped_trace_module_has_no_a5_findings() {
+    let files = vec![(
+        "crates/telemetry/src/trace.rs".to_string(),
+        TRACE_RS.to_string(),
+    )];
+    let analysis = analyze_sources(&files);
+    let a5: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "A5")
+        .collect();
+    assert!(a5.is_empty(), "A5 regression in trace.rs: {a5:?}");
+}
+
+/// The pre-fix shape (SeqCst store, Relaxed load on the same static) must
+/// still be detected — otherwise the test above passes vacuously.
+#[test]
+fn pre_fix_shape_still_fires_a5() {
+    let bad = TRACE_RS
+        .replace(
+            "ENABLED.store(true, Ordering::Release)",
+            "ENABLED.store(true, Ordering::SeqCst)",
+        )
+        .replace(
+            "ENABLED.load(Ordering::Acquire)",
+            "ENABLED.load(Ordering::Relaxed)",
+        );
+    assert_ne!(bad, TRACE_RS, "replacements must apply");
+    let files = vec![("crates/telemetry/src/trace.rs".to_string(), bad)];
+    let analysis = analyze_sources(&files);
+    let a5: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "A5" && f.message.contains("ENABLED"))
+        .collect();
+    assert_eq!(a5.len(), 1, "expected exactly the ENABLED pairing: {a5:?}");
+}
