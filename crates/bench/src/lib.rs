@@ -80,12 +80,19 @@ impl Drop for TelemetryGuard {
             with_ext(".prom"),
             stellaris_telemetry::global().render_prometheus(),
         );
+        let dropped = stellaris_telemetry::dropped_events();
         emit_progress(&format!(
-            "telemetry: {} events -> {}.{{jsonl,trace.json,prom}} ({} dropped)",
+            "telemetry: {} events -> {}.{{jsonl,trace.json,prom}} ({dropped} dropped)",
             events.len(),
             base.display(),
-            stellaris_telemetry::dropped_events(),
         ));
+        if dropped > 0 {
+            emit_progress(&format!(
+                "WARNING: telemetry sink overflowed; {dropped} events were DROPPED \
+                 and the exported trace is incomplete (raise SINK_CAPACITY or \
+                 trace a shorter run)"
+            ));
+        }
     }
 }
 
@@ -189,9 +196,18 @@ impl ExpOpts {
     }
 }
 
-/// Runs the same configuration under several seeds.
+/// Runs the same configuration under several seeds. When
+/// `STELLARIS_RUNS_DIR` is set, each result is also serialized into the
+/// run ledger as a `RunReport` (see `stellaris-obs`).
 pub fn run_seeds(mk: impl Fn(u64) -> TrainConfig, seeds: u64) -> Vec<TrainResult> {
-    (0..seeds.max(1)).map(|s| train(&mk(s + 1))).collect()
+    (0..seeds.max(1))
+        .map(|s| {
+            let cfg = mk(s + 1);
+            let res = train(&cfg);
+            stellaris_obs::maybe_write_report(&cfg, &res);
+            res
+        })
+        .collect()
 }
 
 /// Per-round mean across a set of runs: `(reward, cumulative cost)`.

@@ -182,8 +182,10 @@ impl<T> GradientQueue<T> {
     }
 
     /// Enqueues a payload computed against policy version `base_version`
-    /// (no-op if closed, like [`BlockingQueue::push`]).
+    /// (no-op if closed, like [`BlockingQueue::push`]). The enqueue is
+    /// traced as a `cache.queue_push` span.
     pub fn push(&self, item: T, base_version: u64) {
+        let _span = stellaris_telemetry::span("cache.queue_push");
         if self.closed.load(Ordering::Acquire) {
             return;
         }

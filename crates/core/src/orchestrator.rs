@@ -509,20 +509,26 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let target = (round as u64 + 1) * round_quota;
             sample_target.store(target, Ordering::Release);
             let deadline = Instant::now() + Duration::from_secs(120);
-            while steps.load(Ordering::Acquire) < target && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(2));
+            {
+                let _wait = telemetry::span("core.round_wait");
+                while steps.load(Ordering::Acquire) < target && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
             }
             depth_gauge.set(work_q.len() as f64);
             // Evaluate the current canonical policy.
             if let Ok(snap) = cache.get_obj::<PolicySnapshot>(POLICY_KEY) {
                 eval_policy.load_snapshot(&snap);
             }
-            let reward = evaluate(
-                &eval_policy,
-                eval_env.as_mut(),
-                cfg.eval_episodes,
-                cfg.seed ^ 0xe7a1,
-            );
+            let reward = {
+                let _eval = telemetry::span("core.eval");
+                evaluate(
+                    &eval_policy,
+                    eval_env.as_mut(),
+                    cfg.eval_episodes,
+                    cfg.seed ^ 0xe7a1,
+                )
+            };
             let policy_kl = probe_obs
                 .lock()
                 .as_ref()
@@ -579,6 +585,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             if deg_now > prev_degraded {
                 degraded_rounds += 1;
                 round_span.field("degraded", true);
+                telemetry::recorder::note_degraded_round();
             }
             prev_degraded = deg_now;
             degraded_gauge.set(degraded_rounds as f64);
@@ -895,12 +902,15 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
 
         // Evaluation + metrics.
         eval_policy.load_snapshot(&server.snapshot());
-        let reward = evaluate(
-            &eval_policy,
-            eval_env.as_mut(),
-            cfg.eval_episodes,
-            cfg.seed ^ 0xe7a1,
-        );
+        let reward = {
+            let _eval = telemetry::span("core.eval");
+            evaluate(
+                &eval_policy,
+                eval_env.as_mut(),
+                cfg.eval_episodes,
+                cfg.seed ^ 0xe7a1,
+            )
+        };
         let policy_kl = probe_obs
             .as_ref()
             .map(|obs| prev_policy.mean_kl_to(&eval_policy, obs))
@@ -936,6 +946,7 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
         if degraded_events > prev_degraded {
             degraded_rounds += 1;
             round_span.field("degraded", true);
+            telemetry::recorder::note_degraded_round();
         }
         prev_degraded = degraded_events;
         degraded_gauge.set(degraded_rounds as f64);

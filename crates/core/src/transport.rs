@@ -242,6 +242,7 @@ impl Router {
                     let backoff = retry.backoff(attempt, self.faults.jitter());
                     self.faults.note_retry(backoff);
                     if !backoff.is_zero() {
+                        let _backoff = stellaris_telemetry::span("serverless.retry_backoff");
                         std::thread::sleep(backoff);
                     }
                     attempt += 1;

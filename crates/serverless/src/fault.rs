@@ -253,6 +253,7 @@ impl FaultPlan {
         if hit {
             self.injected_failures.fetch_add(1, Ordering::Relaxed);
             self.faults_total.inc();
+            stellaris_telemetry::recorder::note_fault();
         }
         hit
     }
@@ -263,6 +264,7 @@ impl FaultPlan {
         if hit {
             self.injected_crashes.fetch_add(1, Ordering::Relaxed);
             self.faults_total.inc();
+            stellaris_telemetry::recorder::note_fault();
         }
         hit
     }
@@ -272,6 +274,7 @@ impl FaultPlan {
         if draw(&self.straggle_rng, self.cfg.straggler) {
             self.injected_stragglers.fetch_add(1, Ordering::Relaxed);
             self.faults_total.inc();
+            stellaris_telemetry::recorder::note_fault();
             Some(self.cfg.straggler_delay)
         } else {
             None
@@ -284,6 +287,7 @@ impl FaultPlan {
         if hit {
             self.frames_dropped.fetch_add(1, Ordering::Relaxed);
             self.faults_total.inc();
+            stellaris_telemetry::recorder::note_fault();
         }
         hit
     }
@@ -294,6 +298,7 @@ impl FaultPlan {
         if hit {
             self.frames_corrupted.fetch_add(1, Ordering::Relaxed);
             self.faults_total.inc();
+            stellaris_telemetry::recorder::note_fault();
         }
         hit
     }

@@ -446,6 +446,7 @@ impl Platform {
         let t0 = Instant::now();
         if let Some(delay) = faults.and_then(FaultPlan::straggle) {
             if !delay.is_zero() {
+                let _straggle = stellaris_telemetry::span("serverless.straggle");
                 std::thread::sleep(delay);
             }
         }
@@ -559,6 +560,7 @@ impl Platform {
                     let backoff = retry.backoff(attempt, self.faults.jitter());
                     self.faults.note_retry(backoff);
                     if !backoff.is_zero() {
+                        let _backoff = stellaris_telemetry::span("serverless.retry_backoff");
                         std::thread::sleep(backoff);
                     }
                     attempt += 1;

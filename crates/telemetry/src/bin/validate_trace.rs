@@ -10,15 +10,24 @@
 //! checks that:
 //!
 //! * `<base>.jsonl` exists, every line is well-formed JSON with a `name` key;
+//! * span IDs are unique, every referenced parent ID closes over the span
+//!   set (no dangling parents), instants carry zero duration, and
+//!   `ts_us + dur_us` never overflows `u64`;
 //! * `<base>.trace.json` exists and is one well-formed JSON object with a
-//!   `traceEvents` array (chrome://tracing format);
+//!   `traceEvents` array (chrome://tracing format) whose begin/end (`"B"`/
+//!   `"E"`) phase events — if any — are balanced;
 //! * `<base>.prom` exists and parses as Prometheus text exposition with
 //!   cumulative histogram buckets and `+Inf == _count`;
 //! * every `--expect-span NAME` occurs as an event name in the JSONL;
 //! * every `--expect-metric NAME` occurs as a sample in the exposition.
 //!
+//! A flight-recorder dump base (`flight-<reason>`) validates with the same
+//! invocation — its `recorder.dump` meta line additionally surfaces a LOUD
+//! (non-fatal) warning when the trace pipeline dropped events.
+//!
 //! Exits non-zero with a diagnostic on the first failure.
 
+use std::collections::HashSet;
 use std::process::ExitCode;
 
 use stellaris_telemetry::{validate_json, validate_prometheus};
@@ -26,6 +35,22 @@ use stellaris_telemetry::{validate_json, validate_prometheus};
 fn fail(msg: &str) -> ExitCode {
     eprintln!("validate_trace: FAIL: {msg}");
     ExitCode::FAILURE
+}
+
+/// Extracts `"key":<digits>` from a JSONL event line. The writer emits
+/// bare unsigned integers for these structural keys, so a digit scan is
+/// exact (no string field can match: text values open with `"`).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
 }
 
 fn main() -> ExitCode {
@@ -53,6 +78,8 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("read {jsonl_path}: {e}")),
     };
     let mut events = 0usize;
+    let mut span_ids: HashSet<u64> = HashSet::new();
+    let mut parents: Vec<(usize, u64)> = Vec::new();
     for (i, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -63,10 +90,60 @@ fn main() -> ExitCode {
         if !line.contains("\"name\":") {
             return fail(&format!("{jsonl_path}:{}: event without name", i + 1));
         }
+        let (Some(id), Some(parent), Some(ts), Some(dur)) = (
+            field_u64(line, "id"),
+            field_u64(line, "parent"),
+            field_u64(line, "ts_us"),
+            field_u64(line, "dur_us"),
+        ) else {
+            return fail(&format!(
+                "{jsonl_path}:{}: missing id/parent/ts_us/dur_us",
+                i + 1
+            ));
+        };
+        if ts.checked_add(dur).is_none() {
+            return fail(&format!(
+                "{jsonl_path}:{}: ts_us + dur_us overflows u64",
+                i + 1
+            ));
+        }
+        let is_span = line.contains("\"type\":\"span\"");
+        if is_span {
+            if !span_ids.insert(id) {
+                return fail(&format!("{jsonl_path}:{}: duplicate span id {id}", i + 1));
+            }
+        } else if dur != 0 {
+            return fail(&format!(
+                "{jsonl_path}:{}: instant with nonzero dur_us {dur}",
+                i + 1
+            ));
+        }
+        if parent != 0 {
+            parents.push((i + 1, parent));
+        }
+        if line.contains("\"name\":\"recorder.dump\"") {
+            if let Some(dropped) = field_u64(line, "dropped_events") {
+                if dropped > 0 {
+                    // lint:allow(L5): bin diagnostic channel
+                    eprintln!(
+                        "validate_trace: WARNING: ***** flight-recorder dump reports {dropped} \
+                         DROPPED trace events — the dump is incomplete *****"
+                    );
+                }
+            }
+        }
         events += 1;
     }
     if events == 0 {
         return fail(&format!("{jsonl_path}: no events"));
+    }
+    // Parent-ID closure: every referenced parent exists in the dump.
+    for (lineno, parent) in &parents {
+        if !span_ids.contains(parent) {
+            return fail(&format!(
+                "{jsonl_path}:{lineno}: parent {parent} not present in dump"
+            ));
+        }
     }
     for name in &expect_spans {
         let needle = format!("\"name\":\"{name}\"");
@@ -86,6 +163,15 @@ fn main() -> ExitCode {
     }
     if !chrome.contains("\"traceEvents\"") {
         return fail(&format!("{chrome_path}: missing traceEvents"));
+    }
+    // Begin/end balance. Our writer emits complete ("X") events, so both
+    // counts are normally zero — but any future B/E emission must pair up.
+    let begins = chrome.matches("\"ph\":\"B\"").count();
+    let ends = chrome.matches("\"ph\":\"E\"").count();
+    if begins != ends {
+        return fail(&format!(
+            "{chrome_path}: unbalanced begin/end events ({begins} B vs {ends} E)"
+        ));
     }
 
     // Prometheus exposition.

@@ -1,7 +1,10 @@
 #![warn(missing_docs)]
 //! Zero-dependency observability substrate for the Stellaris training stack.
 //!
-//! Two halves, both safe to call from any thread at any time:
+//! Two halves, both safe to call from any thread at any time, plus two
+//! consumers layered on top: the [`recorder`] flight recorder (bounded
+//! ring of recent events with postmortem dumps) and the [`attribution`]
+//! per-round critical-path analyzer (DESIGN.md §13):
 //!
 //! * **Tracing** ([`trace`]): spans with parent IDs, monotonic microsecond
 //!   timestamps, and key/value fields. Events are recorded through a
@@ -24,14 +27,18 @@
 //! teardown is tolerated, and the global sink is bounded (overflow events
 //! are counted, not grown without bound).
 
+pub mod attribution;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod trace;
 
+pub use attribution::{attribute, stage_of, AttrEvent, RunAttribution, Stage};
 pub use json::{escape_into, validate_json};
 pub use metrics::{
     global, validate_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
 };
+pub use recorder::RecorderConfig;
 pub use trace::{
     disable, drain, dropped_events, enable, enabled, flush_thread, instant, now_us, span,
     span_closed, span_with, write_chrome_trace, write_jsonl, Event, EventKind, FieldValue,

@@ -266,7 +266,7 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut m = self.lock();
         let entry = m
-            .entry(name.to_owned())
+            .entry(sanitize_metric_name(name))
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
         match entry {
             Metric::Counter(c) => Arc::clone(c),
@@ -279,7 +279,7 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut m = self.lock();
         let entry = m
-            .entry(name.to_owned())
+            .entry(sanitize_metric_name(name))
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
         match entry {
             Metric::Gauge(g) => Arc::clone(g),
@@ -292,7 +292,7 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut m = self.lock();
         let entry = m
-            .entry(name.to_owned())
+            .entry(sanitize_metric_name(name))
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())));
         match entry {
             Metric::Histogram(h) => Arc::clone(h),
@@ -357,6 +357,26 @@ enum MetricSnapshot {
     Gauge(f64),
     // Boxed: a snapshot carries the full bucket array, dwarfing the scalars.
     Histogram(Box<HistogramSnapshot>),
+}
+
+/// Escapes an arbitrary string into a valid Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, a leading digit
+/// gets a `_` prefix, and the empty string becomes `_`. Registration goes
+/// through this, so [`Registry::render_prometheus`] output always passes
+/// [`validate_prometheus`] whatever callers name their instruments.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
 }
 
 /// The process-wide registry all Stellaris instrumentation records into.
@@ -570,6 +590,66 @@ mod tests {
         let first = lines.iter().position(|l| l.contains("beta")).unwrap();
         let second = lines.iter().position(|l| l.contains("rounds")).unwrap();
         assert!(first < second);
+    }
+
+    #[test]
+    fn empty_histogram_roundtrips_through_exposition() {
+        // A registered-but-never-recorded histogram must still render a
+        // validator-clean series: one zero finite bucket, +Inf == _count
+        // == 0, _sum == 0.
+        let r = Registry::new();
+        r.histogram("stellaris_test_empty_us");
+        let text = r.render_prometheus();
+        validate_prometheus(&text).expect("empty histogram renders validly");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"stellaris_test_empty_us_bucket{le=\"0\"} 0"));
+        assert!(lines.contains(&"stellaris_test_empty_us_bucket{le=\"+Inf\"} 0"));
+        assert!(lines.contains(&"stellaris_test_empty_us_sum 0"));
+        assert!(lines.contains(&"stellaris_test_empty_us_count 0"));
+    }
+
+    #[test]
+    fn all_three_types_roundtrip_through_render_and_validate() {
+        let r = Registry::new();
+        r.counter("stellaris_test_total").add(u64::MAX);
+        r.gauge("stellaris_test_neg").set(-3.25);
+        r.gauge("stellaris_test_zero").set(0.0);
+        let h = r.histogram("stellaris_test_lat_us");
+        h.record(0);
+        h.record(1 << 20);
+        h.record(u64::MAX); // overflow bucket
+        let text = r.render_prometheus();
+        validate_prometheus(&text).expect("mixed registry renders validly");
+        // Values survive formatting exactly.
+        assert!(text.contains(&format!("stellaris_test_total {}", u64::MAX)));
+        assert!(text.contains("stellaris_test_neg -3.25"));
+        assert!(text.contains("stellaris_test_zero 0"));
+        assert!(text.contains("stellaris_test_lat_us_count 3"));
+        assert!(text.contains("stellaris_test_lat_us_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn hostile_metric_names_are_escaped_at_registration() {
+        let r = Registry::new();
+        // Spaces, dots, dashes, quotes, unicode, leading digit, empty.
+        r.counter("stellaris test-events.total").inc();
+        r.gauge("stellaris_\"depth\"").set(1.0);
+        r.histogram("1stellaris_µs").record(5);
+        r.counter("").inc();
+        let text = r.render_prometheus();
+        validate_prometheus(&text).expect("sanitized names validate");
+        assert!(text.contains("stellaris_test_events_total 1"));
+        assert!(text.contains("stellaris__depth_ 1"));
+        assert!(text.contains("_1stellaris__s_count 1"));
+        assert!(text.contains("\n_ 1"));
+        // Sanitization is applied on lookup too: the same hostile spelling
+        // resolves to the same instrument.
+        r.counter("stellaris test-events.total").inc();
+        assert_eq!(r.counter("stellaris_test_events_total").get(), 2);
+        // Pure-fn edge cases.
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
     }
 
     #[test]

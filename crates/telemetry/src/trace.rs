@@ -12,10 +12,11 @@
 use std::cell::RefCell;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use crate::json::escape_into;
+use crate::metrics::Counter;
 
 /// Events buffered per thread before a flush into the global sink.
 pub const FLUSH_THRESHOLD: usize = 256;
@@ -55,13 +56,34 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Acquire)
 }
 
+static LAST_NOW_US: AtomicU64 = AtomicU64::new(0);
+
 /// Microseconds since the trace epoch (first telemetry call or [`enable`]).
 ///
 /// This is the only clock the tracing layer uses; instrumented crates that
 /// must stay free of literal `Instant::now()` calls (lint rule L2) can read
 /// time through it.
+///
+/// The reading is clamped monotonic across threads via
+/// [`clamp_monotonic`]: `Instant` is monotonic per the platform contract,
+/// but suspend/resume quirks and cross-CPU TSC skew have historically
+/// produced small backward steps on real hosts. A backward step here would
+/// make `end - start` underflow in span accounting; the clamp makes that
+/// impossible by construction.
 pub fn now_us() -> u64 {
-    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+    let raw = u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX);
+    clamp_monotonic(&LAST_NOW_US, raw)
+}
+
+/// Clamps a clock reading to be monotonically non-decreasing with respect
+/// to every reading previously folded into `last`: returns
+/// `max(raw, previous readings)` and records `raw` into `last`.
+///
+/// Relaxed ordering suffices — the clamp only needs the per-atom
+/// modification order, not cross-variable synchronisation.
+pub fn clamp_monotonic(last: &AtomicU64, raw: u64) -> u64 {
+    let prev = last.fetch_max(raw, Ordering::Relaxed);
+    prev.max(raw)
 }
 
 /// A typed field value attached to a span or instant event.
@@ -187,10 +209,23 @@ fn lock_sink() -> std::sync::MutexGuard<'static, Vec<Event>> {
     sink().events.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Handle to the exported drop counter, resolved once so the overflow path
+/// never takes the registry lock more than the first time.
+fn dropped_total() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        crate::metrics::global().counter("stellaris_telemetry_dropped_events_total")
+    })
+}
+
 fn sink_push(batch: Vec<Event>) {
     if batch.is_empty() {
         return;
     }
+    // The flight recorder taps every flushed batch *before* the capacity
+    // check: its ring retains the most recent window even when the main
+    // sink has long since overflowed.
+    crate::recorder::observe_batch(&batch);
     let n = batch.len();
     let mut events = lock_sink();
     let room = SINK_CAPACITY.saturating_sub(events.len());
@@ -199,9 +234,11 @@ fn sink_push(batch: Vec<Event>) {
     } else {
         events.extend(batch.into_iter().take(room));
         drop(events);
-        sink()
-            .dropped
-            .fetch_add((n - room) as u64, Ordering::Relaxed);
+        let lost = (n - room) as u64;
+        sink().dropped.fetch_add(lost, Ordering::Relaxed);
+        // Surfaced as a Prometheus counter so silent trace loss shows up
+        // in every exposition, not just in-process queries.
+        dropped_total().add(lost);
     }
 }
 
@@ -495,6 +532,23 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], w: &mut W) -> io::Result<(
 mod tests {
     use super::*;
     use crate::json::validate_json;
+
+    // Touches only a local atomic, so it can run beside the global test.
+    #[test]
+    fn clamp_monotonic_never_steps_backwards() {
+        let last = AtomicU64::new(0);
+        assert_eq!(clamp_monotonic(&last, 10), 10);
+        assert_eq!(clamp_monotonic(&last, 17), 17);
+        // A backward clock step is absorbed: the reading holds at the
+        // high-water mark, so `end - start` can never underflow.
+        assert_eq!(clamp_monotonic(&last, 5), 17);
+        assert_eq!(clamp_monotonic(&last, 17), 17);
+        assert_eq!(clamp_monotonic(&last, 18), 18);
+        // And the real clock wrapper is itself non-decreasing.
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
 
     // The trace sink and enabled flag are process-global, so everything
     // touching them lives in ONE test (cargo test runs tests concurrently

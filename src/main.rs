@@ -173,6 +173,9 @@ fn cmd_train(args: &[String]) -> ExitCode {
         cfg.label()
     );
     let result = train(&cfg);
+    if let Some(path) = stellaris_obs::maybe_write_report(&cfg, &result) {
+        println!("run report: {}", path.display());
+    }
     println!("{}", TrainRow::CSV_HEADER);
     for row in &result.rows {
         println!("{}", row.to_csv());
