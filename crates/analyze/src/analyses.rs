@@ -42,6 +42,10 @@ pub fn rule_name(rule: &str) -> &'static str {
         "A5" => "atomics-ordering",
         "A6" => "float-reduction-order",
         "A7" => "unsafe-justification",
+        "A8" => "panic-reachability",
+        "A9" => "hot-alloc",
+        "A10" => "swallowed-error",
+        "A11" => "bounded-producer",
         _ => "unknown",
     }
 }

@@ -16,7 +16,7 @@ struct Entry {
     escapes: &'static str,
 }
 
-const ENTRIES: [Entry; 13] = [
+const ENTRIES: [Entry; 17] = [
     Entry {
         id: "L1",
         rationale: "Library crates must not panic: a panicking learner function takes \
@@ -155,6 +155,74 @@ const ENTRIES: [Entry; 13] = [
         escapes: "Write the `// SAFETY:` justification (an `unsafe impl`'s comment \
                   covers the `unsafe fn`s its trait contract requires); \
                   `lint:allow(A7): <why>` as a last resort.",
+    },
+    Entry {
+        id: "A8",
+        rationale: "A panic that unwinds out of a learner function kills its whole \
+                    serverless invocation: the slot is billed, the gradient is lost, \
+                    and the staleness bound absorbs a retry. A8 walks the call graph \
+                    from the invocation entry points (`Platform::invoke` family), \
+                    the orchestrator round loop (`train`), and the wire-decode \
+                    surfaces (`decode`/`decode_seq`/`from_bytes` — attacker-adjacent \
+                    once real sockets land) to every `unwrap`/`expect`/`panic!`-family \
+                    site, plus index expressions inside decode fns, and reports each \
+                    with a witness chain. `assert!` preconditions and release-mode \
+                    arithmetic are out of scope (see DESIGN.md §14); only uniquely \
+                    resolved call edges propagate, so name collisions cannot smear.",
+        example: "fn decode(buf: &[u8]) -> Msg {\n\
+                  let head = &buf[..4];  // A8: short frame panics mid-invocation",
+        escapes: "Return a typed error (`CodecError`, `TransportError`) and degrade; \
+                  justify truly-unreachable sites with `lint:allow(A8): <why>` on \
+                  the same or one of the three preceding lines (consumed at \
+                  extraction, so the workspace stays at zero suppressions).",
+    },
+    Entry {
+        id: "A9",
+        rationale: "The hot path (backward pass, packed GEMM, gradient accumulate, \
+                    exact-reserve encode) must not mint fresh allocations per step: \
+                    the PR 5 counting-allocator bench pins 3 allocs/step, and A9 \
+                    proves the same set statically by walking from the annotated hot \
+                    roots to every unconditional fresh allocation (`vec!`, \
+                    `collect`, `to_vec`, `Box::new`, `format!`, ..). Everything \
+                    reachable must be in the explicit allowlist, whose entry count a \
+                    test pins to the `arena_allocs` figure in BENCH_hotpath.json; a \
+                    stale entry is itself a finding, so the list only shrinks. \
+                    Capacity-reusing calls (`resize`, `reserve`, `extend`) are the \
+                    bench's job; the telemetry crate is a barrier.",
+        example: "fn backward_into(&self) {\n\
+                  let tmp = self.nodes.to_vec();  // A9: fresh alloc on the hot path",
+        escapes: "Reuse a caller-owned or arena buffer (`backward_into`, \
+                  `reuse_as_zeros`, `GradAccumulator::reset`); genuinely amortized \
+                  sites go in `ALLOC_ALLOWLIST` with a written reason — there is no \
+                  comment-level escape, the allowlist is the single budget.",
+    },
+    Entry {
+        id: "A10",
+        rationale: "On the retry/transport/fault paths a discarded `Result` is a \
+                    silently lost gradient, refund, or billing record: `let _ = ..;` \
+                    and statement-terminated `.ok();` acknowledge an error exists \
+                    and then drop it on the floor. Scope is deliberately narrow \
+                    (transport, fault, orchestrator, platform, queue files) so the \
+                    rule stays high-signal.",
+        example: "let _ = router.send(&msg);  // A10: a dropped frame vanishes",
+        escapes: "Handle or propagate the error, count it (`note_*` telemetry \
+                  hooks), or keep the value under a named `_binding`; \
+                  `lint:allow(A10): <why>` for provably best-effort paths.",
+    },
+    Entry {
+        id: "A11",
+        rationale: "Item-1 sharding multiplies gradient producers, so every edge \
+                    into a `GradientQueue`/recorder ring must be bounded *by \
+                    construction*, not by test luck: an unbounded queue under a \
+                    slow consumer is an OOM with a staleness bound attached. A11 \
+                    extends A3 to construction discipline: each first-party queue \
+                    constructor must be intrinsically bounded (`::bounded`) or \
+                    carry an explicit `// bound:` / `// shed:` policy comment on \
+                    the same or previous line.",
+        example: "let inner = VecDeque::new();  // A11: who bounds this queue?",
+        escapes: "Use `GradientQueue::bounded(cap)` (shed-oldest) or document the \
+                  invariant that bounds growth (`// bound: window ≤ k, evicted \
+                  below`); `lint:allow(A11): <why>` as a last resort.",
     },
 ];
 

@@ -5,7 +5,7 @@
 //! ([`token`]), masked source with comment/test tracking ([`source`]), and
 //! per-function concurrency facts ([`model`]) — assembles a workspace call
 //! graph with interprocedural lock/block/channel summaries ([`callgraph`]),
-//! and runs seven analyses ([`analyses`], [`dataflow`]):
+//! and runs eleven analyses ([`analyses`], [`dataflow`], [`reachability`]):
 //!
 //! * **A1 `lock-order`** — lock acquisition-order graph; cycles (including
 //!   through calls) are potential deadlocks.
@@ -22,6 +22,17 @@
 //!   numeric scopes.
 //! * **A7 `unsafe-justification`** — `unsafe` without `// SAFETY:`, and
 //!   `unsafe fn`s reached from taint-carrying callers.
+//! * **A8 `panic-reachability`** — panic sites (`unwrap`/`expect`/
+//!   `panic!`-family, decode indexing) reachable from serverless
+//!   invocation entry points, the orchestrator round loop, or wire-decode
+//!   surfaces, with witness chains.
+//! * **A9 `hot-alloc`** — unconditional fresh allocations reachable from
+//!   the annotated hot roots, checked against an explicit allowlist pinned
+//!   to the counting-allocator bench figure.
+//! * **A10 `swallowed-error`** — discarded `Result`s (`let _ =`, trailing
+//!   `.ok();`) on the retry/transport/fault paths.
+//! * **A11 `bounded-producer`** — queue/ring constructors that are neither
+//!   intrinsically bounded nor annotated with a shed/bound policy.
 //!
 //! Findings can be suppressed with a justified
 //! `// lint:allow(A1): <why>` comment (same syntax as `stellaris-lint`,
@@ -38,6 +49,7 @@ pub mod callgraph;
 pub mod dataflow;
 pub mod explain;
 pub mod model;
+pub mod reachability;
 pub mod report;
 pub mod source;
 pub mod token;
@@ -46,6 +58,9 @@ pub use analyses::{channel_topology, held_guard, lock_order, rule_name, Finding}
 pub use callgraph::{build_graph, summarize, CallGraph, Summary};
 pub use dataflow::{atomics_ordering, determinism_taint, float_reduction, unsafe_audit};
 pub use model::{model_file, FileModel, FnInfo};
+pub use reachability::{
+    alloc_reachability, bounded_producers, panic_reachability, swallowed_errors, ALLOC_ALLOWLIST,
+};
 pub use report::{render, Format};
 pub use source::{canonical_rule, parse_allows, Allows, SourceFile, KNOWN_RULES};
 
@@ -115,6 +130,10 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
     findings.extend(atomics_ordering(&all_fns));
     findings.extend(float_reduction(&all_fns));
     findings.extend(unsafe_audit(&models, &all_fns, &sums, &graph));
+    findings.extend(panic_reachability(&all_fns, &graph));
+    findings.extend(alloc_reachability(&all_fns, &graph));
+    findings.extend(swallowed_errors(&all_fns));
+    findings.extend(bounded_producers(&all_fns));
 
     let allows: HashMap<&str, Allows> = models
         .iter()

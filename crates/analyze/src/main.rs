@@ -3,15 +3,19 @@
 //! ```text
 //! stellaris-analyze [root] [--format human|json|sarif] [--out FILE]
 //!                   [--baseline FILE] [--write-baseline FILE]
-//!                   [--prune-baseline] [--explain RULE|all]
+//!                   [--prune-baseline] [--ratchet] [--explain RULE|all]
 //! ```
 //!
 //! Without `root`, analyzes the enclosing workspace. `--explain` prints the
 //! rationale/example/sanitizer documentation for one rule (or `all`) and
 //! exits without analyzing. `--prune-baseline` (with `--baseline`) rewrites
 //! the baseline file without entries that no longer match any finding.
+//! `--ratchet` (with `--baseline`) turns stale baseline entries from
+//! warnings into failures, so the baseline can only shrink: a fixed finding
+//! must be removed from the file, never silently resurrected.
 //! Exit codes: 0 when clean (or everything is baselined), 1 when
-//! unsuppressed findings remain, 2 on usage or I/O errors.
+//! unsuppressed findings remain (or, under `--ratchet`, when the baseline
+//! has stale entries), 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,12 +31,13 @@ struct Opts {
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     prune_baseline: bool,
+    ratchet: bool,
     explain: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: stellaris-analyze [root] [--format human|json|sarif] [--out FILE] \
-     [--baseline FILE] [--write-baseline FILE] [--prune-baseline] \
+     [--baseline FILE] [--write-baseline FILE] [--prune-baseline] [--ratchet] \
      [--explain RULE|all]"
 }
 
@@ -44,6 +49,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         baseline: None,
         write_baseline: None,
         prune_baseline: false,
+        ratchet: false,
         explain: None,
     };
     let mut it = args.iter();
@@ -66,6 +72,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.write_baseline = Some(PathBuf::from(v));
             }
             "--prune-baseline" => opts.prune_baseline = true,
+            "--ratchet" => opts.ratchet = true,
             "--explain" => {
                 let v = it.next().ok_or("--explain needs a rule id or `all`")?;
                 opts.explain = Some(v.clone());
@@ -109,13 +116,17 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("stellaris-analyze: unknown rule `{rule}` (try L1–L6, A1–A7, or `all`)");
+                eprintln!("stellaris-analyze: unknown rule `{rule}` (try L1–L6, A1–A11, or `all`)");
                 ExitCode::from(2)
             }
         };
     }
     if opts.prune_baseline && opts.baseline.is_none() {
         eprintln!("stellaris-analyze: --prune-baseline requires --baseline FILE");
+        return ExitCode::from(2);
+    }
+    if opts.ratchet && opts.baseline.is_none() {
+        eprintln!("stellaris-analyze: --ratchet requires --baseline FILE");
         return ExitCode::from(2);
     }
 
@@ -172,6 +183,7 @@ fn main() -> ExitCode {
 
     let mut findings = analysis.findings;
     let mut baselined = 0usize;
+    let mut stale_fatal = 0usize;
     if let Some(path) = &opts.baseline {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -200,6 +212,11 @@ fn main() -> ExitCode {
                 "stellaris-analyze: stale baseline entry (no longer reported): {}\t{}\t{}",
                 s.rule, s.file, s.message
             );
+        }
+        if opts.ratchet {
+            // Under the ratchet a stale entry is debt someone forgot to
+            // collect: the finding is fixed, so the baseline must shrink.
+            stale_fatal = stale.len();
         }
         if opts.prune_baseline {
             let matched = base.matched();
@@ -238,7 +255,13 @@ fn main() -> ExitCode {
         "{} file(s), {} function(s), {} suppressed, {} baselined, analyzed in {elapsed_ms:.1} ms",
         analysis.files, analysis.fns, analysis.suppressed, baselined
     );
-    if findings.is_empty() {
+    if stale_fatal > 0 {
+        eprintln!(
+            "stellaris-analyze: ratchet: {stale_fatal} stale baseline entr{} — run --prune-baseline and commit the shrunken file ({status})",
+            if stale_fatal == 1 { "y" } else { "ies" }
+        );
+        ExitCode::FAILURE
+    } else if findings.is_empty() {
         eprintln!("stellaris-analyze: clean ({status})");
         ExitCode::SUCCESS
     } else {

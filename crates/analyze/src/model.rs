@@ -264,6 +264,61 @@ pub struct UnsafeSite {
     pub has_safety: bool,
 }
 
+/// One potentially-panicking operation (A8).
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// What panics as written, e.g. `.unwrap()`, `panic!`, `index []`.
+    pub what: String,
+    /// Byte offset of the token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One unconditional fresh allocation (A9). Capacity-reusing calls
+/// (`resize`, `reserve`, `push`, `extend`) are deliberately absent: they
+/// are policed dynamically by the counting-allocator bench, while A9 pins
+/// the *fresh* allocations that can never amortize to zero.
+#[derive(Clone, Debug)]
+pub struct AllocSite {
+    /// Allocation kind, e.g. `vec!`, `to_vec`, `collect`, `Box::new`.
+    pub what: String,
+    /// Byte offset of the token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One swallowed-`Result` site (A10): `let _ = ..;` or a
+/// statement-terminated `.ok();` on the retry/transport/fault paths.
+#[derive(Clone, Debug)]
+pub struct SwallowSite {
+    /// The swallowing shape: `let _ =` or `.ok()`.
+    pub what: String,
+    /// Byte offset of the statement head.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One queue/ring constructor call (A11): every producer edge into a
+/// first-party queue must be bounded by construction or carry an explicit
+/// shed/bound policy comment.
+#[derive(Clone, Debug)]
+pub struct QueueCtorSite {
+    /// Constructor as written, e.g. `GradientQueue::new`.
+    pub ctor: String,
+    /// Intrinsically bounded constructor (`::bounded(..)`).
+    pub bounded: bool,
+    /// A `// bound:` / `// shed:` policy comment covers the site (same
+    /// line or the line above).
+    pub has_policy: bool,
+    /// Byte offset of the token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
 /// Everything the analyses need to know about one function.
 #[derive(Clone, Debug)]
 pub struct FnInfo {
@@ -302,6 +357,14 @@ pub struct FnInfo {
     pub atomics: Vec<AtomicSite>,
     /// Order-unstable float reductions (A6).
     pub reductions: Vec<ReduceSite>,
+    /// Potentially-panicking operations (A8).
+    pub panics: Vec<PanicSite>,
+    /// Unconditional fresh allocations (A9).
+    pub allocs: Vec<AllocSite>,
+    /// Swallowed-`Result` sites (A10).
+    pub swallows: Vec<SwallowSite>,
+    /// First-party queue/ring constructor calls (A11).
+    pub queue_ctors: Vec<QueueCtorSite>,
     /// Declared `unsafe fn` (A7 reachability).
     pub is_unsafe_fn: bool,
 }
@@ -491,6 +554,10 @@ fn raw_fns(
             taints: Vec::new(),
             atomics: Vec::new(),
             reductions: Vec::new(),
+            panics: Vec::new(),
+            allocs: Vec::new(),
+            swallows: Vec::new(),
+            queue_ctors: Vec::new(),
             is_unsafe_fn,
         });
     }
@@ -636,6 +703,13 @@ fn extract_facts(
     scan_taints(f, src, masked, b0, b1, nested, spans, maps);
     scan_atomics(f, src, masked, b0, b1, nested);
     scan_reductions(f, src, masked, b0, b1, nested, spans);
+
+    // Panic (A8), fresh-allocation (A9), swallowed-error (A10), and
+    // queue-constructor (A11) sites.
+    scan_panics(f, src, masked, b0, b1, nested);
+    scan_allocs(f, src, masked, b0, b1, nested);
+    scan_swallows(f, src, masked, b0, b1, nested, spans);
+    scan_queue_ctors(f, src, masked, b0, b1, nested);
 
     // Truncate named-guard ranges at `drop(binding)`.
     let drops = f.drops.clone();
@@ -1060,6 +1134,267 @@ fn scan_reductions(
         }
     }
     f.reductions.sort_by_key(|r| r.offset);
+}
+
+/// A `lint:allow(RULE): why` comment on the same line or up to three lines
+/// above consumes the site at extraction time (mirroring the `// SAFETY:`
+/// window), so a justified site never becomes a finding and the workspace
+/// stays at zero suppressions. Rules stack across separate comment lines
+/// because `parse_allows` reads one allow per line.
+fn allow_covers(src: &SourceFile, line: usize, rule: &str) -> bool {
+    let needle = format!("lint:allow({rule})");
+    (line.saturating_sub(3)..=line)
+        .any(|l| l >= 1 && src.comment_text(l).is_some_and(|c| c.contains(&needle)))
+}
+
+/// Always-panicking macros and panicking `Option`/`Result` projections
+/// (A8). `assert!`/`debug_assert!` are deliberately absent — they state
+/// intended preconditions and the debug family strips in release — and
+/// unchecked arithmetic overflow is out of scope (release builds wrap);
+/// see DESIGN.md §14.
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Short names of wire-decode functions where index expressions are also
+/// panic sites: once real sockets land, a short frame must not be able to
+/// take down a learner via `buf[..n]`.
+const DECODE_FN_NAMES: [&str; 3] = ["decode", "decode_seq", "from_bytes"];
+
+fn scan_panics(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+) {
+    let body = &masked[b0..b1];
+    let bytes = masked.as_bytes();
+    let skip = |at: usize| in_ranges(nested, at) || src.in_test(at);
+    for token in PANIC_TOKENS {
+        for rel in find_token(body, token) {
+            let at = b0 + rel;
+            if skip(at) || !boundary_ok(body, rel, token) {
+                continue;
+            }
+            let line = src.line_of(at);
+            if allow_covers(src, line, "A8") {
+                continue;
+            }
+            f.panics.push(PanicSite {
+                what: token.trim_end_matches('(').to_string(),
+                offset: at,
+                line,
+            });
+        }
+    }
+    let short = f.name.rsplit("::").next().unwrap_or(&f.name);
+    if DECODE_FN_NAMES.contains(&short) {
+        for (rel, _) in body.char_indices().filter(|&(_, c)| c == '[') {
+            let at = b0 + rel;
+            if skip(at) {
+                continue;
+            }
+            // Index position: the previous non-ws byte must end a value
+            // (identifier, `)`, `]`) — array literals/types, attributes,
+            // and `vec![` all fail this test.
+            let mut k = at;
+            while k > b0 && bytes[k - 1].is_ascii_whitespace() {
+                k -= 1;
+            }
+            if k == b0 {
+                continue;
+            }
+            let prev = bytes[k - 1];
+            if !(prev == b'_' || prev == b')' || prev == b']' || prev.is_ascii_alphanumeric()) {
+                continue;
+            }
+            let line = src.line_of(at);
+            if allow_covers(src, line, "A8") {
+                continue;
+            }
+            f.panics.push(PanicSite {
+                what: "index []".to_string(),
+                offset: at,
+                line,
+            });
+        }
+    }
+    f.panics.sort_by_key(|p| p.offset);
+}
+
+/// Unconditional fresh-allocation tokens (A9) as `(kind, token)` pairs.
+/// Capacity-reusing calls (`resize`, `reserve`, `extend`, `push`) are
+/// deliberately absent: the counting-allocator bench polices those
+/// dynamically; A9 pins fresh allocations that can never amortize away.
+const ALLOC_TOKENS: [(&str, &str); 13] = [
+    ("Vec::new", "Vec::new("),
+    ("VecDeque::new", "VecDeque::new("),
+    ("with_capacity", "::with_capacity("),
+    ("vec!", "vec!["),
+    ("Box::new", "Box::new("),
+    ("to_vec", ".to_vec()"),
+    ("collect", ".collect()"),
+    ("collect", ".collect::<"),
+    ("format!", "format!("),
+    ("to_owned", ".to_owned()"),
+    ("to_string", ".to_string()"),
+    ("String::new", "String::new("),
+    ("String::from", "String::from("),
+];
+
+fn scan_allocs(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+) {
+    let body = &masked[b0..b1];
+    let skip = |at: usize| in_ranges(nested, at) || src.in_test(at);
+    for (kind, token) in ALLOC_TOKENS {
+        for rel in find_token(body, token) {
+            let at = b0 + rel;
+            if skip(at) || !boundary_ok(body, rel, token) {
+                continue;
+            }
+            f.allocs.push(AllocSite {
+                what: kind.to_string(),
+                offset: at,
+                line: src.line_of(at),
+            });
+        }
+    }
+    f.allocs.sort_by_key(|a| a.offset);
+}
+
+/// File suffixes where A10 swallowed-error discipline applies: the PR 4
+/// retry/transport/fault paths, where a dropped `Result` silently loses a
+/// gradient, a refund, or a billing record.
+const A10_SCOPE: [&str; 5] = [
+    "/transport.rs",
+    "/fault.rs",
+    "/orchestrator.rs",
+    "/platform.rs",
+    "/queue.rs",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn scan_swallows(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+    spans: &[(usize, usize)],
+) {
+    if !A10_SCOPE.iter().any(|s| f.file.ends_with(s)) {
+        return;
+    }
+    let bytes = masked.as_bytes();
+    for &(s, e) in spans {
+        if e <= b0 || s >= b1 {
+            continue;
+        }
+        let s0 = s.max(b0);
+        if in_ranges(nested, s0) || src.in_test(s0) {
+            continue;
+        }
+        let span = &masked[s0..e.min(b1)];
+        let head = span.trim_start();
+        // `let _ = expr;` — the binding is exactly `_`, so a `Result` is
+        // discarded unread (`let _guard = ..` keeps the value alive and
+        // names intent; it does not match).
+        let discards = head
+            .strip_prefix("let ")
+            .map(|r| r.trim_start())
+            .and_then(|r| r.strip_prefix('_'))
+            .map(|r| r.trim_start())
+            .is_some_and(|r| r.starts_with('=') && !r.starts_with("=="));
+        if discards {
+            let line = src.line_of(s0);
+            if !allow_covers(src, line, "A10") {
+                f.swallows.push(SwallowSite {
+                    what: "let _ =".to_string(),
+                    offset: s0,
+                    line,
+                });
+            }
+            continue;
+        }
+        // Statement-terminated `.ok();` — the error is computed, then
+        // dropped. `.ok().map(..)` and other continuations are uses.
+        let trimmed = span.trim_end();
+        if trimmed.ends_with(".ok()") && e.min(b1) < bytes.len() && bytes[e.min(b1)] == b';' {
+            let at = s0 + trimmed.len() - ".ok()".len();
+            let line = src.line_of(at);
+            if !allow_covers(src, line, "A10") {
+                f.swallows.push(SwallowSite {
+                    what: ".ok()".to_string(),
+                    offset: at,
+                    line,
+                });
+            }
+        }
+    }
+    f.swallows.sort_by_key(|s| s.offset);
+}
+
+/// First-party queue / ring constructors A11 requires to be bounded by
+/// construction (`::bounded`) or annotated with a `// bound:` / `// shed:`
+/// policy comment.
+const QUEUE_CTOR_TOKENS: [&str; 6] = [
+    "GradientQueue::new(",
+    "GradientQueue::bounded(",
+    "BlockingQueue::new(",
+    "BlockingQueue::bounded(",
+    "VecDeque::new(",
+    "VecDeque::with_capacity(",
+];
+
+fn scan_queue_ctors(
+    f: &mut FnInfo,
+    src: &SourceFile,
+    masked: &str,
+    b0: usize,
+    b1: usize,
+    nested: &[(usize, usize)],
+) {
+    let body = &masked[b0..b1];
+    let skip = |at: usize| in_ranges(nested, at) || src.in_test(at);
+    for token in QUEUE_CTOR_TOKENS {
+        for rel in find_token(body, token) {
+            let at = b0 + rel;
+            if skip(at) || !boundary_ok(body, rel, token) {
+                continue;
+            }
+            let ctor = token.trim_end_matches('(').to_string();
+            let bounded = ctor.ends_with("::bounded");
+            let line = src.line_of(at);
+            let has_policy = (line.saturating_sub(1)..=line).any(|l| {
+                l >= 1
+                    && src
+                        .comment_text(l)
+                        .is_some_and(|c| c.contains("bound:") || c.contains("shed:"))
+            });
+            f.queue_ctors.push(QueueCtorSite {
+                ctor,
+                bounded,
+                has_policy,
+                offset: at,
+                line,
+            });
+        }
+    }
+    f.queue_ctors.sort_by_key(|q| q.offset);
 }
 
 /// Non-test `unsafe` occurrences with their `// SAFETY:` status. An
@@ -1585,6 +1920,60 @@ mod tests {
         assert!(outer.acquires.is_empty(), "inner's lock is not outer's");
         let inner = m.fns.iter().find(|f| f.name.ends_with("inner")).unwrap();
         assert_eq!(inner.acquires.len(), 1);
+    }
+
+    #[test]
+    fn panic_sites_respect_boundaries_and_allows() {
+        let (_, m) = model(
+            "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.unwrap_or(0);\n    // lint:allow(A8): fixture justification\n    let c = x.expect(\"set\");\n    a + b + c\n}\n",
+        );
+        let p = &m.fns[0].panics;
+        assert_eq!(p.len(), 1, "{p:?}");
+        assert_eq!(p[0].what, ".unwrap()");
+    }
+
+    #[test]
+    fn decode_fns_flag_index_expressions_but_other_fns_do_not() {
+        let (_, m) = model(
+            "fn decode(buf: &[u8]) -> u32 {\n    let head = &buf[..4];\n    let arr = [0u8; 4];\n    arr[0] as u32 + head.len() as u32\n}\nfn helper(buf: &[u8]) -> u8 {\n    buf[0]\n}\n",
+        );
+        let dec = m.fns.iter().find(|f| f.name.ends_with("decode")).unwrap();
+        let idx: Vec<_> = dec.panics.iter().filter(|p| p.what == "index []").collect();
+        assert_eq!(idx.len(), 2, "{:?}", dec.panics);
+        let other = m.fns.iter().find(|f| f.name.ends_with("helper")).unwrap();
+        assert!(other.panics.is_empty(), "{:?}", other.panics);
+    }
+
+    #[test]
+    fn alloc_sites_track_fresh_allocations_only() {
+        let (_, m) = model(
+            "fn f(v: &mut Vec<f32>, s: &[f32]) -> Vec<f32> {\n    v.resize(8, 0.0);\n    v.extend_from_slice(s);\n    let w = s.to_vec();\n    let mut out = Vec::with_capacity(8);\n    out.push(1.0);\n    w\n}\n",
+        );
+        let kinds: Vec<&str> = m.fns[0].allocs.iter().map(|a| a.what.as_str()).collect();
+        assert_eq!(kinds, ["to_vec", "with_capacity"]);
+    }
+
+    #[test]
+    fn swallowed_results_only_in_scope_files() {
+        let text = "fn f(rx: &Receiver) {\n    let _ = rx.recv();\n    rx.recv().ok();\n    let _named = rx.recv();\n    rx.recv().ok().map(|v| v);\n}\n";
+        let src = SourceFile::parse(text);
+        let m = model_file("crates/x/src/transport.rs", &src);
+        let what: Vec<&str> = m.fns[0].swallows.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(what, ["let _ =", ".ok()"]);
+        let m2 = model_file("crates/x/src/sample.rs", &src);
+        assert!(m2.fns[0].swallows.is_empty());
+    }
+
+    #[test]
+    fn queue_ctors_record_bound_and_policy() {
+        let (_, m) = model(
+            "fn f() {\n    let a = GradientQueue::bounded(64);\n    // bound: window of k, evicted on push\n    let b = VecDeque::with_capacity(8);\n\n\n    let c = BlockingQueue::new();\n    use_all(a, b, c);\n}\n",
+        );
+        let q = &m.fns[0].queue_ctors;
+        assert_eq!(q.len(), 3, "{q:?}");
+        assert!(q[0].bounded && q[0].ctor == "GradientQueue::bounded");
+        assert!(q[1].has_policy && !q[1].bounded);
+        assert!(!q[2].bounded && !q[2].has_policy, "{q:?}");
     }
 
     #[test]

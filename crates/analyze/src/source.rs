@@ -303,8 +303,8 @@ pub fn boundary_ok(hay: &str, at: usize, token: &str) -> bool {
 }
 
 /// Every rule either tool can emit or suppress: the linter's L1–L6 plus the
-/// analyzer's A1–A7. One registry so `lint:allow(A2)` parses in both tools.
-pub const KNOWN_RULES: [(&str, &str); 13] = [
+/// analyzer's A1–A11. One registry so `lint:allow(A2)` parses in both tools.
+pub const KNOWN_RULES: [(&str, &str); 17] = [
     ("L1", "panic-freedom"),
     ("L2", "determinism"),
     ("L3", "lock-discipline"),
@@ -318,6 +318,10 @@ pub const KNOWN_RULES: [(&str, &str); 13] = [
     ("A5", "atomics-ordering"),
     ("A6", "float-reduction-order"),
     ("A7", "unsafe-justification"),
+    ("A8", "panic-reachability"),
+    ("A9", "hot-alloc"),
+    ("A10", "swallowed-error"),
+    ("A11", "bounded-producer"),
 ];
 
 /// Parses `L1` / `l1` / `panic-freedom` style spellings to the canonical id.

@@ -1,6 +1,6 @@
 //! Seeded-hazard fixtures: the analyzer must flag every hazard class
-//! (A1–A3 concurrency, A4–A7 dataflow) and stay silent on the clean twin
-//! of each shape.
+//! (A1–A3 concurrency, A4–A7 dataflow, A8–A11 reachability/discipline)
+//! and stay silent on the clean twin of each shape.
 //!
 //! Fixture sources live under `tests/fixtures/` and are fed to the analyzer
 //! with synthetic in-scope paths; they are never compiled.
@@ -17,6 +17,11 @@ const RELAXED_FLAG_PAIR: &str = include_str!("fixtures/relaxed_flag_pair.rs");
 const HASHMAP_REDUCE: &str = include_str!("fixtures/hashmap_reduce.rs");
 const UNSAFE_NO_SAFETY: &str = include_str!("fixtures/unsafe_no_safety.rs");
 const CLEAN_DATAFLOW: &str = include_str!("fixtures/clean_dataflow.rs");
+const PANIC_IN_INVOKE: &str = include_str!("fixtures/panic_in_invoke.rs");
+const ALLOC_IN_HOT: &str = include_str!("fixtures/alloc_in_hot.rs");
+const SWALLOWED_ERR: &str = include_str!("fixtures/swallowed_err.rs");
+const UNBOUNDED_PRODUCER: &str = include_str!("fixtures/unbounded_producer.rs");
+const CLEAN_PANICFREE: &str = include_str!("fixtures/clean_panicfree.rs");
 
 fn run_one(path: &str, text: &str) -> Analysis {
     analyze_sources(&[(path.to_string(), text.to_string())])
@@ -225,7 +230,132 @@ fn clean_fixture_is_silent() {
 }
 
 #[test]
-fn all_fixtures_together_yield_all_seven_rules() {
+fn panics_reachable_from_invoke_and_decode_roots_are_flagged() {
+    // Exactly three A8: the unwrap one hop from `Platform::invoke`, the
+    // expect two hops away, and the raw index inside the decode root.
+    let a = run_one("crates/fx/src/panic_in_invoke.rs", PANIC_IN_INVOKE);
+    assert_eq!(rules(&a), ["A8"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 3, "{:#?}", a.findings);
+    let unwrap = a
+        .findings
+        .iter()
+        .find(|f| f.message.contains("`.unwrap()`"))
+        .expect("unwrap finding");
+    assert!(
+        unwrap
+            .message
+            .contains("serverless invocation root `Platform::invoke`")
+            && unwrap.message.contains("via parse_header"),
+        "witness names root and chain: {}",
+        unwrap.message
+    );
+    let expect = a
+        .findings
+        .iter()
+        .find(|f| f.message.contains("`.expect`"))
+        .expect("expect finding");
+    assert!(
+        expect.message.contains("`panic_in_invoke::finish`")
+            && expect.message.contains("via finish"),
+        "{}",
+        expect.message
+    );
+    let index = a
+        .findings
+        .iter()
+        .find(|f| f.message.contains("`index []`"))
+        .expect("index finding");
+    assert!(
+        index.message.contains("wire-decode root `Frame::decode`"),
+        "{}",
+        index.message
+    );
+}
+
+#[test]
+fn hot_path_allocation_is_flagged_with_its_chain() {
+    // Exactly one A9: the `collect` hidden behind `scale`; the scalar
+    // helper on the same path contributes nothing.
+    let a = run_one("crates/nn/src/alloc_in_hot.rs", ALLOC_IN_HOT);
+    assert_eq!(rules(&a), ["A9"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 1, "{:#?}", a.findings);
+    let f = &a.findings[0];
+    assert!(
+        f.message.contains("`collect` in `alloc_in_hot::scale`")
+            && f.message.contains("hot root `GradAccumulator::accumulate`")
+            && f.message.contains("via scale")
+            && f.message.contains("not in the A9 allowlist"),
+        "{}",
+        f.message
+    );
+}
+
+#[test]
+fn swallowed_results_on_the_transport_path_are_flagged() {
+    // Exactly two A10 (`let _ =` and `.ok();`); the propagating and
+    // named-binding twins stay silent. The fixture rides a transport path
+    // name because A10 is scoped to retry/transport/fault files.
+    let a = run_one("crates/fx/src/transport.rs", SWALLOWED_ERR);
+    assert_eq!(rules(&a), ["A10"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 2, "{:#?}", a.findings);
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("`let _ =`") && f.message.contains("send_frame")),
+        "{:#?}",
+        a.findings
+    );
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("`.ok()`") && f.message.contains("flush")),
+        "{:#?}",
+        a.findings
+    );
+    // Out of the scoped path set, the same source is silent.
+    let out = run_one("crates/fx/src/sample.rs", SWALLOWED_ERR);
+    assert!(
+        out.findings.iter().all(|f| f.rule != "A10"),
+        "{:#?}",
+        out.findings
+    );
+}
+
+#[test]
+fn unbounded_producers_are_flagged_and_bounded_ctor_is_not() {
+    // Exactly two A11: the raw `VecDeque::new` and the `GradientQueue::new`
+    // without a policy comment; `GradientQueue::bounded` is clean.
+    let a = run_one("crates/fx/src/unbounded_producer.rs", UNBOUNDED_PRODUCER);
+    assert_eq!(rules(&a), ["A11"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 2, "{:#?}", a.findings);
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("`VecDeque::new`") && f.message.contains("Stream::open")),
+        "{:#?}",
+        a.findings
+    );
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.message.contains("`GradientQueue::new`")
+                && f.message.contains("open_gradient_stream")),
+        "{:#?}",
+        a.findings
+    );
+}
+
+#[test]
+fn clean_panicfree_twin_is_silent() {
+    // Total parsing, checked decode, in-place accumulate, annotated ring:
+    // nothing for A8–A11, with zero suppressions.
+    let a = run_one("crates/fx/src/clean_panicfree.rs", CLEAN_PANICFREE);
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
+    assert_eq!(a.suppressed, 0, "clean without suppressions");
+}
+
+#[test]
+fn all_fixtures_together_yield_all_eleven_rules() {
     let files = vec![
         ("crates/fx/src/ab_ba.rs".to_string(), AB_BA.to_string()),
         (
@@ -257,15 +387,39 @@ fn all_fixtures_together_yield_all_seven_rules() {
             "crates/nn/src/clean_dataflow.rs".to_string(),
             CLEAN_DATAFLOW.to_string(),
         ),
+        (
+            "crates/fx/src/panic_in_invoke.rs".to_string(),
+            PANIC_IN_INVOKE.to_string(),
+        ),
+        (
+            "crates/nn/src/alloc_in_hot.rs".to_string(),
+            ALLOC_IN_HOT.to_string(),
+        ),
+        (
+            "crates/fx/src/transport.rs".to_string(),
+            SWALLOWED_ERR.to_string(),
+        ),
+        (
+            "crates/fx/src/unbounded_producer.rs".to_string(),
+            UNBOUNDED_PRODUCER.to_string(),
+        ),
+        (
+            "crates/fx/src/clean_panicfree.rs".to_string(),
+            CLEAN_PANICFREE.to_string(),
+        ),
     ];
     let a = analyze_sources(&files);
     let r = rules(&a);
-    assert_eq!(r, ["A1", "A2", "A3", "A4", "A5", "A6", "A7"], "{r:?}");
+    assert_eq!(
+        r,
+        ["A1", "A10", "A11", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9"],
+        "{r:?}"
+    );
     // The clean files contribute nothing even with the whole set in view.
     assert!(
-        a.findings
-            .iter()
-            .all(|f| !f.file.ends_with("clean.rs") && !f.file.ends_with("clean_dataflow.rs")),
+        a.findings.iter().all(|f| !f.file.ends_with("clean.rs")
+            && !f.file.ends_with("clean_dataflow.rs")
+            && !f.file.ends_with("clean_panicfree.rs")),
         "{:#?}",
         a.findings
     );

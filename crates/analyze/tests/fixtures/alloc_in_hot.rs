@@ -1,0 +1,27 @@
+//! Seeded A9: a fresh allocation reachable from an annotated hot root,
+//! hidden one call away. Allocation-free helpers on the same path must
+//! stay silent.
+
+pub struct GradAccumulator {
+    buf: Vec<f32>,
+}
+
+impl GradAccumulator {
+    /// Hot root: aggregation accumulate must stay allocation-free.
+    pub fn accumulate(&mut self, grads: &[f32]) {
+        let scaled = scale(grads);
+        for (b, s) in self.buf.iter_mut().zip(scaled.iter()) {
+            *b += apply_clip(*s);
+        }
+    }
+}
+
+/// Allocates a fresh vector per call — the seeded hazard.
+fn scale(grads: &[f32]) -> Vec<f32> {
+    grads.iter().map(|g| g * 0.5).collect()
+}
+
+/// Pure scalar math: nothing for A9 to report here.
+fn apply_clip(v: f32) -> f32 {
+    v.clamp(-1.0, 1.0)
+}

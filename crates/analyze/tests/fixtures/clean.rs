@@ -48,6 +48,7 @@ pub fn produce_and_consume() -> u64 {
 
 /// The queue is drained as well as filled: bounded in steady state.
 pub fn fill_and_drain(batches: &[u64]) -> u64 {
+    // bound: drained to empty in the same call that fills it.
     let backlog = BlockingQueue::new();
     for &b in batches {
         backlog.push(b);

@@ -1,0 +1,38 @@
+//! Seeded A8: panic sites reachable from a serverless invocation root and
+//! from a wire-decode surface. The analyzer must report each with a
+//! witness chain naming the root.
+
+pub struct Platform {
+    warm: u64,
+}
+
+impl Platform {
+    /// Invocation root: everything this reaches must be panic-free.
+    pub fn invoke(&self, payload: &[u8]) -> u64 {
+        let parsed = parse_header(payload);
+        finish(parsed) + self.warm
+    }
+}
+
+/// Reached from `invoke`: the unwrap is a seeded hazard.
+fn parse_header(payload: &[u8]) -> u64 {
+    let first = payload.first().copied().unwrap();
+    u64::from(first)
+}
+
+/// Also reached from `invoke`, through a second hop.
+fn finish(v: u64) -> u64 {
+    v.checked_add(1).expect("header value overflow")
+}
+
+pub struct Frame {
+    pub len: u32,
+}
+
+impl Frame {
+    /// Wire-decode root: raw-byte indexing may panic on a short frame.
+    pub fn decode(bytes: &[u8]) -> Frame {
+        let len = u32::from(bytes[0]);
+        Frame { len }
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded A10: discarded `Result`s on a transport path (this fixture is
+//! fed to the analyzer as `crates/fx/src/transport.rs`). The handled and
+//! named-binding twins must stay silent.
+
+pub struct Link {
+    drops: u64,
+}
+
+impl Link {
+    /// Fallible delivery; the error carries the reason the frame was lost.
+    pub fn send(&self, v: u64) -> Result<(), String> {
+        if v % (self.drops + 1) == 0 {
+            return Err(String::from("frame dropped"));
+        }
+        Ok(())
+    }
+}
+
+/// Seeded: `let _ =` makes the delivery failure vanish.
+pub fn send_frame(link: &Link) {
+    let _ = link.send(7);
+}
+
+/// Seeded: a statement-terminated `.ok()` swallows the error too.
+pub fn flush(link: &Link) {
+    link.send(9).ok();
+}
+
+/// Clean twin: the error is propagated to the caller.
+pub fn send_checked(link: &Link) -> Result<(), String> {
+    link.send(11)
+}
+
+/// Clean twin: a named `_`-prefixed binding is a kept value, not a swallow.
+pub fn send_with_backoff(link: &Link) -> u64 {
+    let _backoff = link.send(13);
+    3
+}

@@ -1,0 +1,31 @@
+//! Seeded A11: queue constructions with neither an intrinsic cap nor a
+//! documented policy. The intrinsically-capped ctor stays silent.
+
+use std::collections::VecDeque;
+
+pub struct Stream {
+    backlog: VecDeque<u64>,
+}
+
+impl Stream {
+    /// Seeded: the backlog grows without limit and says nothing about it.
+    pub fn open() -> Self {
+        Self {
+            backlog: VecDeque::new(),
+        }
+    }
+
+    pub fn push(&mut self, v: u64) {
+        self.backlog.push_back(v);
+    }
+}
+
+/// Seeded: an unbounded gradient queue on the aggregation path.
+pub fn open_gradient_stream() -> GradientQueue<u64> {
+    GradientQueue::new()
+}
+
+/// Clean twin: `::bounded` carries its own shed-oldest policy.
+pub fn open_capped_stream() -> GradientQueue<u64> {
+    GradientQueue::bounded(64)
+}

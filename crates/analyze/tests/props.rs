@@ -81,3 +81,89 @@ proptest! {
         prop_assert_eq!(mask(&plain), plain);
     }
 }
+
+// ---------------------------------------------------------------------------
+// A9 alloc-site extractor
+// ---------------------------------------------------------------------------
+
+use stellaris_analyze::model_file;
+use stellaris_analyze::SourceFile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn alloc_extractor_counts_exactly_the_planted_sites(
+        n_vec in 0usize..6,
+        n_fmt in 0usize..6,
+        n_box in 0usize..6,
+    ) {
+        let mut body = String::new();
+        for i in 0..n_vec {
+            body.push_str(&format!("    let v{i} = vec![{i}u64; 4];\n"));
+        }
+        for i in 0..n_fmt {
+            body.push_str(&format!("    let s{i} = format!(\"x{i}\");\n"));
+        }
+        for i in 0..n_box {
+            body.push_str(&format!("    let b{i} = Box::new({i}u64);\n"));
+        }
+        let text = format!("pub fn hot() {{\n{body}    let total = 0u64;\n}}\n");
+        let src = SourceFile::parse(&text);
+        let m = model_file("crates/x/src/a.rs", &src);
+        let f = m.fns.iter().find(|f| f.name.ends_with("hot")).expect("fn modeled");
+        let count = |kind: &str| f.allocs.iter().filter(|a| a.what == kind).count();
+        prop_assert_eq!(count("vec!"), n_vec);
+        prop_assert_eq!(count("format!"), n_fmt);
+        prop_assert_eq!(count("Box::new"), n_box);
+        prop_assert_eq!(f.allocs.len(), n_vec + n_fmt + n_box);
+    }
+
+    #[test]
+    fn alloc_tokens_in_comments_and_strings_are_invisible(n in 1usize..6) {
+        let mut body = String::new();
+        for i in 0..n {
+            body.push_str(&format!("    // vec![0; {i}] Box::new(x) .collect() Vec::new()\n"));
+            body.push_str(&format!("    let s{i} = \"format!(y) .to_vec() String::new()\";\n"));
+        }
+        let text = format!("pub fn quiet() {{\n{body}}}\n");
+        let src = SourceFile::parse(&text);
+        let m = model_file("crates/x/src/a.rs", &src);
+        let f = m.fns.iter().find(|f| f.name.ends_with("quiet")).expect("fn modeled");
+        prop_assert!(f.allocs.is_empty(), "{:?}", f.allocs);
+    }
+
+    #[test]
+    fn alloc_sites_come_back_sorted_with_true_lines(
+        order in proptest::collection::vec(0usize..3, 1..12),
+    ) {
+        // Interleave the three alloc shapes in an arbitrary order; the
+        // extractor must report them sorted by offset, with each line
+        // number pointing at a line that really contains the token.
+        let shapes = ["    let a = Vec::new();\n",
+                      "    let b = x.to_vec();\n",
+                      "    let c = y.to_string();\n"];
+        let body: String = order.iter().map(|&i| shapes[i]).collect();
+        let text = format!("pub fn mixed() {{\n{body}}}\n");
+        let src = SourceFile::parse(&text);
+        let m = model_file("crates/x/src/a.rs", &src);
+        let f = m.fns.iter().find(|f| f.name.ends_with("mixed")).expect("fn modeled");
+        prop_assert_eq!(f.allocs.len(), order.len());
+        let lines: Vec<&str> = text.lines().collect();
+        let mut prev = 0usize;
+        for a in &f.allocs {
+            prop_assert!(a.offset >= prev, "sorted by offset");
+            prev = a.offset;
+            let line_text = lines[a.line - 1];
+            let token = match a.what.as_str() {
+                "Vec::new" => "Vec::new(",
+                "to_vec" => ".to_vec()",
+                other => {
+                    prop_assert_eq!(other, "to_string");
+                    ".to_string()"
+                }
+            };
+            prop_assert!(line_text.contains(token), "line {} lacks {}: {}", a.line, token, line_text);
+        }
+    }
+}

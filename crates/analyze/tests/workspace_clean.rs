@@ -32,6 +32,67 @@ fn workspace_has_zero_unsuppressed_findings() {
 }
 
 #[test]
+fn a9_allowlist_matches_the_bench_figure_and_names_live_fns() {
+    // The A9 allowlist is the analyzer-side mirror of the 3-allocs/step
+    // figure the counting-allocator bench records: one entry per sanctioned
+    // hot-path allocation. If either side moves, this test points at the
+    // other.
+    use stellaris_analyze::ALLOC_ALLOWLIST;
+    let root = root();
+    let bench = std::fs::read_to_string(root.join("BENCH_hotpath.json")).expect("bench file");
+    let needle = "\"arena_allocs\":";
+    let counts: Vec<usize> = bench
+        .match_indices(needle)
+        .map(|(i, _)| {
+            bench[i + needle.len()..]
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("arena_allocs is an integer")
+        })
+        .collect();
+    assert!(!counts.is_empty(), "bench file records arena_allocs");
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "all models agree on the allocs/step figure: {counts:?}"
+    );
+    assert_eq!(
+        ALLOC_ALLOWLIST.len(),
+        counts[0],
+        "A9 allowlist must have exactly one entry per sanctioned alloc/step"
+    );
+
+    // Rename protection: the analyzer only reports an allowlist entry as
+    // stale when its function is in the analyzed set (so fixture subsets
+    // stay quiet); this test closes the gap by requiring every entry to
+    // name a live workspace function that still performs that allocation.
+    let mut rels = Vec::new();
+    stellaris_analyze::collect_rs_files(&root, &root, &mut rels).expect("walk");
+    rels.sort();
+    let mut fns = Vec::new();
+    for rel in rels {
+        if !stellaris_analyze::in_analysis_scope(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(root.join(&rel)).expect("read");
+        let src = stellaris_analyze::SourceFile::parse(&text);
+        fns.extend(stellaris_analyze::model_file(&rel, &src).fns);
+    }
+    for (fname, kind, why) in ALLOC_ALLOWLIST {
+        let f = fns
+            .iter()
+            .find(|f| f.name == fname)
+            .unwrap_or_else(|| panic!("allowlist names `{fname}` ({why}) but no such fn exists"));
+        assert!(
+            f.allocs.iter().any(|a| a.what == kind),
+            "allowlist sanctions `{kind}` in `{fname}` but the fn no longer allocates that way"
+        );
+    }
+}
+
+#[test]
 fn seeded_hazard_on_top_of_workspace_is_caught() {
     // Make sure a real regression in first-party code would fail the gate:
     // re-analyze the workspace plus one seeded AB/BA file.

@@ -133,6 +133,7 @@ impl Codec for String {
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
         let len = u32::decode(buf)? as usize;
         need(buf, len)?;
+        // lint:allow(A8): `need(buf, len)` on the previous line proves `buf.len() >= len`
         let s = std::str::from_utf8(&buf[..len])
             .map_err(|_| CodecError::Corrupt("utf8"))?
             .to_owned();

@@ -40,6 +40,8 @@ impl<T> BlockingQueue<T> {
     /// Creates an empty, open queue.
     pub fn new() -> Self {
         Self {
+            // Task queues are refilled once per round, one entry per worker.
+            // bound: depth never exceeds the round's worker count.
             inner: Mutex::new(VecDeque::new()),
             cond: Condvar::new(),
             closed: AtomicBool::new(false),
@@ -136,12 +138,17 @@ pub struct GradientQueue<T> {
     inner: Mutex<VecDeque<(T, u64)>>,
     cond: Condvar,
     closed: AtomicBool,
+    /// Depth cap; `None` means unbounded (see [`Self::bounded`]).
+    cap: Option<usize>,
+    /// Payloads shed (oldest-first) by pushes against a full bounded queue.
+    shed: AtomicU64,
     /// Consumer-published aggregation clock (see [`Self::advance_clock`]);
     /// lets dequeues compute per-gradient staleness without reaching into
     /// the parameter server.
     clock: AtomicU64,
     enqueued: Arc<Counter>,
     dequeued: Arc<Counter>,
+    shed_total: Arc<Counter>,
     depth: Arc<Gauge>,
     staleness_hist: Arc<Histogram>,
 }
@@ -153,19 +160,48 @@ impl<T> Default for GradientQueue<T> {
 }
 
 impl<T> GradientQueue<T> {
-    /// Creates an empty, open queue.
+    /// Creates an empty, open, unbounded queue.
     pub fn new() -> Self {
+        Self::with_cap(None)
+    }
+
+    /// Creates an empty, open queue that holds at most `cap` payloads
+    /// (clamped to ≥ 1). A push against a full queue sheds the *oldest*
+    /// payload — the most stale gradient, the one aggregation weights least
+    /// — so producers never block and memory stays bounded however many
+    /// learners fan in. Sheds are counted ([`Self::shed_count`]) and
+    /// exported as `stellaris_cache_queue_shed_total`.
+    pub fn bounded(cap: usize) -> Self {
+        Self::with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap(cap: Option<usize>) -> Self {
         let reg = stellaris_telemetry::global();
         Self {
+            // `new()` callers opt out explicitly and carry their own policy.
+            // bound: capacity is enforced in `push` (shed-oldest at `cap`).
             inner: Mutex::new(VecDeque::new()),
             cond: Condvar::new(),
             closed: AtomicBool::new(false),
+            cap,
+            shed: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             enqueued: reg.counter("stellaris_cache_queue_enqueued_total"),
             dequeued: reg.counter("stellaris_cache_queue_dequeued_total"),
+            shed_total: reg.counter("stellaris_cache_queue_shed_total"),
             depth: reg.gauge("stellaris_cache_queue_depth"),
             staleness_hist: reg.histogram("stellaris_cache_queue_staleness"),
         }
+    }
+
+    /// The depth cap, if this queue was built with [`Self::bounded`].
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// How many payloads have been shed by pushes against a full queue.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Publishes the consumer's aggregation clock. Dequeues histogram each
@@ -189,12 +225,23 @@ impl<T> GradientQueue<T> {
         if self.closed.load(Ordering::Acquire) {
             return;
         }
-        let depth = {
+        let (depth, shed) = {
             let mut q = self.inner.lock();
+            let mut shed = false;
+            if let Some(cap) = self.cap {
+                if q.len() >= cap {
+                    q.pop_front();
+                    shed = true;
+                }
+            }
             q.push_back((item, base_version));
-            q.len()
+            (q.len(), shed)
         };
         self.cond.notify_one();
+        if shed {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.shed_total.inc();
+        }
         self.enqueued.inc();
         // lint:allow(L4): queue depths are tiny, exact in f64
         self.depth.set(depth as f64);
@@ -442,6 +489,42 @@ mod tests {
                                                  // same global histogram, so only a monotonic bound is safe here.
         let h = stellaris_telemetry::global().histogram("stellaris_cache_queue_staleness");
         assert!(h.count() >= before + 2);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest_on_overflow() {
+        let q = GradientQueue::bounded(2);
+        assert_eq!(q.capacity(), Some(2));
+        q.push("a", 0);
+        q.push("b", 1);
+        assert_eq!(q.shed_count(), 0);
+        q.push("c", 2); // full: "a" (the stalest payload) is shed
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.pop(), Some(("b", 1)));
+        assert_eq!(q.pop(), Some(("c", 2)));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_clamps_capacity_to_one() {
+        let q = GradientQueue::bounded(0);
+        assert_eq!(q.capacity(), Some(1));
+        q.push(1u8, 0);
+        q.push(2u8, 1);
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.pop(), Some((2, 1)));
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let q = GradientQueue::new();
+        assert_eq!(q.capacity(), None);
+        for i in 0..1000u64 {
+            q.push(i, i);
+        }
+        assert_eq!(q.len(), 1000);
+        assert_eq!(q.shed_count(), 0);
     }
 
     #[test]

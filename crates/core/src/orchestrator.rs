@@ -45,6 +45,13 @@ use crate::truncation::RatioBoard;
 /// Cache key under which the canonical policy snapshot is published.
 pub const POLICY_KEY: &str = "policy:latest";
 
+/// Reads the published policy snapshot, mapping a missing or corrupt frame
+/// (fault injection can corrupt stored bytes) to `None` so callers degrade
+/// the wave instead of panicking mid-round.
+fn read_snapshot(cache: &Cache) -> Option<PolicySnapshot> {
+    cache.get_obj(POLICY_KEY).ok()
+}
+
 /// Everything a finished training job reports.
 #[derive(Clone, Debug)]
 pub struct TrainResult {
@@ -214,9 +221,18 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         LearnerAutoscaler::pinned(cfg.max_learners.max(1))
     });
 
+    // bound: refilled once per round, ≤ one batch per actor invocation.
     let traj_q: Arc<BlockingQueue<SampleBatch>> = Arc::new(BlockingQueue::new());
+    // bound: mirrors traj_q one-to-one within a round.
     let work_q: Arc<BlockingQueue<Arc<SampleBatch>>> = Arc::new(BlockingQueue::new());
-    let grad_q: Arc<GradientQueue<String>> = Arc::new(GradientQueue::new());
+    // Generous cap: learners produce at most one gradient apiece per round
+    // and the aggregator drains every round, so the shed path only fires if
+    // a consumer wedges — in which case dropping the *oldest* (stalest)
+    // gradient is exactly what the staleness-aware rule would discount
+    // anyway. Under normal operation no payload is ever shed, so bounding
+    // the queue does not perturb same-seed reproducibility.
+    let grad_cap = 8 * cfg.max_learners.max(8);
+    let grad_q: Arc<GradientQueue<String>> = Arc::new(GradientQueue::bounded(grad_cap));
     let stop = Arc::new(AtomicBool::new(false));
     let steps = Arc::new(AtomicU64::new(0));
     // Actors sample up to the current round's data budget and then idle,
@@ -394,10 +410,9 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                     // what the Eq. 3 threshold and Eq. 4 weight absorb.
                     let mut compute = || {
                         let _t = timers.span(Component::Gradient);
-                        let snap: PolicySnapshot = cache
-                            .get_obj(POLICY_KEY)
-                            // lint:allow(L1): POLICY_KEY is seeded before any learner spawns and never deleted
-                            .expect("policy snapshot must exist");
+                        // An unreadable snapshot degrades this learner's
+                        // wave instead of panicking the worker thread.
+                        let snap = read_snapshot(&cache)?;
                         let cap = board.cap();
                         let msg = learner_compute(
                             &cfg,
@@ -409,7 +424,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                             l,
                         );
                         board.publish(l, msg.is_ratio);
-                        msg
+                        Some(msg)
                     };
                     let out = platform.invoke_retry(
                         FunctionKind::Learner,
@@ -421,10 +436,12 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         th.end(t);
                     }
                     let msg = match out {
-                        Ok((msg, _rec)) => msg,
-                        Err(_) => {
-                            // Gradient permanently lost: the round proceeds
-                            // with whatever the other learners deliver.
+                        Ok((Some(msg), _rec)) => msg,
+                        Ok((None, _)) | Err(_) => {
+                            // Gradient permanently lost (retries exhausted)
+                            // or the snapshot was unreadable: the round
+                            // proceeds with whatever the other learners
+                            // deliver.
                             degraded.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
@@ -602,6 +619,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         // reach the learners instead of being dropped by a closed queue.
         grad_q.close();
     })
+    // lint:allow(A8): deliberate re-panic — a child thread died and the run cannot continue
     // lint:allow(L1): re-raising a child thread's panic is the intended failure path
     .expect("orchestrator thread panicked");
 
@@ -708,8 +726,12 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
         // Synchronous actor wave(s).
         let mut batches: Vec<SampleBatch> = Vec::new();
         for _ in 0..collects_per_round.max(1) {
-            // lint:allow(L1): POLICY_KEY is seeded before the first wave and never deleted
-            let snap: PolicySnapshot = cache.get_obj(POLICY_KEY).expect("policy must exist");
+            // An unreadable snapshot degrades the whole wave rather than
+            // panicking the round loop.
+            let Some(snap) = read_snapshot(&cache) else {
+                degraded_events += workers.len() as u64;
+                continue;
+            };
             let serverless_actor = cfg.deployment != Deployment::Serverful;
             let n_spawned = workers.len();
             let wave: Vec<SampleBatch> = crossbeam::thread::scope(|s| {
@@ -745,10 +767,12 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                     .collect();
                 handles
                     .into_iter()
+                    // lint:allow(A8): deliberate re-panic — propagates a child actor's panic
                     // lint:allow(L1): join() errs only if the actor panicked; propagate it
                     .filter_map(|h| h.join().unwrap())
                     .collect()
             })
+            // lint:allow(A8): deliberate re-panic — propagates a child actor's panic
             // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("actor wave panicked");
             // A degraded wave: some actors exhausted their retries, the
@@ -833,10 +857,12 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                     .collect();
                 handles
                     .into_iter()
+                    // lint:allow(A8): deliberate re-panic — propagates a child learner's panic
                     // lint:allow(L1): join() errs only if the learner panicked; propagate it
                     .map(|h| h.join().unwrap())
                     .collect()
             })
+            // lint:allow(A8): deliberate re-panic — propagates a child learner's panic
             // lint:allow(L1): re-raising a child thread's panic is the intended failure path
             .expect("learner wave panicked");
             if let Some(wave_end) = results.iter().flatten().map(|(_, t)| *t).max() {
@@ -1042,6 +1068,7 @@ fn finalize(
 /// Smoothed reward curve: mean over a trailing window (used by figures).
 pub fn smooth(rewards: &[f32], window: usize) -> Vec<f32> {
     let mut out = Vec::with_capacity(rewards.len());
+    // bound: popped back down to `window` on every push below.
     let mut buf: VecDeque<f32> = VecDeque::new();
     for &r in rewards {
         buf.push_back(r);
@@ -1126,6 +1153,22 @@ mod tests {
             max_staleness >= 1,
             "expected some staleness, got {max_staleness}"
         );
+    }
+
+    #[test]
+    fn unreadable_policy_snapshot_degrades_instead_of_panicking() {
+        // Regression: both round loops used to `.expect()` the snapshot
+        // read; a corrupt frame under POLICY_KEY panicked a worker thread
+        // and took the whole run down with it.
+        let cache = Cache::new(4, LatencyModel::off());
+        assert!(read_snapshot(&cache).is_none(), "missing key degrades");
+        cache.put(POLICY_KEY, bytes::Bytes::from_static(b"\xff\x00garbage"));
+        assert!(read_snapshot(&cache).is_none(), "corrupt frame degrades");
+        let cfg = TrainConfig::test_tiny(EnvId::PointMass, 11);
+        let snap = initial_policy(&cfg).snapshot();
+        cache.put_obj(POLICY_KEY, &snap);
+        let got = read_snapshot(&cache).expect("valid snapshot must round-trip");
+        assert_eq!(got.version, snap.version);
     }
 
     #[test]

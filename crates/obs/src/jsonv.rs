@@ -297,6 +297,42 @@ mod tests {
         assert_eq!(parse("\"µs\""), Ok(Value::Str("µs".to_owned())));
     }
 
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The reader is exposed to artifacts on disk, which a crashed
+            // writer can truncate or interleave arbitrarily: any byte
+            // input must come back as `Err`, never a panic or a stack
+            // overflow (the depth cap guards the recursive descent).
+            #[test]
+            fn arbitrary_strings_never_panic(s in ".{0,256}") {
+                let _ = parse(&s);
+            }
+
+            #[test]
+            fn arbitrary_bytes_never_panic(b in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let s = String::from_utf8_lossy(&b);
+                let _ = parse(&s);
+            }
+
+            #[test]
+            fn structural_soup_never_panics(s in "[\\[\\]{}\",:0-9eE.+-]{0,600}") {
+                // Heavy on JSON structure bytes so deep nesting and dangling
+                // delimiters actually get exercised, not just rejected at
+                // the first byte.
+                let _ = parse(&s);
+            }
+
+            #[test]
+            fn valid_scalars_always_parse(n in -1e9f64..1e9) {
+                let v = parse(&format!("{n}"));
+                prop_assert!(v.is_ok(), "{n} must parse: {v:?}");
+            }
+        }
+    }
+
     #[test]
     fn roundtrips_a_telemetry_jsonl_line() {
         let line = "{\"type\":\"span\",\"name\":\"core.round\",\"id\":7,\"parent\":0,\"tid\":3,\"ts_us\":12,\"dur_us\":900,\"fields\":{\"round\":2,\"degraded\":true}}";

@@ -274,6 +274,7 @@ impl PolicyNet {
                 let actions = batch
                     .actions_cont
                     .as_ref()
+                    // lint:allow(A8): wire corruption fails typed decode upstream; a field mismatch here is a producer bug
                     // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                     .expect("continuous batch missing actions");
                 (0..batch.len())
@@ -305,11 +306,13 @@ impl PolicyNet {
         let b = batch.len();
         let value = g.reshape(value_raw, &[b]);
         let (logp_new, entropy, kl) = if has_ls {
+            // lint:allow(A8): has_ls guarantees the log-std var was appended to param_vars
             // lint:allow(L1): has_ls guarantees the log-std var was appended to param_vars
             let ls_var = *param_vars.last().unwrap();
             let actions = batch
                 .actions_cont
                 .as_ref()
+                // lint:allow(A8): wire corruption fails typed decode upstream; a field mismatch here is a producer bug
                 // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                 .expect("continuous batch missing actions");
             let dim = actions.shape()[1];
@@ -318,12 +321,14 @@ impl PolicyNet {
             let mu_old = batch
                 .behaviour_mu
                 .as_ref()
+                // lint:allow(A8): wire corruption fails typed decode upstream; a field mismatch here is a producer bug
                 // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                 .expect("continuous batch missing behaviour means");
             let ls_old = Tensor::from_vec(
                 batch
                     .behaviour_log_std
                     .clone()
+                    // lint:allow(A8): wire corruption fails typed decode upstream; a field mismatch here is a producer bug
                     // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                     .expect("continuous batch missing behaviour log-stds"),
                 &[dim],
@@ -336,6 +341,7 @@ impl PolicyNet {
             let old_logits = batch
                 .behaviour_logits
                 .as_ref()
+                // lint:allow(A8): wire corruption fails typed decode upstream; a field mismatch here is a producer bug
                 // lint:allow(L1): batch layout is fixed by the rollout worker that built it; a missing field is a producer bug
                 .expect("discrete batch missing behaviour logits");
             let kl = dist::categorical_kl_mean(g, old_logits, actor_out);
@@ -383,6 +389,7 @@ impl PolicyNet {
                     .sum::<f32>()
                     / b as f32
             }
+            // lint:allow(A8): both dist kinds come from the same net type; a mismatch is a caller bug
             // lint:allow(L1): comparing policies over different action spaces is caller error, not a runtime state
             _ => panic!("mean_kl_to: mismatched distribution kinds"),
         }

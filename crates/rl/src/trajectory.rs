@@ -1,7 +1,7 @@
 //! Trajectory containers: the sample batches actors publish to the cache
 //! and learners consume for gradient computation.
 
-use bytes::BytesMut;
+use bytes::{BufMut, BytesMut};
 use stellaris_cache::{Codec, CodecError};
 use stellaris_nn::Tensor;
 
@@ -140,8 +140,13 @@ impl Codec for SampleBatch {
         self.actions_disc.encode(buf);
         self.actions_cont.encode(buf);
         self.rewards.encode(buf);
-        let dones: Vec<u64> = self.dones.iter().map(|&d| u64::from(d)).collect();
-        dones.encode(buf);
+        // Same wire layout as `Vec<u64>`, written directly: encode sits on
+        // the exact-reserve hot path, so widening `dones` must not
+        // materialise a temporary vector (A9).
+        (self.dones.len() as u32).encode(buf);
+        for &d in &self.dones {
+            buf.put_u64_le(u64::from(d));
+        }
         self.behaviour_logp.encode(buf);
         self.values.encode(buf);
         self.bootstrap_value.encode(buf);

@@ -455,6 +455,7 @@ impl Platform {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let r = work();
                 if crash {
+                    // lint:allow(A8): the panic is the chaos fault itself, caught by catch_unwind above
                     // lint:allow(L1): this panic IS the injected mid-work container crash
                     panic!("injected container crash");
                 }
@@ -510,6 +511,7 @@ impl Platform {
             Ok(out) => out,
             Err((AttemptFail::Panicked(payload), _record)) => std::panic::resume_unwind(payload),
             // With injection off and no deadline, only a panic can fail.
+            // lint:allow(A8): `attempt(kind, false, None, ..)` cannot produce a non-panic failure
             Err(_) => unreachable!("non-panic failure with fault injection disabled"),
         }
     }

@@ -102,6 +102,7 @@ impl Core {
             degraded_threshold: AtomicU64::new(0),
             fault_threshold: AtomicU64::new(0),
             dir: Mutex::new(PathBuf::new()),
+            // shed: observe() drops the oldest event once `capacity` is hit.
             ring: Mutex::new(VecDeque::new()),
             degraded: AtomicU64::new(0),
             faults: AtomicU64::new(0),
