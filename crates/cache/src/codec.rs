@@ -17,6 +17,10 @@ pub enum CodecError {
     Truncated,
     /// A tag or length field held an invalid value.
     Corrupt(&'static str),
+    /// A value's element count exceeds what the `u32` length prefix can
+    /// carry; encoding it would silently wrap and produce a frame whose
+    /// prefix disagrees with its payload.
+    TooLarge(usize),
 }
 
 impl std::fmt::Display for CodecError {
@@ -24,6 +28,9 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "buffer truncated"),
             CodecError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            CodecError::TooLarge(len) => {
+                write!(f, "length {len} exceeds the u32 length-prefix range")
+            }
         }
     }
 }
@@ -67,6 +74,33 @@ fn need(buf: &&[u8], n: usize) -> Result<(), CodecError> {
         Err(CodecError::Truncated)
     } else {
         Ok(())
+    }
+}
+
+/// Checked conversion of an element count to the wire's `u32` length
+/// prefix. The unchecked `len as u32` this replaces silently wrapped for
+/// payloads above `u32::MAX` elements, encoding a frame whose prefix
+/// disagrees with its payload — the receiver would then mis-parse
+/// in-bounds garbage instead of rejecting the frame.
+pub fn checked_len_u32(len: usize) -> Result<u32, CodecError> {
+    u32::try_from(len).map_err(|_| CodecError::TooLarge(len))
+}
+
+/// Encodes a length prefix, panicking on overflow.
+///
+/// # Panics
+///
+/// Panics if `len > u32::MAX`. [`Codec::encode`] is infallible by design
+/// (the hot path never constructs payloads anywhere near 2^32 elements), so
+/// overflow here is a caller bug; a loud panic is strictly better than the
+/// silent wrap it replaces. Wire-facing paths reject oversized values with
+/// a typed error *before* encoding (see `frame::write_value_frame`), which
+/// keeps this panic unreachable from a socket.
+fn encode_len_prefix(len: usize, buf: &mut BytesMut) {
+    match checked_len_u32(len) {
+        Ok(n) => n.encode(buf),
+        // lint:allow(L1): documented panic — a >u32::MAX-element payload is a caller bug
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -127,7 +161,7 @@ impl Codec for usize {
 
 impl Codec for String {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        encode_len_prefix(self.len(), buf);
         buf.put_slice(self.as_bytes());
     }
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
@@ -147,7 +181,7 @@ impl Codec for String {
 
 impl Codec for Vec<f32> {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        encode_len_prefix(self.len(), buf);
         buf.reserve(self.len() * 4);
         for &v in self {
             buf.put_f32_le(v);
@@ -169,7 +203,7 @@ impl Codec for Vec<f32> {
 
 impl Codec for Vec<u64> {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        encode_len_prefix(self.len(), buf);
         for &v in self {
             buf.put_u64_le(v);
         }
@@ -190,7 +224,7 @@ impl Codec for Vec<u64> {
 
 impl Codec for Vec<usize> {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        encode_len_prefix(self.len(), buf);
         for &v in self {
             buf.put_u64_le(v as u64);
         }
@@ -208,7 +242,7 @@ impl Codec for Vec<usize> {
 
 impl Codec for Tensor {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.shape().len() as u32).encode(buf);
+        encode_len_prefix(self.shape().len(), buf);
         for &d in self.shape() {
             buf.put_u32_le(d as u32);
         }
@@ -226,8 +260,22 @@ impl Codec for Tensor {
         for _ in 0..rank {
             shape.push(u32::decode(buf)? as usize);
         }
-        let numel: usize = shape.iter().product();
-        need(buf, numel * 4)?;
+        // Checked product: a hostile shape like [2^32, 2^32] wraps a plain
+        // `iter().product()` in release builds, and the wrapped (small)
+        // numel would pass the `need` guard while `from_vec` later panics
+        // on the shape/data mismatch.
+        let mut numel = 1usize;
+        for &d in &shape {
+            numel = numel
+                .checked_mul(d)
+                .ok_or(CodecError::Corrupt("tensor numel overflow"))?;
+        }
+        need(
+            buf,
+            numel
+                .checked_mul(4)
+                .ok_or(CodecError::Corrupt("tensor numel overflow"))?,
+        )?;
         let mut data = Vec::with_capacity(numel);
         for _ in 0..numel {
             data.push(buf.get_f32_le());
@@ -264,7 +312,7 @@ impl<T: Codec> Codec for Option<T> {
 
 /// Encodes a slice of any `Codec` values with a length prefix.
 pub fn encode_seq<T: Codec>(items: &[T], buf: &mut BytesMut) {
-    (items.len() as u32).encode(buf);
+    encode_len_prefix(items.len(), buf);
     for item in items {
         item.encode(buf);
     }
@@ -397,6 +445,43 @@ mod tests {
         assert_eq!(seq_encoded_len(&empty), buf.len());
     }
 
+    #[test]
+    fn checked_len_u32_rejects_overflow() {
+        // Regression for the silent `len as u32` wrap: counts above
+        // u32::MAX must surface as TooLarge, not encode a corrupt prefix.
+        assert_eq!(checked_len_u32(0), Ok(0));
+        assert_eq!(checked_len_u32(u32::MAX as usize), Ok(u32::MAX));
+        let over = u32::MAX as usize + 1;
+        assert_eq!(checked_len_u32(over), Err(CodecError::TooLarge(over)));
+        let msg = CodecError::TooLarge(over).to_string();
+        assert!(msg.contains("4294967296"), "{msg}");
+    }
+
+    #[test]
+    fn hostile_tensor_shape_rejected_without_allocation() {
+        // A shape whose element product wraps usize must be rejected by the
+        // checked numel product, not slip past `need()` with a small wrapped
+        // value. [2^32, 2^32] wraps to 0 under 64-bit wrapping_mul chains
+        // once more dims are added; use dims that wrap to a tiny number.
+        let mut buf = BytesMut::new();
+        2u32.encode(&mut buf); // rank 2
+        buf.put_u32_le(u32::MAX); // dim 0
+        buf.put_u32_le(u32::MAX); // dim 1
+        let err = Tensor::from_bytes(&buf).unwrap_err();
+        assert!(
+            matches!(err, CodecError::Corrupt(_) | CodecError::Truncated),
+            "hostile shape must fail typed, got {err:?}"
+        );
+
+        // And a rank prefix beyond the cap is rejected before any shape read.
+        let mut buf = BytesMut::new();
+        u32::MAX.encode(&mut buf);
+        assert_eq!(
+            Tensor::from_bytes(&buf),
+            Err(CodecError::Corrupt("tensor rank"))
+        );
+    }
+
     proptest! {
         #[test]
         fn prop_vec_f32_roundtrip(v in proptest::collection::vec(-1e6f32..1e6, 0..200)) {
@@ -430,6 +515,32 @@ mod tests {
             let _ = Tensor::from_bytes(&data);
             let _ = String::from_bytes(&data);
             let _ = Vec::<f32>::from_bytes(&data);
+        }
+
+        #[test]
+        fn prop_truncated_valid_frames_error_not_panic(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            text in ".{0,24}",
+        ) {
+            // A valid encoding cut at *every* byte boundary must decode to a
+            // typed error (almost always Truncated), never panic, and never
+            // succeed except on the full buffer.
+            let t = Tensor::ones(&[rows, cols]);
+            let bytes = t.to_bytes();
+            for cut in 0..bytes.len() {
+                prop_assert!(Tensor::from_bytes(&bytes[..cut]).is_err());
+            }
+            let s = text.to_string();
+            let bytes = s.to_bytes();
+            for cut in 0..bytes.len() {
+                prop_assert!(String::from_bytes(&bytes[..cut]).is_err());
+            }
+            let v: Vec<f32> = vec![1.0; rows * cols];
+            let bytes = v.to_bytes();
+            for cut in 0..bytes.len() {
+                prop_assert!(Vec::<f32>::from_bytes(&bytes[..cut]).is_err());
+            }
         }
     }
 }

@@ -10,9 +10,14 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod frame;
 pub mod queue;
 pub mod store;
 
-pub use codec::{decode_seq, encode_seq, seq_encoded_len, Codec, CodecError};
+pub use codec::{checked_len_u32, decode_seq, encode_seq, seq_encoded_len, Codec, CodecError};
+pub use frame::{
+    write_frame, write_value_frame, Frame, FrameHeader, FrameReader, WireError, DEFAULT_MAX_FRAME,
+    FRAME_MAGIC, FRAME_VERSION, HEADER_LEN,
+};
 pub use queue::{BlockingQueue, GradientQueue};
 pub use store::{Cache, CacheError, CacheStats, LatencyMode, LatencyModel};

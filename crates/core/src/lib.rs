@@ -27,6 +27,7 @@ pub mod messages;
 pub mod metrics;
 pub mod orchestrator;
 pub mod parameter;
+pub mod remote;
 pub mod staleness;
 pub mod transport;
 pub mod truncation;
@@ -38,6 +39,10 @@ pub use messages::GradientMsg;
 pub use metrics::{rows_to_csv, TimerReport, Timers, TrainRow};
 pub use orchestrator::{smooth, train, TrainResult, POLICY_KEY};
 pub use parameter::ParameterServer;
+pub use remote::{
+    serve_worker, snapshot_checksum, GradientRequest, RemoteError, RemoteFleet, RemoteRunReport,
+    RemoteSetup, RemoteWorker, WireEvent, WireEventBatch,
+};
 pub use staleness::{staleness_weight, StalenessSchedule};
 pub use transport::{Delivered, Placement, Router, Tier, TransportError};
 pub use truncation::{reward_improvement_bound, RatioBoard};

@@ -112,7 +112,7 @@ impl TrainResult {
     }
 }
 
-fn build_policy(cfg: &TrainConfig) -> PolicyNet {
+pub(crate) fn build_policy(cfg: &TrainConfig) -> PolicyNet {
     let mut env = make_env(cfg.env_id, cfg.env_cfg);
     env.reset(cfg.seed);
     let mut spec = PolicySpec::for_env(env.as_ref());
@@ -137,8 +137,12 @@ fn initial_policy(cfg: &TrainConfig) -> PolicyNet {
     policy
 }
 
-fn learner_compute(
-    cfg: &TrainConfig,
+/// One learner-function body: load the snapshot, run the configured
+/// algorithm's gradient pass, wrap the result as a [`GradientMsg`]. Shared
+/// by the in-process learner threads and the remote worker loop
+/// (`remote::serve_worker`), so both sides of a socket compute identically.
+pub(crate) fn learner_compute(
+    algo: &Algo,
     policy: &mut PolicyNet,
     impact_state: &mut Option<ImpactLearner>,
     snap: &PolicySnapshot,
@@ -147,7 +151,7 @@ fn learner_compute(
     learner_id: usize,
 ) -> GradientMsg {
     policy.load_snapshot(snap);
-    let (grads, stats) = match &cfg.algo {
+    let (grads, stats) = match algo {
         Algo::Ppo(pc) => ppo_gradients(policy, batch, pc, cap),
         Algo::Impala(ic) => impala_gradients(policy, batch, ic, cap),
         Algo::Impact(ic) => {
@@ -415,7 +419,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         let snap = read_snapshot(&cache)?;
                         let cap = board.cap();
                         let msg = learner_compute(
-                            &cfg,
+                            &cfg.algo,
                             &mut local,
                             &mut impact_state,
                             &snap,
@@ -832,7 +836,7 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
                                 let mut local = build_policy(&cfg2);
                                 let mut impact_state = impact_slot.lock().take();
                                 let msg = learner_compute(
-                                    &cfg2,
+                                    &cfg2.algo,
                                     &mut local,
                                     &mut impact_state,
                                     &snap,

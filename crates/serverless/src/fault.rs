@@ -119,9 +119,15 @@ impl RetryPolicy {
     /// Backoff before retry number `attempt` (0-based), scaled into
     /// `[0.5, 1.5)×` the exponential target by `jitter ∈ [0, 1)`.
     pub fn backoff(&self, attempt: u32, jitter: f64) -> Duration {
+        // Largest f64 strictly below 1.5. The clamp must act on the *scale*,
+        // not the jitter: `0.5 + (1.0 - ε/2)` is exactly halfway between
+        // representable values and round-to-even lands it back on 1.5, so a
+        // jitter-level clamp silently re-admits the excluded endpoint the
+        // docs promise is out of range.
+        const MAX_SCALE: f64 = 1.5 - f64::EPSILON;
         let exp = self.base.saturating_mul(1u32 << attempt.min(16));
         let capped = exp.min(self.cap.max(self.base));
-        capped.mul_f64(0.5 + jitter.clamp(0.0, 1.0))
+        capped.mul_f64((0.5 + jitter.clamp(0.0, 1.0)).min(MAX_SCALE))
     }
 }
 
@@ -420,10 +426,50 @@ mod tests {
         assert_eq!(r.backoff(2, 0.5), Duration::from_millis(8));
         assert_eq!(r.backoff(3, 0.5), Duration::from_millis(10), "capped");
         assert_eq!(r.backoff(60, 0.5), Duration::from_millis(10), "no overflow");
-        // jitter bounds: [0.5, 1.5)× the target.
+        // jitter bounds: [0.5, 1.5)× the target — half-open on the right.
         assert_eq!(r.backoff(0, 0.0), Duration::from_millis(1));
-        assert_eq!(r.backoff(0, 1.0), Duration::from_millis(3));
+        assert_eq!(r.backoff(0, 9.0), r.backoff(0, 1.0), "jitter clamps");
         assert_eq!(RetryPolicy::none().backoff(0, 0.9), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_excludes_the_1_5x_endpoint() {
+        // Nanosecond granularity swallows a one-ULP scale difference for
+        // millisecond bases, so probe with a duration large enough that
+        // `1.5×` and `just-under-1.5×` are distinct Durations.
+        let base = Duration::from_secs(1 << 30);
+        let r = RetryPolicy {
+            max_retries: 1,
+            base,
+            cap: base,
+        };
+        let top = r.backoff(0, 1.0);
+        assert!(
+            top < base.mul_f64(1.5),
+            "jitter 1.0 must scale strictly below 1.5× (got {top:?})"
+        );
+        assert!(top >= base.mul_f64(1.4999), "but only just below");
+        assert_eq!(r.backoff(0, f64::INFINITY), top);
+        assert_eq!(r.backoff(0, 0.5), base, "midpoint is the exact target");
+        assert_eq!(r.backoff(0, 0.0), base.mul_f64(0.5));
+        assert_eq!(r.backoff(0, -3.0), base.mul_f64(0.5), "negative clamps");
+    }
+
+    #[test]
+    fn backoff_shift_saturates_at_attempt_16() {
+        // Uncapped policy so the shift itself is observable: attempts past
+        // 16 must reuse the 2^16 multiplier instead of overflowing the
+        // `1u32 << attempt` shift (which panics in debug at attempt >= 32).
+        let r = RetryPolicy {
+            max_retries: 100,
+            base: Duration::from_nanos(1),
+            cap: Duration::from_secs(3600),
+        };
+        let at16 = r.backoff(16, 0.5);
+        assert_eq!(at16, Duration::from_nanos(1 << 16));
+        for attempt in [17, 31, 32, 63, u32::MAX] {
+            assert_eq!(r.backoff(attempt, 0.5), at16, "attempt {attempt}");
+        }
     }
 
     #[test]

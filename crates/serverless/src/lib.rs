@@ -14,6 +14,7 @@ pub mod fault;
 pub mod platform;
 pub mod prewarm;
 pub mod pricing;
+pub mod process;
 
 pub use cost::{bill_hybrid, bill_serverful, bill_serverless, CostBreakdown};
 pub use cputime::{measure_cpu, thread_cpu_time};
@@ -23,3 +24,6 @@ pub use platform::{
 };
 pub use prewarm::{FunctionProfiler, PrewarmController};
 pub use pricing::{Cluster, InstanceType, VmGroup};
+pub use process::{
+    ProcessConfig, ProcessPool, SpawnError, WireStream, WireTransport, WorkerProcess,
+};

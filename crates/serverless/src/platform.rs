@@ -380,6 +380,42 @@ impl Platform {
         record
     }
 
+    /// Records one finished invocation that ran in a *remote* worker
+    /// process (spawned via [`crate::process::ProcessPool`]) rather than as
+    /// an in-process closure. The measured process lifecycle replaces the
+    /// simulated one: `startup` is the observed spawn→HELLO latency (or the
+    /// warm checkout cost) and `cold` says whether a live process was
+    /// reused. Counters, per-kind histograms and the record log are updated
+    /// exactly as for local invocations so the cost model sees one stream.
+    pub fn record_remote(
+        &self,
+        kind: FunctionKind,
+        exec: Duration,
+        wall: Duration,
+        startup: Duration,
+        cold: bool,
+        failed: bool,
+    ) -> InvocationRecord {
+        let m = &self.metrics[kind_index(kind)];
+        if cold {
+            self.cold_starts.fetch_add(1, Ordering::Relaxed);
+            m.cold.inc();
+        } else {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+            m.warm.inc();
+        }
+        m.startup_us.record_duration(startup);
+        self.record_attempt(
+            kind,
+            self.epoch.elapsed(),
+            exec,
+            wall,
+            startup,
+            cold,
+            failed,
+        )
+    }
+
     /// One invocation attempt: blocks for a slot, pays startup, optionally
     /// consults the fault plan, runs `work` under `catch_unwind`, then
     /// drops the RAII slot permit and container lease. All resource release

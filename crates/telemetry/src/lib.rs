@@ -40,7 +40,7 @@ pub use metrics::{
 };
 pub use recorder::RecorderConfig;
 pub use trace::{
-    disable, drain, dropped_events, enable, enabled, flush_thread, instant, now_us, span,
-    span_closed, span_with, write_chrome_trace, write_jsonl, Event, EventKind, FieldValue,
-    SpanGuard,
+    disable, drain, dropped_events, enable, enabled, flush_thread, ingest_events, instant,
+    intern_name, now_us, set_span_id_base, span, span_closed, span_with, span_with_parent,
+    write_chrome_trace, write_jsonl, Event, EventKind, FieldValue, SpanGuard,
 };

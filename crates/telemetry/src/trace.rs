@@ -308,6 +308,13 @@ impl SpanGuard {
             self.fields.push((key, value.into()));
         }
     }
+
+    /// The span's event ID (0 when tracing is disabled). Senders put this
+    /// in a frame's trace-ID header field so the receiving process can
+    /// parent its work under this span.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Drop for SpanGuard {
@@ -360,6 +367,82 @@ pub fn span_with(name: &'static str, fields: Vec<(&'static str, FieldValue)>) ->
         start_us: now_us(),
         fields,
     }
+}
+
+/// Opens a span parented to an *explicit* remote span ID instead of the
+/// innermost open span on this thread.
+///
+/// This is the receiving half of cross-process span stitching: a frame
+/// arrives carrying the sender's span ID in its trace-ID header field, and
+/// the work it triggers is recorded under that ID even though the parent
+/// span lives in another process. Pass 0 to record a root span.
+pub fn span_with_parent(
+    name: &'static str,
+    remote_parent: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            active: false,
+            name,
+            id: 0,
+            parent: 0,
+            start_us: 0,
+            fields: Vec::new(),
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    stack_push(id);
+    SpanGuard {
+        active: true,
+        name,
+        id,
+        parent: remote_parent,
+        start_us: now_us(),
+        fields,
+    }
+}
+
+/// Raises the span-ID allocator to at least `base`.
+///
+/// Worker processes call this at startup with a disjoint per-worker base
+/// (e.g. `(index + 1) << 40`) so IDs minted on both sides of a socket never
+/// collide when the traces are merged. `fetch_max` makes the call monotonic
+/// and safe to repeat; a base of 0 is bumped to 1 because ID 0 means "no
+/// parent".
+pub fn set_span_id_base(base: u64) {
+    NEXT_SPAN_ID.fetch_max(base.max(1), Ordering::Relaxed);
+}
+
+/// Feeds externally-recorded events (e.g. pulled from a worker process over
+/// the wire) into this process's sink, as if they had been recorded here.
+/// Events pass through the flight recorder and the capacity cap exactly
+/// like local flushes.
+pub fn ingest_events(events: Vec<Event>) {
+    sink_push(events);
+}
+
+/// Bounded leak-once intern table mapping dynamic strings to `&'static str`
+/// so wire-decoded event names can populate [`Event::name`].
+const INTERN_CAPACITY: usize = 1024;
+
+/// Interns a string, returning a `'static` reference. Each unique name
+/// leaks exactly once; once [`INTERN_CAPACITY`] unique names exist, further
+/// new names all map to a shared `"interned.overflow"` sentinel so a
+/// hostile peer cannot grow memory without bound through the trace path.
+pub fn intern_name(name: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(hit) = table.iter().find(|s| **s == name) {
+        return hit;
+    }
+    if table.len() >= INTERN_CAPACITY {
+        return "interned.overflow";
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
 }
 
 /// Records a point-in-time event parented to the innermost open span.
@@ -550,6 +633,15 @@ mod tests {
         assert!(b >= a);
     }
 
+    #[test]
+    fn intern_name_dedups_and_is_stable() {
+        let a = intern_name("remote.collect");
+        let b = intern_name("remote.collect");
+        assert!(std::ptr::eq(a, b), "same name must intern to one pointer");
+        let c = intern_name(&format!("remote.{}", "gradient"));
+        assert_eq!(c, "remote.gradient");
+    }
+
     // The trace sink and enabled flag are process-global, so everything
     // touching them lives in ONE test (cargo test runs tests concurrently
     // within the process).
@@ -579,6 +671,28 @@ mod tests {
         }
         span_closed("test.closed", 10, 5, vec![("neg", (-2i64).into())]);
 
+        // Cross-process stitching: a remote-parented span carries the
+        // explicit parent rather than this thread's innermost span, and a
+        // worker-style ID base keeps freshly-minted IDs disjoint.
+        set_span_id_base(1 << 40);
+        let remote_child_id;
+        {
+            let g = span_with_parent("test.remote_child", outer_id, vec![]);
+            remote_child_id = g.id;
+        }
+        assert!(remote_child_id >= 1 << 40, "base raises the allocator");
+        // Ingested events land in the sink as-is, as if recorded locally.
+        ingest_events(vec![Event {
+            kind: EventKind::Span,
+            name: intern_name("test.ingested"),
+            id: (1 << 50) + 1,
+            parent: outer_id,
+            tid: 99,
+            ts_us: 1,
+            dur_us: 2,
+            fields: vec![],
+        }]);
+
         // Worker-thread events flush via TLS drop at thread exit.
         std::thread::spawn(|| {
             let _g = span("test.worker");
@@ -597,9 +711,22 @@ mod tests {
             "test.marker",
             "test.closed",
             "test.worker",
+            "test.remote_child",
+            "test.ingested",
         ] {
             assert!(names.contains(&want), "missing {want} in {names:?}");
         }
+        let remote = events
+            .iter()
+            .find(|e| e.name == "test.remote_child")
+            .expect("remote child");
+        assert_eq!(remote.parent, outer_id, "explicit remote parent wins");
+        let ingested = events
+            .iter()
+            .find(|e| e.name == "test.ingested")
+            .expect("ingested");
+        assert_eq!(ingested.parent, outer_id);
+        assert_eq!(ingested.tid, 99, "ingested events keep their origin tid");
         let outer = events
             .iter()
             .find(|e| e.name == "test.outer")

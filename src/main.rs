@@ -28,6 +28,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(rest),
         "eval" => cmd_eval(rest),
         "simulate" => cmd_simulate(rest),
+        "worker" => cmd_worker(rest),
+        "remote" => cmd_remote(rest),
         "envs" => {
             println!("available environments:");
             for id in EnvId::PAPER_SET {
@@ -66,6 +68,10 @@ fn usage() {
     eprintln!(
         "  simulate [--sync] [--serverful] [--atari] [--rounds N] (paper-scale virtual time)"
     );
+    eprintln!("  remote   --env NAME [--rounds N] [--learners N] [--seed S] [--chaos SEED]");
+    eprintln!("           [--transport tcp|uds] (train with real worker child processes)");
+    eprintln!("  worker   --connect tcp:H:P|uds:PATH --span-base N --max-frame BYTES");
+    eprintln!("           (internal: serve frames as a spawned worker process)");
     eprintln!("  envs     list available environments");
 }
 
@@ -243,6 +249,114 @@ fn cmd_eval(args: &[String]) -> ExitCode {
         policy.version
     );
     ExitCode::SUCCESS
+}
+
+/// The child half of the process pool protocol: connect back to the
+/// parent's listener and serve frames until told to stop. Spawned as
+/// `stellaris worker --connect ADDR --span-base N --max-frame BYTES` by
+/// [`stellaris::core::RemoteFleet`] / `ProcessPool`.
+fn cmd_worker(args: &[String]) -> ExitCode {
+    use stellaris::serverless::WireStream;
+    let flags = Flags::parse(args);
+    let Some(addr) = flags.get("connect") else {
+        eprintln!("worker requires --connect tcp:HOST:PORT or uds:PATH");
+        return ExitCode::FAILURE;
+    };
+    let span_base = flags.num("span-base", 1u64 << 40);
+    let max_frame = flags.num("max-frame", stellaris::cache::frame::DEFAULT_MAX_FRAME);
+    let stream = match WireStream::connect_addr(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("worker cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match stellaris::core::serve_worker(stream, span_base, max_frame) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // A vanished parent is a normal end of life for a worker; any
+            // other wire failure is worth a line on stderr.
+            eprintln!("worker exiting on wire error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Demo/diagnostic: run a tiny training job where the actor and learners
+/// are real child processes talking length-prefixed frames over TCP or
+/// unix-domain sockets, with optional seeded chaos on the learner path.
+fn cmd_remote(args: &[String]) -> ExitCode {
+    use stellaris::core::RemoteFleet;
+    use stellaris::serverless::{ProcessConfig, WireTransport};
+    let flags = Flags::parse(args);
+    let name = flags.get("env").unwrap_or("PointMass");
+    let Some(env) = EnvId::parse(name) else {
+        eprintln!("unknown environment: {name} (try `stellaris envs`)");
+        return ExitCode::FAILURE;
+    };
+    let seed = flags.num("seed", 1u64);
+    let mut cfg = TrainConfig::test_tiny(env, seed);
+    cfg.rounds = flags.num("rounds", cfg.rounds);
+    cfg.max_learners = flags.num("learners", cfg.max_learners);
+    if let Some(chaos_seed) = flags.get("chaos").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_chaos(chaos_seed);
+    }
+    let mut proc_cfg = ProcessConfig::default();
+    match flags.get("transport") {
+        None | Some("tcp") => proc_cfg.transport = WireTransport::Tcp,
+        #[cfg(unix)]
+        Some("uds") => proc_cfg.transport = WireTransport::Uds,
+        Some(other) => {
+            eprintln!("unknown transport: {other} (expected tcp or uds)");
+            return ExitCode::FAILURE;
+        }
+    }
+    let program = match std::env::current_exe() {
+        Ok(p) => p.display().to_string(),
+        Err(e) => {
+            eprintln!("cannot resolve own executable for worker spawning: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "remote fleet: {} on {} for {} rounds, {} learner processes + 1 actor process",
+        cfg.algo.name(),
+        env.name(),
+        cfg.rounds,
+        cfg.max_learners
+    );
+    let fleet = RemoteFleet::new(program, vec!["worker".to_string()], proc_cfg, cfg);
+    match fleet.run() {
+        Ok(report) => {
+            println!(
+                "policy v{} | checksum {:016x} | {} gradients aggregated | staleness {:?}",
+                report.final_version,
+                report.final_checksum,
+                report.grads_aggregated,
+                report.staleness_log
+            );
+            println!(
+                "{} cold spawns | {} warm reuses | {} recovered retries | {} worker events merged",
+                report.cold_spawns, report.warm_reuses, report.recovered, report.events_ingested
+            );
+            let f = &report.faults;
+            println!(
+                "faults: {} failed invokes, {} crashes, {} stragglers, {} dropped, {} corrupted, {} retries, {} exhausted",
+                f.injected_failures,
+                f.injected_crashes,
+                f.injected_stragglers,
+                f.frames_dropped,
+                f.frames_corrupted,
+                f.retries,
+                f.exhausted
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("remote fleet failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> ExitCode {
