@@ -1351,11 +1351,13 @@ fn scan_swallows(
 /// First-party queue / ring constructors A11 requires to be bounded by
 /// construction (`::bounded`) or annotated with a `// bound:` / `// shed:`
 /// policy comment.
-const QUEUE_CTOR_TOKENS: [&str; 6] = [
+const QUEUE_CTOR_TOKENS: [&str; 8] = [
     "GradientQueue::new(",
     "GradientQueue::bounded(",
+    "GradientQueue::bounded_lane(",
     "BlockingQueue::new(",
     "BlockingQueue::bounded(",
+    "ShardedGradientQueue::bounded(",
     "VecDeque::new(",
     "VecDeque::with_capacity(",
 ];
@@ -1377,7 +1379,9 @@ fn scan_queue_ctors(
                 continue;
             }
             let ctor = token.trim_end_matches('(').to_string();
-            let bounded = ctor.ends_with("::bounded");
+            // `::bounded` and its lane variant (`::bounded_lane`) are both
+            // intrinsically capped by construction.
+            let bounded = ctor.contains("::bounded");
             let line = src.line_of(at);
             let has_policy = (line.saturating_sub(1)..=line).any(|l| {
                 l >= 1

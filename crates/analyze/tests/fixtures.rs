@@ -21,6 +21,7 @@ const PANIC_IN_INVOKE: &str = include_str!("fixtures/panic_in_invoke.rs");
 const ALLOC_IN_HOT: &str = include_str!("fixtures/alloc_in_hot.rs");
 const SWALLOWED_ERR: &str = include_str!("fixtures/swallowed_err.rs");
 const UNBOUNDED_PRODUCER: &str = include_str!("fixtures/unbounded_producer.rs");
+const SHARDED_LANES: &str = include_str!("fixtures/sharded_lanes.rs");
 const CLEAN_PANICFREE: &str = include_str!("fixtures/clean_panicfree.rs");
 
 fn run_one(path: &str, text: &str) -> Analysis {
@@ -343,6 +344,30 @@ fn unbounded_producers_are_flagged_and_bounded_ctor_is_not() {
         "{:#?}",
         a.findings
     );
+}
+
+#[test]
+fn sharded_lane_ctors_are_bounded_by_construction() {
+    // Exactly one A11: the per-lane `VecDeque::new` the hand-rolled plane
+    // multiplies by `n_lanes`; the `ShardedGradientQueue::bounded` ctor is
+    // intrinsically capped and must stay silent with zero suppressions.
+    let a = run_one("crates/fx/src/sharded_lanes.rs", SHARDED_LANES);
+    assert_eq!(rules(&a), ["A11"], "{:#?}", a.findings);
+    assert_eq!(a.findings.len(), 1, "{:#?}", a.findings);
+    let f = &a.findings[0];
+    assert!(
+        f.message.contains("`VecDeque::new`") && f.message.contains("LaneSet::open"),
+        "{}",
+        f.message
+    );
+    assert!(
+        !a.findings
+            .iter()
+            .any(|f| f.message.contains("ShardedGradientQueue")),
+        "{:#?}",
+        a.findings
+    );
+    assert_eq!(a.suppressed, 0, "clean plane needs no suppressions");
 }
 
 #[test]

@@ -1,0 +1,30 @@
+//! Seeded A11 for the sharded gradient plane: hand-rolled lane buffers
+//! with no cap and no policy comment are flagged; the intrinsically
+//! bounded `ShardedGradientQueue::bounded` plane stays silent.
+
+use std::collections::VecDeque;
+
+pub struct LaneSet {
+    lanes: Vec<VecDeque<u64>>,
+}
+
+impl LaneSet {
+    /// Seeded: each lane grows without limit and says nothing about it —
+    /// exactly the shape sharding multiplies by `n_lanes`.
+    pub fn open(n_lanes: usize) -> Self {
+        Self {
+            lanes: (0..n_lanes).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    pub fn push(&mut self, key: u64, v: u64) {
+        let lane = (key as usize) % self.lanes.len();
+        self.lanes[lane].push_back(v);
+    }
+}
+
+/// Clean twin: every lane of the sharded plane is capped by construction
+/// (shed-oldest at `per_lane_cap`).
+pub fn open_sharded_plane() -> ShardedGradientQueue<u64> {
+    ShardedGradientQueue::bounded(16, 1024)
+}

@@ -19,5 +19,5 @@ pub use frame::{
     write_frame, write_value_frame, Frame, FrameHeader, FrameReader, WireError, DEFAULT_MAX_FRAME,
     FRAME_MAGIC, FRAME_VERSION, HEADER_LEN,
 };
-pub use queue::{BlockingQueue, GradientQueue};
+pub use queue::{BlockingQueue, GradientQueue, ShardedGradientQueue};
 pub use store::{Cache, CacheError, CacheStats, LatencyMode, LatencyModel};

@@ -151,6 +151,11 @@ pub struct GradientQueue<T> {
     shed_total: Arc<Counter>,
     depth: Arc<Gauge>,
     staleness_hist: Arc<Histogram>,
+    /// Per-lane depth gauge and shed counter, present only for queues built
+    /// as one lane of a [`ShardedGradientQueue`]; the shared
+    /// `stellaris_cache_queue_*` series above keep aggregating across lanes.
+    lane_depth: Option<Arc<Gauge>>,
+    lane_shed: Option<Arc<Counter>>,
 }
 
 impl<T> Default for GradientQueue<T> {
@@ -175,6 +180,19 @@ impl<T> GradientQueue<T> {
         Self::with_cap(Some(cap.max(1)))
     }
 
+    /// Creates one bounded lane of a sharded gradient plane: identical to
+    /// [`Self::bounded`] (shed-oldest at `cap`), plus per-lane telemetry —
+    /// `stellaris_cache_lane<i>_depth` and `stellaris_cache_lane<i>_shed_total`
+    /// (names sanitized at registration) — on top of the shared
+    /// `stellaris_cache_queue_*` aggregates.
+    pub fn bounded_lane(cap: usize, lane: usize) -> Self {
+        let mut q = Self::with_cap(Some(cap.max(1)));
+        let reg = stellaris_telemetry::global();
+        q.lane_depth = Some(reg.gauge(&format!("stellaris_cache_lane{lane}_depth")));
+        q.lane_shed = Some(reg.counter(&format!("stellaris_cache_lane{lane}_shed_total")));
+        q
+    }
+
     fn with_cap(cap: Option<usize>) -> Self {
         let reg = stellaris_telemetry::global();
         Self {
@@ -191,6 +209,8 @@ impl<T> GradientQueue<T> {
             shed_total: reg.counter("stellaris_cache_queue_shed_total"),
             depth: reg.gauge("stellaris_cache_queue_depth"),
             staleness_hist: reg.histogram("stellaris_cache_queue_staleness"),
+            lane_depth: None,
+            lane_shed: None,
         }
     }
 
@@ -241,16 +261,27 @@ impl<T> GradientQueue<T> {
         if shed {
             self.shed.fetch_add(1, Ordering::Relaxed);
             self.shed_total.inc();
+            if let Some(lane_shed) = &self.lane_shed {
+                lane_shed.inc();
+            }
         }
         self.enqueued.inc();
         // lint:allow(L4): queue depths are tiny, exact in f64
         self.depth.set(depth as f64);
+        if let Some(lane_depth) = &self.lane_depth {
+            // lint:allow(L4): queue depths are tiny, exact in f64
+            lane_depth.set(depth as f64);
+        }
     }
 
     fn note_dequeue(&self, base_version: u64, depth: usize) {
         self.dequeued.inc();
         // lint:allow(L4): queue depths are tiny, exact in f64
         self.depth.set(depth as f64);
+        if let Some(lane_depth) = &self.lane_depth {
+            // lint:allow(L4): queue depths are tiny, exact in f64
+            lane_depth.set(depth as f64);
+        }
         let staleness = self.clock().saturating_sub(base_version);
         self.staleness_hist.record(staleness);
     }
@@ -282,6 +313,30 @@ impl<T> GradientQueue<T> {
             let mut q = self.inner.lock();
             let entry = q.pop_front()?;
             (entry, q.len())
+        };
+        self.note_dequeue(entry.1, depth);
+        Some(entry)
+    }
+
+    /// Dequeues with a timeout; `None` means timed out *or* closed-and-empty
+    /// (mirrors [`BlockingQueue::pop_timeout`]).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(T, u64)> {
+        let _span = stellaris_telemetry::span("cache.queue_pop");
+        let deadline = std::time::Instant::now() + timeout;
+        let (entry, depth) = {
+            let mut q = self.inner.lock();
+            loop {
+                if let Some(entry) = q.pop_front() {
+                    break (entry, q.len());
+                }
+                if self.closed.load(Ordering::Acquire) {
+                    return None;
+                }
+                if self.cond.wait_until(&mut q, deadline).timed_out() {
+                    let entry = q.pop_front()?;
+                    break (entry, q.len());
+                }
+            }
         };
         self.note_dequeue(entry.1, depth);
         Some(entry)
@@ -330,6 +385,170 @@ impl<T> GradientQueue<T> {
     /// Whether the queue has been closed.
     pub fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// The sharded gradient plane (DESIGN.md §16): `n_lanes` independent bounded
+/// [`GradientQueue`] lanes so thousands of learners fan in without ever
+/// touching a shared lock — a producer hashes its key to a lane
+/// ([`Self::lane_of`]) and contends only with the ~`1/n_lanes` of producers
+/// that share it. Each lane keeps the shed-oldest policy, so the plane's
+/// memory is bounded at `n_lanes * per_lane_cap` payloads however many
+/// learners push.
+///
+/// Consumers drain with a rotating scan ([`Self::try_pop_any`] /
+/// [`Self::pop_any`]); the rotation cursor is a single relaxed atomic, not a
+/// lock, and exists only for fairness across lanes.
+///
+/// ```
+/// use stellaris_cache::ShardedGradientQueue;
+/// let q = ShardedGradientQueue::bounded(4, 16);
+/// q.push(7, "grad:7", 0); // learner 7 → lane 7 % 4 = 3
+/// assert_eq!(q.lane_of(7), 3);
+/// assert_eq!(q.try_pop_any(), Some(("grad:7", 0)));
+/// ```
+pub struct ShardedGradientQueue<T> {
+    lanes: Vec<GradientQueue<T>>,
+    /// Consumer fairness cursor: where the next rotating scan starts.
+    cursor: AtomicU64,
+}
+
+impl<T> ShardedGradientQueue<T> {
+    /// Creates `n_lanes` lanes (clamped to ≥ 1), each bounded at
+    /// `per_lane_cap` payloads with shed-oldest overflow. Every lane is an
+    /// intrinsically bounded `GradientQueue::bounded_lane` ctor, so the plane
+    /// satisfies the A11 bounded-producer rule by construction.
+    pub fn bounded(n_lanes: usize, per_lane_cap: usize) -> Self {
+        let lanes = (0..n_lanes.max(1))
+            .map(|i| GradientQueue::bounded_lane(per_lane_cap, i))
+            .collect();
+        Self {
+            lanes,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a producer key hashes to. Pure arithmetic on the key — no
+    /// shared state is read, so concurrent producers never serialize here.
+    pub fn lane_of(&self, key: u64) -> usize {
+        (key % self.lanes.len() as u64) as usize
+    }
+
+    /// Direct access to one lane (tests, per-lane draining).
+    pub fn lane(&self, i: usize) -> &GradientQueue<T> {
+        &self.lanes[i]
+    }
+
+    /// Enqueues a payload keyed by producer identity: the key picks the lane,
+    /// the push contends only on that lane's mutex.
+    pub fn push(&self, key: u64, item: T, base_version: u64) {
+        self.lanes[self.lane_of(key)].push(item, base_version);
+    }
+
+    /// Non-blocking dequeue: rotating scan over all lanes starting one past
+    /// the previous scan's origin, so no lane starves under sustained load.
+    pub fn try_pop_any(&self) -> Option<(T, u64)> {
+        let n = self.lanes.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+        for k in 0..n {
+            if let Some(entry) = self.lanes[(start + k) % n].try_pop() {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Dequeues with a timeout; `None` means timed out *or* closed-and-drained.
+    /// Scans all lanes, then parks briefly on one lane's condvar between
+    /// scans — the 1 ms park slice bounds the latency of a push landing on a
+    /// lane the consumer is not parked on.
+    pub fn pop_any_timeout(&self, timeout: Duration) -> Option<(T, u64)> {
+        if self.lanes.len() == 1 {
+            return self.lanes[0].pop_timeout(timeout);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(entry) = self.try_pop_any() {
+                return Some(entry);
+            }
+            if self.is_closed() {
+                // Closed: one final scan catches payloads pushed before the
+                // close raced ahead of our empty scan.
+                return self.try_pop_any();
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let slice = Duration::from_millis(1).min(deadline - now);
+            let park = (self.cursor.load(Ordering::Relaxed) as usize) % self.lanes.len();
+            if let Some(entry) = self.lanes[park].pop_timeout(slice) {
+                return Some(entry);
+            }
+        }
+    }
+
+    /// Dequeues, blocking until a payload arrives on any lane or the plane is
+    /// closed and drained (then `None`). With a single lane this is exactly
+    /// [`GradientQueue::pop`] — same blocking semantics, same trace spans.
+    pub fn pop_any(&self) -> Option<(T, u64)> {
+        if self.lanes.len() == 1 {
+            return self.lanes[0].pop();
+        }
+        loop {
+            if let Some(entry) = self.pop_any_timeout(Duration::from_millis(50)) {
+                return Some(entry);
+            }
+            if self.is_closed() && self.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Publishes the consumer's aggregation clock to every lane (see
+    /// [`GradientQueue::advance_clock`]).
+    pub fn advance_clock(&self, clock: u64) {
+        for lane in &self.lanes {
+            lane.advance_clock(clock);
+        }
+    }
+
+    /// The latest published aggregation clock (lanes share one publisher, so
+    /// any lane's view is the plane's view).
+    pub fn clock(&self) -> u64 {
+        self.lanes[0].clock()
+    }
+
+    /// Total payloads queued across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    /// True when every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.is_empty())
+    }
+
+    /// Total payloads shed across all lanes.
+    pub fn shed_count(&self) -> u64 {
+        self.lanes.iter().map(|l| l.shed_count()).sum()
+    }
+
+    /// Closes every lane, waking all blocked consumers.
+    pub fn close(&self) {
+        for lane in &self.lanes {
+            lane.close();
+        }
+    }
+
+    /// Whether the plane has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lanes[0].is_closed()
     }
 }
 
@@ -537,5 +756,111 @@ mod tests {
         q.push(2, 0);
         assert_eq!(q.try_pop(), None, "pushes after close are dropped");
         assert!(q.is_closed());
+    }
+
+    #[test]
+    fn sharded_routes_by_key_and_preserves_lane_fifo() {
+        let q = ShardedGradientQueue::bounded(4, 8);
+        assert_eq!(q.n_lanes(), 4);
+        for key in 0..8u64 {
+            q.push(key, key, key);
+        }
+        assert_eq!(q.len(), 8);
+        // Keys 1 and 5 share lane 1 and stay FIFO within it.
+        assert_eq!(q.lane_of(1), q.lane_of(5));
+        assert_eq!(q.lane(1).pop(), Some((1, 1)));
+        assert_eq!(q.lane(1).pop(), Some((5, 5)));
+    }
+
+    #[test]
+    fn sharded_rotating_scan_drains_every_lane() {
+        let q = ShardedGradientQueue::bounded(3, 8);
+        for key in 0..9u64 {
+            q.push(key, key, 0);
+        }
+        let mut got: Vec<u64> = (0..9).map(|_| q.try_pop_any().unwrap().0).collect();
+        assert_eq!(q.try_pop_any(), None);
+        got.sort_unstable();
+        assert_eq!(got, (0..9u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_lanes_shed_independently() {
+        let q = ShardedGradientQueue::bounded(2, 2);
+        // Lane 0 overflows; lane 1 stays under its cap.
+        for i in 0..4u64 {
+            q.push(0, i, i);
+        }
+        q.push(1, 100, 0);
+        assert_eq!(q.shed_count(), 2);
+        assert_eq!(q.lane(0).shed_count(), 2);
+        assert_eq!(q.lane(1).shed_count(), 0);
+        assert_eq!(q.lane(0).pop(), Some((2, 2)), "oldest payloads were shed");
+    }
+
+    #[test]
+    fn sharded_close_drains_then_reports_closed() {
+        let q = ShardedGradientQueue::bounded(2, 4);
+        q.push(0, "a", 0);
+        q.push(1, "b", 0);
+        q.close();
+        assert!(q.is_closed());
+        let mut got = vec![q.pop_any().unwrap().0, q.pop_any().unwrap().0];
+        got.sort_unstable();
+        assert_eq!(got, vec!["a", "b"]);
+        assert_eq!(q.pop_any(), None);
+        q.push(0, "c", 0);
+        assert!(q.is_empty(), "pushes after close are dropped");
+    }
+
+    #[test]
+    fn sharded_pop_any_blocks_until_push_on_any_lane() {
+        let q = Arc::new(ShardedGradientQueue::bounded(4, 4));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_any())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(3, 42u64, 7);
+        assert_eq!(consumer.join().unwrap(), Some((42, 7)));
+    }
+
+    #[test]
+    fn sharded_clock_broadcast_reaches_every_lane() {
+        let q = ShardedGradientQueue::<u8>::bounded(3, 4);
+        q.advance_clock(9);
+        for i in 0..3 {
+            assert_eq!(q.lane(i).clock(), 9);
+        }
+        assert_eq!(q.clock(), 9);
+    }
+
+    #[test]
+    fn sharded_single_lane_degenerates_to_gradient_queue() {
+        let q = ShardedGradientQueue::bounded(1, 4);
+        assert_eq!(q.n_lanes(), 1);
+        for key in [0u64, 17, 3] {
+            assert_eq!(q.lane_of(key), 0);
+        }
+        q.push(5, "x", 2);
+        assert_eq!(q.pop_any(), Some(("x", 2)));
+        assert_eq!(q.pop_any_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn sharded_lane_count_clamps_to_one() {
+        let q = ShardedGradientQueue::<u8>::bounded(0, 4);
+        assert_eq!(q.n_lanes(), 1);
+    }
+
+    #[test]
+    fn lane_metrics_registered_with_sanitized_names() {
+        let q = ShardedGradientQueue::bounded(2, 1);
+        q.push(0, 1u8, 0);
+        q.push(0, 2u8, 0); // lane 0 sheds its oldest
+        let text = stellaris_telemetry::global().render_prometheus();
+        assert!(text.contains("stellaris_cache_lane0_depth"));
+        assert!(text.contains("stellaris_cache_lane0_shed_total"));
+        stellaris_telemetry::validate_prometheus(&text).expect("lane metric names validate");
     }
 }

@@ -15,13 +15,18 @@
 //! - `staleness_average` is always finite, non-negative and bounded by the
 //!   clock, no matter how pushes interleave with the observer,
 //! - `close()` wakes blocked poppers, so shutdown cannot deadlock.
+//!
+//! The sharded-plane checks ([`ShardedGradientQueue`], DESIGN.md §16) extend
+//! the same invariants across lanes: keyed pushes racing a rotating-scan
+//! consumer lose nothing, payload count is conserved through shed-oldest
+//! overflow, and `close()` wakes a consumer blocked on `pop_any`.
 
 #![cfg(loom)]
 
 use loom::sync::Arc;
 use loom::thread;
 
-use stellaris_cache::GradientQueue;
+use stellaris_cache::{GradientQueue, ShardedGradientQueue};
 
 #[test]
 fn concurrent_push_pop_delivers_each_item_exactly_once() {
@@ -111,6 +116,116 @@ fn staleness_average_stays_bounded_under_concurrent_pushes() {
         // Deterministic postcondition once quiescent: (10+7+3+0)/4 = 5.
         assert_eq!(q.staleness_average(CLOCK), Some(5.0));
         assert_eq!(q.staleness_max(CLOCK), Some(10));
+    });
+}
+
+#[test]
+fn sharded_keyed_pushes_race_rotating_consumers_without_loss() {
+    loom::model(|| {
+        const PER_PRODUCER: u64 = 4;
+        let q = Arc::new(ShardedGradientQueue::bounded(2, 64));
+
+        let producers: Vec<_> = (0..2u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        // Producer identity keys the lane; payloads stay
+                        // globally distinct so duplication is observable.
+                        q.push(p, p * PER_PRODUCER + i, i);
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some((item, base)) = q.pop_any() {
+                        assert!(base < PER_PRODUCER, "base version echoes the push");
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        for h in producers {
+            h.join().expect("producer must not panic");
+        }
+        q.close();
+
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer must not panic"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..2 * PER_PRODUCER).collect::<Vec<_>>(),
+            "each gradient must cross the sharded plane exactly once"
+        );
+        assert_eq!(q.shed_count(), 0, "lanes far under cap never shed");
+    });
+}
+
+#[test]
+fn sharded_shed_oldest_conserves_payload_count() {
+    loom::model(|| {
+        const PER_PRODUCER: u64 = 6;
+        // Tiny lanes so concurrent pushes overflow: every push either
+        // deepens a lane or sheds that lane's oldest, never both and
+        // never neither.
+        let q = Arc::new(ShardedGradientQueue::bounded(2, 2));
+
+        let producers: Vec<_> = (0..2u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p, i, i);
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().expect("producer must not panic");
+        }
+
+        let queued = q.len() as u64;
+        assert_eq!(
+            queued + q.shed_count(),
+            2 * PER_PRODUCER,
+            "every push lands in a lane or increments the shed counter"
+        );
+        assert!(queued <= 4, "lane caps bound the plane: {queued}");
+    });
+}
+
+#[test]
+fn sharded_close_wakes_blocked_pop_any() {
+    loom::model(|| {
+        let q: Arc<ShardedGradientQueue<u32>> = Arc::new(ShardedGradientQueue::bounded(4, 8));
+
+        let popper = {
+            let q = Arc::clone(&q);
+            // pop_any parks across all four empty lanes until close();
+            // a lost wake-up would hang this join.
+            thread::spawn(move || q.pop_any())
+        };
+
+        thread::yield_now();
+        q.close();
+
+        assert_eq!(popper.join().expect("popper must not panic"), None);
+        assert!(q.is_closed());
+        // Post-close pushes are dropped on every lane.
+        q.push(3, 1, 0);
+        assert!(q.is_empty());
     });
 }
 

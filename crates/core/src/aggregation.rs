@@ -150,6 +150,18 @@ impl GradAccumulator {
         }
     }
 
+    /// Folds a block-sliced gradient list in: `bufs[j] += w * grads[blocks[j]]`
+    /// — a parameter shard's view of a full gradient message, where `blocks`
+    /// lists the global block indices the shard owns (DESIGN.md §16).
+    pub fn accumulate_indexed(&mut self, grads: &[Tensor], blocks: &[usize], w: f32) {
+        assert_eq!(blocks.len(), self.bufs.len(), "gradient layout mismatch");
+        for (acc, &b) in self.bufs.iter_mut().zip(blocks) {
+            let grad = &grads[b];
+            assert_eq!(acc.shape(), grad.shape(), "gradient shape mismatch");
+            acc.axpy(w, grad);
+        }
+    }
+
     /// The accumulated weighted sums.
     pub fn grads(&self) -> &[Tensor] {
         &self.bufs

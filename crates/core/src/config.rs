@@ -150,6 +150,14 @@ pub struct TrainConfig {
     /// (required for bitwise-deterministic runs — deadlines compare
     /// wall-clock time).
     pub invoke_deadline: Option<Duration>,
+    /// Parameter-plane shards (DESIGN.md §16). 1 = the classic single
+    /// server, bit-for-bit identical to pre-sharding runs; N>1 splits
+    /// parameter blocks across N independently-committing shards.
+    pub param_shards: usize,
+    /// Gradient-plane lanes: bounded MPSC lanes learners hash into so
+    /// enqueues never contend on one global lock. 1 = the classic single
+    /// queue.
+    pub grad_lanes: usize,
 }
 
 impl TrainConfig {
@@ -183,6 +191,8 @@ impl TrainConfig {
             faults: FaultConfig::off(),
             retry: RetryPolicy::default(),
             invoke_deadline: None,
+            param_shards: 1,
+            grad_lanes: 1,
         }
     }
 
@@ -246,6 +256,14 @@ impl TrainConfig {
     /// corruption) with its own seed, keeping the default retry policy.
     pub fn with_chaos(mut self, seed: u64) -> Self {
         self.faults = FaultConfig::chaos(seed);
+        self
+    }
+
+    /// Shards the gradient/parameter plane: `shards` parameter shards and
+    /// `lanes` gradient lanes (both clamped to at least 1).
+    pub fn with_sharding(mut self, shards: usize, lanes: usize) -> Self {
+        self.param_shards = shards.max(1);
+        self.grad_lanes = lanes.max(1);
         self
     }
 

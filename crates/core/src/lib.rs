@@ -38,7 +38,7 @@ pub use config::{Algo, Deployment, LearnerMode, TrainConfig};
 pub use messages::GradientMsg;
 pub use metrics::{rows_to_csv, TimerReport, Timers, TrainRow};
 pub use orchestrator::{smooth, train, TrainResult, POLICY_KEY};
-pub use parameter::ParameterServer;
+pub use parameter::{ParameterServer, ShardLayout, ShardedParameterServer, StalenessRing};
 pub use remote::{
     serve_worker, snapshot_checksum, GradientRequest, RemoteError, RemoteFleet, RemoteRunReport,
     RemoteSetup, RemoteWorker, WireEvent, WireEventBatch,

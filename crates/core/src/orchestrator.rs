@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use stellaris_cache::{BlockingQueue, Cache, GradientQueue, LatencyModel};
+use stellaris_cache::{BlockingQueue, Cache, LatencyModel, ShardedGradientQueue};
 use stellaris_envs::make_env;
 use stellaris_nn::Tensor;
 use stellaris_rl::{
@@ -38,7 +38,7 @@ use crate::autoscale::LearnerAutoscaler;
 use crate::config::{Algo, Deployment, LearnerMode, TrainConfig};
 use crate::messages::GradientMsg;
 use crate::metrics::{Component, TimerReport, Timers, TrainRow};
-use crate::parameter::ParameterServer;
+use crate::parameter::{ParameterServer, ShardedParameterServer};
 use crate::transport::{Placement, Router};
 use crate::truncation::RatioBoard;
 
@@ -204,14 +204,19 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     platform.prewarm(FunctionKind::Actor, cfg.n_actors);
 
     let policy0 = initial_policy(cfg);
-    let server = Arc::new(Mutex::new(ParameterServer::new(
+    // DESIGN.md §16: the parameter plane is sharded by parameter block.
+    // `param_shards = 1` (every preset's default) collapses to a single
+    // shard whose aggregation is bit-for-bit identical to the classic
+    // `ParameterServer` — the regression test in `parameter.rs` pins this.
+    let server = Arc::new(ShardedParameterServer::new(
         policy0.clone(),
-        cfg.optimizer.build(cfg.algo.lr()),
         rule.clone(),
-    )));
+        cfg.param_shards,
+        || cfg.optimizer.build(cfg.algo.lr()),
+    ));
     // Snapshot first: `put_obj` locks cache shards, which must never happen
-    // while the parameter-server guard is live.
-    let snapshot0 = server.lock().snapshot();
+    // while a parameter-shard guard is live.
+    let snapshot0 = server.snapshot();
     cache.put_obj(POLICY_KEY, &snapshot0);
 
     let board = Arc::new(match cfg.truncation_rho {
@@ -236,7 +241,11 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     // anyway. Under normal operation no payload is ever shed, so bounding
     // the queue does not perturb same-seed reproducibility.
     let grad_cap = 8 * cfg.max_learners.max(8);
-    let grad_q: Arc<GradientQueue<String>> = Arc::new(GradientQueue::bounded(grad_cap));
+    // Learners hash into `grad_lanes` independent bounded MPSC lanes so a
+    // 10k-learner fan-in never serialises on one queue lock; one lane (the
+    // default) is exactly the classic single bounded queue.
+    let grad_q: Arc<ShardedGradientQueue<String>> =
+        Arc::new(ShardedGradientQueue::bounded(cfg.grad_lanes, grad_cap));
     let stop = Arc::new(AtomicBool::new(false));
     let steps = Arc::new(AtomicU64::new(0));
     // Actors sample up to the current round's data budget and then idle,
@@ -404,10 +413,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                         }
                         continue;
                     };
-                    let token = throttle.as_ref().map(|t| {
-                        let clock = server.lock().clock();
-                        t.begin(clock)
-                    });
+                    let token = throttle.as_ref().map(|t| t.begin(server.clock()));
                     // A retried invocation re-reads the *current* snapshot,
                     // so a straggler's re-execution carries fresh
                     // `base_version` — its residual staleness is exactly
@@ -473,7 +479,10 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
                             })
                     };
                     match sent {
-                        Some(key) => grad_q.push(key, base_version),
+                        // Lane choice is keyed by learner id: a learner
+                        // always lands on the same lane and never touches
+                        // a global queue lock.
+                        Some(key) => grad_q.push(l as u64, key, base_version),
                         None => {
                             degraded.fetch_add(1, Ordering::Relaxed);
                         }
@@ -489,20 +498,16 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             let server = server.clone();
             let timers = timers.clone();
             s.spawn(move |_| {
-                while let Some((key, _base_version)) = grad_q.pop() {
+                while let Some((key, _base_version)) = grad_q.pop_any() {
                     let _t = timers.span(Component::Aggregation);
                     let Ok(msg) = cache.take_obj::<GradientMsg>(&key) else {
                         continue;
                     };
-                    let mut srv = server.lock();
-                    let applied = srv.offer(msg);
-                    let clock = srv.clock();
+                    let applied = server.offer(msg);
+                    let clock = server.clock();
                     if applied > 0 {
-                        let snap = srv.snapshot();
-                        drop(srv);
+                        let snap = server.snapshot();
                         cache.put_obj(POLICY_KEY, &snap);
-                    } else {
-                        drop(srv);
                     }
                     // Publish the aggregation clock so dequeues can histogram
                     // each gradient's staleness at consumption time.
@@ -518,7 +523,7 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
         let mut prev_updates = 0u64;
         let mut prev_invocations = 0u64;
         let mut prev_episodes = 0u64;
-        let mut prev_staleness_len = 0usize;
+        let mut prev_staleness_len = 0u64;
         let mut last_round_end = Instant::now();
         let mut last_reward = f32::NEG_INFINITY;
 
@@ -570,11 +575,11 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
             last_reward = reward;
 
             let (updates, staleness_len, mean_staleness) = {
-                let mut srv = server.lock();
-                srv.advance_round();
-                let new = srv.staleness_log.len() - prev_staleness_len;
-                let mean = srv.mean_recent_staleness(new.max(1));
-                (srv.updates, srv.staleness_log.len(), mean)
+                server.advance_round();
+                let recorded = server.staleness_log().recorded();
+                let new = (recorded - prev_staleness_len) as usize;
+                let mean = server.mean_recent_staleness(new.max(1));
+                (server.updates(), recorded, mean)
             };
             let records = platform.records();
             let invocations = records
@@ -635,16 +640,13 @@ fn train_async(cfg: &TrainConfig, rule: AggregationRule) -> TrainResult {
     }
 
     // Copy what finalize needs out of the server before it touches the
-    // platform: finalize locks `platform.records`, and holding the server
-    // guard across that acquisition would order the two locks.
-    let server_final = {
-        let guard = server.lock();
-        ServerFinal {
-            staleness_log: guard.staleness_log.clone(),
-            updates: guard.updates,
-            grads_aggregated: guard.grads_aggregated,
-            snapshot: guard.snapshot(),
-        }
+    // platform: each accessor takes and releases its shard guard, so no
+    // server lock is ever held across `platform.records`.
+    let server_final = ServerFinal {
+        staleness_log: server.staleness_log().to_vec(),
+        updates: server.updates(),
+        grads_aggregated: server.grads_aggregated(),
+        snapshot: server.snapshot(),
     };
     finalize(
         cfg,
@@ -985,7 +987,7 @@ fn train_sync(cfg: &TrainConfig, n_learners: usize) -> TrainResult {
     }
 
     let server_final = ServerFinal {
-        staleness_log: server.staleness_log.clone(),
+        staleness_log: server.staleness_log.to_vec(),
         updates: server.updates,
         grads_aggregated: server.grads_aggregated,
         snapshot: server.snapshot(),
@@ -1046,7 +1048,7 @@ fn finalize(
     let (cold, _) = platform.start_counts();
     let final_reward = rows.last().map(|r| r.reward).unwrap_or(0.0);
     TrainResult {
-        staleness_log: server.staleness_log,
+        staleness_log: server.staleness_log.to_vec(),
         timers: timer_report,
         final_reward,
         cost: cost_for(cfg, platform, wall),

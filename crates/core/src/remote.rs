@@ -25,9 +25,11 @@ use bytes::BytesMut;
 use stellaris_cache::frame::{op, Frame, FrameReader, WireError};
 use stellaris_cache::{decode_seq, encode_seq, seq_encoded_len, Codec, CodecError};
 use stellaris_envs::{make_env, EnvConfig, EnvId};
+use stellaris_nn::ParamSet;
 use stellaris_rl::{
-    fill_gae, ImpactConfig, ImpactLearner, ImpalaConfig, PolicyNet, PolicySnapshot, PolicySpec,
-    PpoConfig, RolloutWorker, SampleBatch,
+    apply_to_snapshot, fill_gae, BlockLayout, DeltaStore, ImpactConfig, ImpactLearner,
+    ImpalaConfig, PolicyDelta, PolicyNet, PolicySnapshot, PolicySpec, PpoConfig, RolloutWorker,
+    SampleBatch,
 };
 use stellaris_serverless::{
     FaultPlan, FaultReport, FunctionKind, OverheadMode, Platform, ProcessConfig, ProcessPool,
@@ -371,6 +373,8 @@ struct WorkerState {
     policy: PolicyNet,
     impact_state: Option<ImpactLearner>,
     snap: Option<PolicySnapshot>,
+    /// Flat-vector geometry for applying `POLICY_DELTA` frames.
+    layout: BlockLayout,
 }
 
 impl WorkerState {
@@ -391,6 +395,7 @@ impl WorkerState {
         // Same rollout seed derivation as the orchestrator's actor 0, so a
         // remote collect and an in-process collect draw identical episodes.
         let rollout = RolloutWorker::new(make_env(env_id, env_cfg), setup.seed.wrapping_mul(1000));
+        let layout = BlockLayout::from_shapes(&policy.param_shapes());
         Ok(Self {
             algo,
             actor_steps: setup.actor_steps,
@@ -398,6 +403,7 @@ impl WorkerState {
             policy,
             impact_state: None,
             snap: None,
+            layout,
         })
     }
 }
@@ -465,6 +471,38 @@ pub fn serve_worker<S: Read + Write>(
                 }
                 (None, _) => send_err(&mut reader, trace, "not initialised".to_string())?,
                 (_, Err(e)) => send_err(&mut reader, trace, format!("bad LOAD_POLICY: {e}"))?,
+            },
+            op::POLICY_DELTA => match (&mut state, frame.decode_value::<PolicyDelta>()) {
+                (Some(s), Ok(delta)) => {
+                    // Apply against the worker's held snapshot; a base
+                    // mismatch (or a delta with no base to land on) is an
+                    // ERR and the parent falls back to a full LOAD_POLICY.
+                    match &mut s.snap {
+                        Some(snap) => match apply_to_snapshot(&delta, snap, &s.layout) {
+                            Ok(()) => send_ok(&mut reader, trace)?,
+                            Err(e) => send_err(&mut reader, trace, format!("delta rejected: {e}"))?,
+                        },
+                        None if delta.full => {
+                            let mut snap = s.policy.snapshot();
+                            match apply_to_snapshot(&delta, &mut snap, &s.layout) {
+                                Ok(()) => {
+                                    s.snap = Some(snap);
+                                    send_ok(&mut reader, trace)?;
+                                }
+                                Err(e) => {
+                                    send_err(&mut reader, trace, format!("delta rejected: {e}"))?
+                                }
+                            }
+                        }
+                        None => send_err(
+                            &mut reader,
+                            trace,
+                            "delta rejected: no base snapshot loaded".to_string(),
+                        )?,
+                    }
+                }
+                (None, _) => send_err(&mut reader, trace, "not initialised".to_string())?,
+                (_, Err(e)) => send_err(&mut reader, trace, format!("bad POLICY_DELTA: {e}"))?,
             },
             op::COLLECT => match (&mut state, frame.decode_value::<u64>()) {
                 (Some(s), Ok(steps)) => {
@@ -641,6 +679,19 @@ impl RemoteWorker {
             .map(|_| ())
     }
 
+    /// Ships a delta-encoded policy update (only the blocks changed since
+    /// the worker's version). The worker answers `ERR` on a base mismatch,
+    /// surfaced as [`RemoteError::Rejected`] — callers fall back to
+    /// [`Self::load_policy`].
+    pub fn load_policy_delta(
+        &mut self,
+        delta: &PolicyDelta,
+        trace: u64,
+    ) -> Result<(), RemoteError> {
+        self.request(op::POLICY_DELTA, trace, &delta.to_bytes())
+            .map(|_| ())
+    }
+
     /// Collects `steps` timesteps remotely (0 = the setup's default).
     pub fn collect(&mut self, steps: u64, trace: u64) -> Result<SampleBatch, RemoteError> {
         let reply = self.request(op::COLLECT, trace, &steps.to_bytes())?;
@@ -726,6 +777,15 @@ pub struct RemoteRunReport {
     pub events_ingested: usize,
     /// Learner invocations recorded on the platform (including failures).
     pub learner_invocations: u64,
+    /// Policy loads shipped as full snapshots (round 0 and delta
+    /// fallbacks).
+    pub policy_full_pulls: u64,
+    /// Policy loads shipped delta-encoded.
+    pub policy_delta_pulls: u64,
+    /// Payload bytes of full-snapshot policy loads.
+    pub policy_bytes_full: u64,
+    /// Payload bytes of delta-encoded policy loads.
+    pub policy_bytes_delta: u64,
 }
 
 /// Order-sensitive FNV-1a fold over a snapshot's raw `f32` bits: two runs
@@ -827,6 +887,20 @@ impl RemoteFleet {
         let mut recovered = 0u64;
         let mut events_ingested = 0usize;
 
+        // Delta-encoded policy pulls (DESIGN.md §16): the parent tracks the
+        // version the actor worker holds and ships only the blocks changed
+        // since. Round 0 (and any rejected delta) falls back to a full
+        // LOAD_POLICY.
+        let mut delta_store = DeltaStore::new(
+            BlockLayout::from_shapes(&build_policy(&self.cfg).param_shapes()),
+            &server.snapshot(),
+        );
+        let mut actor_version: Option<u64> = None;
+        let mut policy_full_pulls = 0u64;
+        let mut policy_delta_pulls = 0u64;
+        let mut policy_bytes_full = 0u64;
+        let mut policy_bytes_delta = 0u64;
+
         for round in 0..self.cfg.rounds {
             let mut round_span = telemetry::span_with("fleet.round", vec![("round", round.into())]);
             let snap = server.snapshot();
@@ -836,7 +910,39 @@ impl RemoteFleet {
                 let collect_span =
                     telemetry::span_with("fleet.collect", vec![("round", round.into())]);
                 let t0 = Instant::now();
-                actor.load_policy(&snap, collect_span.id())?;
+                delta_store.ingest(&snap);
+                let shipped = match actor_version {
+                    Some(v) => {
+                        let delta = delta_store.delta_since(v);
+                        // Ship whichever encoding is smaller: a dense
+                        // update that touches every block makes the delta
+                        // (blocks + index overhead) larger than the flat
+                        // snapshot, so the full pull wins there.
+                        if delta.encoded_len() >= snap.encoded_len() {
+                            false
+                        } else {
+                            policy_bytes_delta += delta.encoded_len() as u64;
+                            match actor.load_policy_delta(&delta, collect_span.id()) {
+                                Ok(()) => {
+                                    policy_delta_pulls += 1;
+                                    true
+                                }
+                                // Base mismatch: the worker's lineage
+                                // diverged (e.g. a respawn); fall back to
+                                // the full pull.
+                                Err(RemoteError::Rejected(_)) => false,
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                    None => false,
+                };
+                if !shipped {
+                    actor.load_policy(&snap, collect_span.id())?;
+                    policy_full_pulls += 1;
+                    policy_bytes_full += snap.encoded_len() as u64;
+                }
+                actor_version = Some(delta_store.version());
                 let batch = actor.collect(self.cfg.actor_steps as u64, collect_span.id())?;
                 let exec = t0.elapsed();
                 self.platform.record_remote(
@@ -1005,12 +1111,16 @@ impl RemoteFleet {
             final_version: server.clock(),
             final_checksum: snapshot_checksum(&snapshot),
             grads_aggregated: server.grads_aggregated,
-            staleness_log: server.staleness_log.clone(),
+            staleness_log: server.staleness_log.to_vec(),
             cold_spawns,
             warm_reuses,
             recovered,
             faults: self.faults.report(),
             events_ingested,
+            policy_full_pulls,
+            policy_delta_pulls,
+            policy_bytes_full,
+            policy_bytes_delta,
             learner_invocations: self
                 .platform
                 .records()
@@ -1027,6 +1137,7 @@ mod tests {
     use std::net::TcpListener;
     use stellaris_cache::frame::{write_value_frame, DEFAULT_MAX_FRAME};
     use stellaris_envs::EnvId;
+    use stellaris_rl::BlockUpdate;
     use stellaris_serverless::WireStream;
 
     fn tiny_setup() -> RemoteSetup {
@@ -1110,6 +1221,107 @@ mod tests {
             events[0].fields,
             vec![("learner", FieldValue::Text("2".to_string()))]
         );
+    }
+
+    /// The delta-pull half of the wire protocol against a live worker:
+    /// a partial `POLICY_DELTA` lands bit-for-bit (the subsequent collect
+    /// equals a local collect under the delta-applied snapshot), a
+    /// mismatched base is an `ERR` that leaves the stream usable, and
+    /// deltas before INIT / before a base snapshot are typed rejections.
+    #[test]
+    fn policy_delta_over_tcp() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            serve_worker(WireStream::Tcp(stream), 1 << 41, DEFAULT_MAX_FRAME)
+        });
+        let stream = WireStream::connect_addr(&format!("tcp:127.0.0.1:{port}")).unwrap();
+        let mut reader = FrameReader::new(stream);
+        let cap = reader.max_frame();
+        assert_eq!(reader.read_frame().unwrap().header.kind, op::HELLO);
+
+        let cfg = TrainConfig::test_tiny(EnvId::PointMass, 11);
+        let policy = build_policy(&cfg);
+        let layout = BlockLayout::from_shapes(&policy.param_shapes());
+        let snap0 = policy.snapshot();
+        let delta = PolicyDelta {
+            from: snap0.version,
+            to: snap0.version + 1,
+            full: false,
+            blocks: vec![BlockUpdate {
+                index: 0,
+                data: layout.split(&snap0.flat)[0]
+                    .iter()
+                    .map(|x| x + 0.25)
+                    .collect(),
+            }],
+        };
+
+        // Before INIT: rejected, stream intact.
+        write_value_frame(reader.get_mut(), op::POLICY_DELTA, 1, &delta, cap).unwrap();
+        let early = reader.read_frame().unwrap();
+        assert_eq!(early.header.kind, op::ERR);
+
+        write_value_frame(reader.get_mut(), op::INIT, 2, &tiny_setup(), cap).unwrap();
+        assert_eq!(reader.read_frame().unwrap().header.kind, op::OK);
+
+        // A partial delta with no base snapshot loaded yet: rejected.
+        write_value_frame(reader.get_mut(), op::POLICY_DELTA, 3, &delta, cap).unwrap();
+        let no_base = reader.read_frame().unwrap();
+        assert_eq!(no_base.header.kind, op::ERR);
+        let msg = no_base.decode_value::<String>().unwrap();
+        assert!(msg.contains("delta rejected"), "typed rejection: {msg}");
+
+        write_value_frame(reader.get_mut(), op::LOAD_POLICY, 4, &snap0, cap).unwrap();
+        assert_eq!(reader.read_frame().unwrap().header.kind, op::OK);
+
+        // Now the delta applies.
+        write_value_frame(reader.get_mut(), op::POLICY_DELTA, 5, &delta, cap).unwrap();
+        assert_eq!(reader.read_frame().unwrap().header.kind, op::OK);
+
+        // A delta against the wrong base: ERR naming the mismatch, and the
+        // worker's state must stay at the applied version.
+        let stale = PolicyDelta {
+            from: 99,
+            to: 100,
+            full: false,
+            blocks: delta.blocks.clone(),
+        };
+        write_value_frame(reader.get_mut(), op::POLICY_DELTA, 6, &stale, cap).unwrap();
+        let mismatch = reader.read_frame().unwrap();
+        assert_eq!(mismatch.header.kind, op::ERR);
+        let msg = mismatch.decode_value::<String>().unwrap();
+        assert!(msg.contains("base"), "mismatch names the base: {msg}");
+
+        // Collect under the delta-applied policy: must equal a local collect
+        // with the same snapshot bits and rollout seed. Trace id 4 matches
+        // the conversation test's collect: both workers share this process's
+        // telemetry buffer, so a concurrent PULL_SPANS there may drain this
+        // span and assert on its parent.
+        write_value_frame(reader.get_mut(), op::COLLECT, 4, &12u64, cap).unwrap();
+        let reply = reader.read_frame().unwrap();
+        assert_eq!(reply.header.kind, op::OK);
+        let remote_batch = reply.decode_value::<SampleBatch>().unwrap();
+
+        let mut expected_snap = snap0.clone();
+        apply_to_snapshot(&delta, &mut expected_snap, &layout).unwrap();
+        let mut local_policy = build_policy(&cfg);
+        local_policy.load_snapshot(&expected_snap);
+        let setup = tiny_setup();
+        let mut local_rollout = RolloutWorker::new(
+            make_env(EnvId::PointMass, setup.env_cfg()),
+            setup.seed.wrapping_mul(1000),
+        );
+        let local_batch = local_rollout.collect(&local_policy, 12);
+        assert_eq!(
+            remote_batch, local_batch,
+            "delta-applied policy diverged from local application"
+        );
+
+        write_value_frame(reader.get_mut(), op::SHUTDOWN, 8, &0u8, cap).unwrap();
+        assert_eq!(reader.read_frame().unwrap().header.kind, op::OK);
+        server.join().unwrap().unwrap();
     }
 
     /// Full conversation against `serve_worker` on a real TCP socket:

@@ -103,7 +103,7 @@ fn concurrent_offers_conserve_gradients() {
         );
         assert!(ps.grads_aggregated <= offered);
         assert_eq!(
-            ps.staleness_log.len() as u64,
+            ps.staleness_log.recorded(),
             ps.grads_aggregated,
             "every aggregated gradient logs exactly one staleness sample"
         );

@@ -1,0 +1,654 @@
+//! Delta-encoded policy pulls (DESIGN.md §16): a learner at policy version
+//! `v` downloads only the parameter blocks that changed since `v` instead of
+//! the whole flat snapshot.
+//!
+//! The parameter plane is partitioned into *blocks* — one block per parameter
+//! tensor ([`BlockLayout`], the same ordering `ParamSet::params` uses) — and
+//! every block carries the version of the commit that last wrote it. A pull
+//! at version `v` then ships exactly the blocks with `block_version > v`
+//! ([`DeltaStore::delta_since`]); a learner that is already current receives
+//! an empty delta a few bytes long. When `v` predates what the store can
+//! answer for (older than the store's birth version, or from an unknown
+//! lineage ahead of the store), the delta degrades to a **full refresh** that
+//! carries every block, so `apply` always converges to the store's state.
+//!
+//! ABS (arXiv 2301.08895) shows convergence survives communicating less per
+//! sync under bounded staleness; Adaptive Policy Synchronization
+//! (arXiv 2507.10990) decouples re-sync from the round clock. This module is
+//! the wire-format half of both: [`PolicyDelta`] is a [`Codec`] value, so it
+//! rides the existing frame transport (`op::POLICY_DELTA`).
+
+use bytes::BytesMut;
+use stellaris_cache::{decode_seq, encode_seq, seq_encoded_len, Codec, CodecError};
+
+use crate::policy::PolicySnapshot;
+
+/// How a flat parameter vector splits into blocks: one block per parameter
+/// tensor, in `ParamSet::params` order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Element count of each block.
+    sizes: Vec<usize>,
+    /// Element offset of each block within the flat vector.
+    offsets: Vec<usize>,
+    /// Total element count (sum of `sizes`).
+    total: usize,
+}
+
+impl BlockLayout {
+    /// Builds the layout from parameter-tensor shapes
+    /// (`ParamSet::param_shapes`).
+    pub fn from_shapes(shapes: &[Vec<usize>]) -> Self {
+        let sizes: Vec<usize> = shapes.iter().map(|s| s.iter().product::<usize>()).collect();
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut total = 0usize;
+        for &sz in &sizes {
+            offsets.push(total);
+            total += sz;
+        }
+        Self {
+            sizes,
+            offsets,
+            total,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Element count of block `i`.
+    pub fn size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Element offset of block `i` within the flat vector.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Total element count across all blocks.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Splits a flat vector into per-block vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != self.total()` — layouts come from the same
+    /// policy spec as the flat vector, so a mismatch is a caller bug.
+    pub fn split(&self, flat: &[f32]) -> Vec<Vec<f32>> {
+        // lint:allow(L1): shape mismatch between a policy and its own layout is a caller bug
+        assert_eq!(flat.len(), self.total, "flat length disagrees with layout");
+        self.sizes
+            .iter()
+            .zip(&self.offsets)
+            .map(|(&sz, &off)| flat[off..off + sz].to_vec())
+            .collect()
+    }
+}
+
+/// One changed block inside a [`PolicyDelta`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockUpdate {
+    /// Block index within the [`BlockLayout`].
+    pub index: u32,
+    /// The block's full new contents.
+    pub data: Vec<f32>,
+}
+
+impl Codec for BlockUpdate {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.index.encode(buf);
+        self.data.encode(buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Self {
+            index: u32::decode(buf)?,
+            data: Vec::<f32>::decode(buf)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.index.encoded_len() + self.data.encoded_len()
+    }
+}
+
+/// A versioned policy update: everything a learner at version `from` needs
+/// to reach version `to`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyDelta {
+    /// The version this delta applies on top of. Ignored when `full`.
+    pub from: u64,
+    /// The version the receiver is at after applying.
+    pub to: u64,
+    /// Full refresh: `blocks` carries *every* block and replaces the
+    /// receiver's state regardless of its current version.
+    pub full: bool,
+    /// Changed blocks, ascending by index.
+    pub blocks: Vec<BlockUpdate>,
+}
+
+impl PolicyDelta {
+    /// True when there is nothing to apply (receiver already current).
+    pub fn is_empty(&self) -> bool {
+        !self.full && self.blocks.is_empty()
+    }
+}
+
+impl Codec for PolicyDelta {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.from.encode(buf);
+        self.to.encode(buf);
+        self.full.encode(buf);
+        encode_seq(&self.blocks, buf);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Self {
+            from: u64::decode(buf)?,
+            to: u64::decode(buf)?,
+            full: bool::decode(buf)?,
+            blocks: decode_seq(buf)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.from.encoded_len()
+            + self.to.encoded_len()
+            + self.full.encoded_len()
+            + seq_encoded_len(&self.blocks)
+    }
+}
+
+/// Applying a delta failed; the receiver's state is untouched (validation
+/// happens before any write).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta was built against a different base version than the
+    /// receiver holds; the receiver should fall back to a full pull.
+    BaseMismatch {
+        /// Version the delta applies on top of.
+        expected: u64,
+        /// Version the receiver actually holds.
+        got: u64,
+    },
+    /// A block index is outside the layout.
+    BlockIndex(u32),
+    /// A block's element count disagrees with the layout.
+    BlockSize {
+        /// Offending block.
+        index: u32,
+        /// Element count the layout requires.
+        expected: usize,
+        /// Element count the delta carried.
+        got: usize,
+    },
+    /// A full refresh did not carry every block exactly once.
+    IncompleteFull,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BaseMismatch { expected, got } => {
+                write!(f, "delta base v{expected} does not match receiver v{got}")
+            }
+            DeltaError::BlockIndex(i) => write!(f, "block index {i} outside layout"),
+            DeltaError::BlockSize {
+                index,
+                expected,
+                got,
+            } => write!(f, "block {index}: expected {expected} elements, got {got}"),
+            DeltaError::IncompleteFull => {
+                write!(f, "full refresh must carry every block exactly once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Validates a delta against a layout and a receiver version without
+/// touching any state: every error [`apply_to_snapshot`] can raise is raised
+/// here first.
+fn validate(delta: &PolicyDelta, layout: &BlockLayout, at: u64) -> Result<(), DeltaError> {
+    if !delta.full && delta.from != at {
+        return Err(DeltaError::BaseMismatch {
+            expected: delta.from,
+            got: at,
+        });
+    }
+    let mut seen = vec![false; layout.n_blocks()];
+    for b in &delta.blocks {
+        let i = b.index as usize;
+        if i >= layout.n_blocks() {
+            return Err(DeltaError::BlockIndex(b.index));
+        }
+        if b.data.len() != layout.size(i) {
+            return Err(DeltaError::BlockSize {
+                index: b.index,
+                expected: layout.size(i),
+                got: b.data.len(),
+            });
+        }
+        if seen[i] {
+            // A duplicate in a full refresh means some other block is
+            // missing; in a partial delta it is a sender bug either way.
+            return Err(DeltaError::IncompleteFull);
+        }
+        seen[i] = true;
+    }
+    if delta.full && !seen.iter().all(|&s| s) {
+        return Err(DeltaError::IncompleteFull);
+    }
+    Ok(())
+}
+
+/// Applies a delta to a flat snapshot in place: the receiver half of a
+/// delta pull for holders of a plain [`PolicySnapshot`] (remote workers).
+/// On error the snapshot is untouched.
+pub fn apply_to_snapshot(
+    delta: &PolicyDelta,
+    snap: &mut PolicySnapshot,
+    layout: &BlockLayout,
+) -> Result<(), DeltaError> {
+    validate(delta, layout, snap.version)?;
+    for b in &delta.blocks {
+        let off = layout.offset(b.index as usize);
+        snap.flat[off..off + b.data.len()].copy_from_slice(&b.data);
+    }
+    snap.version = delta.to;
+    Ok(())
+}
+
+/// Server-side versioned block store: tracks, per block, the version of the
+/// snapshot that last changed it, and serves [`PolicyDelta`]s against any
+/// base version it can answer for.
+///
+/// Content-diff based: feed it every published [`PolicySnapshot`] with
+/// [`DeltaStore::ingest`] and it detects which blocks actually moved. (The
+/// sharded parameter server maintains exact per-block versions natively and
+/// builds its deltas without diffing; this store is for serving deltas in
+/// front of any snapshot producer, e.g. the remote fleet's driver.)
+#[derive(Clone, Debug)]
+pub struct DeltaStore {
+    layout: BlockLayout,
+    blocks: Vec<Vec<f32>>,
+    block_versions: Vec<u64>,
+    version: u64,
+    /// The version tracking began at: pulls from before it get a full
+    /// refresh because the store cannot know which blocks changed earlier.
+    birth: u64,
+}
+
+impl DeltaStore {
+    /// Starts tracking from a snapshot.
+    pub fn new(layout: BlockLayout, snap: &PolicySnapshot) -> Self {
+        let blocks = layout.split(&snap.flat);
+        let n = layout.n_blocks();
+        Self {
+            layout,
+            blocks,
+            block_versions: vec![snap.version; n],
+            version: snap.version,
+            birth: snap.version,
+        }
+    }
+
+    /// The store's current version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The block layout this store serves.
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    /// Ingests a newer snapshot, content-diffing each block; returns how
+    /// many blocks changed. Snapshots older than the store's version are
+    /// ignored (a racing stale publisher), returning 0.
+    pub fn ingest(&mut self, snap: &PolicySnapshot) -> usize {
+        if snap.version < self.version {
+            return 0;
+        }
+        let fresh = self.layout.split(&snap.flat);
+        let mut changed = 0;
+        for (i, block) in fresh.into_iter().enumerate() {
+            if block != self.blocks[i] {
+                self.blocks[i] = block;
+                self.block_versions[i] = snap.version;
+                changed += 1;
+            }
+        }
+        self.version = snap.version;
+        changed
+    }
+
+    /// The delta a learner at version `v` needs to reach the store's
+    /// current state. Empty when `v` is current; a full refresh when `v` is
+    /// ahead of the store (unknown lineage) or older than the store's birth.
+    pub fn delta_since(&self, v: u64) -> PolicyDelta {
+        if v > self.version || v < self.birth {
+            return PolicyDelta {
+                from: v,
+                to: self.version,
+                full: true,
+                blocks: self.all_blocks(),
+            };
+        }
+        let blocks = (0..self.layout.n_blocks())
+            .filter(|&i| self.block_versions[i] > v)
+            .map(|i| BlockUpdate {
+                index: i as u32,
+                data: self.blocks[i].clone(),
+            })
+            .collect();
+        PolicyDelta {
+            from: v,
+            to: self.version,
+            full: false,
+            blocks,
+        }
+    }
+
+    fn all_blocks(&self) -> Vec<BlockUpdate> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BlockUpdate {
+                index: i as u32,
+                data: b.clone(),
+            })
+            .collect()
+    }
+
+    /// Reassembles the current state as a flat snapshot.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        let mut flat = Vec::with_capacity(self.layout.total());
+        for b in &self.blocks {
+            flat.extend_from_slice(b);
+        }
+        PolicySnapshot {
+            version: self.version,
+            flat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn layout3() -> BlockLayout {
+        BlockLayout::from_shapes(&[vec![2, 3], vec![4], vec![1]])
+    }
+
+    fn snap(version: u64, layout: &BlockLayout, fill: f32) -> PolicySnapshot {
+        PolicySnapshot {
+            version,
+            flat: (0..layout.total()).map(|i| fill + i as f32).collect(),
+        }
+    }
+
+    #[test]
+    fn layout_partitions_the_flat_vector() {
+        let l = layout3();
+        assert_eq!(l.n_blocks(), 3);
+        assert_eq!(l.total(), 11);
+        assert_eq!((l.offset(0), l.size(0)), (0, 6));
+        assert_eq!((l.offset(1), l.size(1)), (6, 4));
+        assert_eq!((l.offset(2), l.size(2)), (10, 1));
+        let split = l.split(&(0..11).map(|i| i as f32).collect::<Vec<_>>());
+        assert_eq!(split[2], vec![10.0]);
+    }
+
+    #[test]
+    fn empty_delta_for_current_learner() {
+        let l = layout3();
+        let store = DeltaStore::new(l, &snap(5, &layout3(), 0.0));
+        let d = store.delta_since(5);
+        assert!(d.is_empty());
+        assert_eq!((d.from, d.to), (5, 5));
+        // An empty delta is a few bytes, not a policy payload.
+        assert!(d.to_bytes().len() < 32);
+    }
+
+    #[test]
+    fn partial_delta_ships_only_changed_blocks() {
+        let l = layout3();
+        let mut store = DeltaStore::new(l.clone(), &snap(0, &l, 0.0));
+        // Bump only block 1's contents at version 1.
+        let mut s1 = store.snapshot();
+        s1.version = 1;
+        s1.flat[7] += 10.0;
+        assert_eq!(store.ingest(&s1), 1);
+        let d = store.delta_since(0);
+        assert!(!d.full);
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].index, 1);
+        // A learner at 0 applies it and lands on the store's state.
+        let mut learner = snap(0, &l, 0.0);
+        apply_to_snapshot(&d, &mut learner, &l).unwrap();
+        assert_eq!(learner, store.snapshot());
+    }
+
+    #[test]
+    fn too_old_or_future_base_falls_back_to_full_refresh() {
+        let l = layout3();
+        let mut store = DeltaStore::new(l.clone(), &snap(10, &l, 0.0));
+        let mut s11 = store.snapshot();
+        s11.version = 11;
+        s11.flat[0] += 1.0;
+        store.ingest(&s11);
+
+        for v in [3, 99] {
+            let d = store.delta_since(v);
+            assert!(d.full, "v{v} must fall back to a full refresh");
+            assert_eq!(d.blocks.len(), l.n_blocks());
+            // Full refresh applies regardless of the receiver's version.
+            let mut learner = snap(v, &l, 42.0);
+            apply_to_snapshot(&d, &mut learner, &l).unwrap();
+            assert_eq!(learner, store.snapshot());
+        }
+    }
+
+    #[test]
+    fn base_mismatch_is_a_typed_error_and_leaves_state_untouched() {
+        let l = layout3();
+        let d = PolicyDelta {
+            from: 7,
+            to: 8,
+            full: false,
+            blocks: vec![BlockUpdate {
+                index: 0,
+                data: vec![0.0; 6],
+            }],
+        };
+        let mut learner = snap(3, &l, 1.0);
+        let before = learner.clone();
+        assert_eq!(
+            apply_to_snapshot(&d, &mut learner, &l),
+            Err(DeltaError::BaseMismatch {
+                expected: 7,
+                got: 3
+            })
+        );
+        assert_eq!(learner, before);
+    }
+
+    #[test]
+    fn bad_block_index_and_size_rejected_before_any_write() {
+        let l = layout3();
+        let mut learner = snap(0, &l, 0.0);
+        let before = learner.clone();
+        let bad_index = PolicyDelta {
+            from: 0,
+            to: 1,
+            full: false,
+            blocks: vec![BlockUpdate {
+                index: 9,
+                data: vec![],
+            }],
+        };
+        assert_eq!(
+            apply_to_snapshot(&bad_index, &mut learner, &l),
+            Err(DeltaError::BlockIndex(9))
+        );
+        let bad_size = PolicyDelta {
+            from: 0,
+            to: 1,
+            full: false,
+            blocks: vec![
+                BlockUpdate {
+                    index: 0,
+                    data: vec![1.0; 6],
+                },
+                BlockUpdate {
+                    index: 1,
+                    data: vec![2.0; 3],
+                },
+            ],
+        };
+        assert_eq!(
+            apply_to_snapshot(&bad_size, &mut learner, &l),
+            Err(DeltaError::BlockSize {
+                index: 1,
+                expected: 4,
+                got: 3
+            })
+        );
+        assert_eq!(learner, before, "failed applies must not write");
+    }
+
+    #[test]
+    fn incomplete_full_refresh_rejected() {
+        let l = layout3();
+        let mut learner = snap(0, &l, 0.0);
+        let d = PolicyDelta {
+            from: 0,
+            to: 1,
+            full: true,
+            blocks: vec![BlockUpdate {
+                index: 0,
+                data: vec![0.0; 6],
+            }],
+        };
+        assert_eq!(
+            apply_to_snapshot(&d, &mut learner, &l),
+            Err(DeltaError::IncompleteFull)
+        );
+    }
+
+    proptest! {
+        /// The delta identity: for an arbitrary walk of block-change sets,
+        /// `apply(delta(v→w), snapshot_v) == snapshot_w` for every `v` along
+        /// the walk — including `v == w` (empty delta) and pre-birth `v`
+        /// (full-refresh fallback).
+        #[test]
+        fn prop_apply_delta_reaches_current_snapshot(
+            shapes in proptest::collection::vec(1usize..5, 1..6),
+            n_steps in 0usize..8,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let layout = BlockLayout::from_shapes(
+                &shapes.iter().map(|&n| vec![n]).collect::<Vec<_>>(),
+            );
+            let birth = 3u64;
+            let s0 = PolicySnapshot {
+                version: birth,
+                flat: (0..layout.total()).map(|i| i as f32).collect(),
+            };
+            let mut store = DeltaStore::new(layout.clone(), &s0);
+            // Snapshots a learner could have pulled at each version,
+            // including one from before the store was born.
+            let mut held = vec![
+                PolicySnapshot { version: 0, flat: vec![0.0; layout.total()] },
+                s0.clone(),
+            ];
+            let mut current = s0;
+            for _ in 0..n_steps {
+                current.version += 1;
+                // Arbitrary block-change set, possibly empty.
+                for i in 0..layout.n_blocks() {
+                    if rng.gen_bool(0.5) {
+                        current.flat[layout.offset(i)] += rng.gen_range(-1e3f32..1e3);
+                    }
+                }
+                store.ingest(&current);
+                held.push(current.clone());
+            }
+            for mut learner in held {
+                let d = store.delta_since(learner.version);
+                prop_assert!(d.from == learner.version || d.full);
+                apply_to_snapshot(&d, &mut learner, &layout).unwrap();
+                prop_assert_eq!(&learner, &store.snapshot());
+            }
+        }
+
+        /// Wire roundtrip for arbitrary well-formed deltas.
+        #[test]
+        fn prop_delta_codec_roundtrip(
+            from in 0u64..100,
+            to in 0u64..100,
+            full in any::<bool>(),
+            n_blocks in 0usize..6,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let d = PolicyDelta {
+                from,
+                to,
+                full,
+                blocks: (0..n_blocks)
+                    .map(|_| BlockUpdate {
+                        index: rng.gen_range(0..16u32),
+                        data: (0..rng.gen_range(0..12usize))
+                            .map(|_| rng.gen_range(-1e6f32..1e6))
+                            .collect(),
+                    })
+                    .collect(),
+            };
+            let bytes = d.to_bytes();
+            prop_assert_eq!(bytes.len(), d.encoded_len());
+            prop_assert_eq!(PolicyDelta::from_bytes(&bytes).unwrap(), d);
+        }
+
+        /// Byte soup must decode to a typed error or a value — never panic —
+        /// and truncating a valid encoding at any boundary must error.
+        #[test]
+        fn prop_delta_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let _ = PolicyDelta::from_bytes(&data);
+        }
+
+        #[test]
+        fn prop_truncated_delta_errors_not_panics(
+            n_blocks in 1usize..4,
+            size in 1usize..5,
+        ) {
+            let d = PolicyDelta {
+                from: 1,
+                to: 2,
+                full: false,
+                blocks: (0..n_blocks)
+                    .map(|i| BlockUpdate {
+                        index: i as u32,
+                        data: vec![1.5; size],
+                    })
+                    .collect(),
+            };
+            let bytes = d.to_bytes();
+            for cut in 0..bytes.len() {
+                prop_assert!(PolicyDelta::from_bytes(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

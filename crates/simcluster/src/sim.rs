@@ -55,6 +55,11 @@ pub struct SimConfig {
     pub timing: TimingProfile,
     /// RNG seed for jitter.
     pub seed: u64,
+    /// Parameter-plane shards (DESIGN.md §16). Shards aggregate their block
+    /// slices concurrently, so each policy update's critical-path service
+    /// time is `aggregate_us / param_shards`; 1 reproduces the classic
+    /// single-server timings exactly.
+    pub param_shards: usize,
 }
 
 impl SimConfig {
@@ -74,6 +79,26 @@ impl SimConfig {
             billing: SimBilling::Serverless,
             timing: TimingProfile::mujoco_v100(),
             seed: 1,
+            param_shards: 1,
+        }
+    }
+
+    /// A scale stress configuration: `n_learners` simulated learner slots
+    /// (thousands are fine — the queueing network is O(events), not
+    /// O(threads)) fed by a proportionally sized actor pool, short rounds,
+    /// small mini-batches so every slot sees work.
+    pub fn stellaris_scale(n_learners: usize) -> Self {
+        let n_learners = n_learners.max(1);
+        Self {
+            n_actors: (n_learners / 4).max(4),
+            actor_steps: 64,
+            minibatch: 32,
+            max_learners: n_learners,
+            rounds: 3,
+            round_timesteps: (n_learners / 4).max(4) * 64,
+            timing: TimingProfile::test_flat(),
+            seed: 3,
+            ..Self::stellaris_paper_mujoco()
         }
     }
 
@@ -140,6 +165,7 @@ impl SimConfig {
             billing: SimBilling::Serverless,
             timing: TimingProfile::test_flat(),
             seed: 7,
+            param_shards: 1,
         }
     }
 }
@@ -249,7 +275,11 @@ struct PendingGrad {
 /// assert!(result.cost.total() > 0.0);
 /// ```
 pub fn simulate(cfg: &SimConfig) -> SimResult {
-    assert!(cfg.n_actors > 0 && cfg.max_learners > 0 && cfg.rounds > 0);
+    assert!(cfg.n_actors > 0 && cfg.max_learners > 0 && cfg.rounds > 0 && cfg.param_shards > 0);
+    // DESIGN.md §16: shards aggregate their block slices concurrently, so
+    // the parameter function's per-update service time divides by the
+    // shard count (1 = the classic single server, timing unchanged).
+    let aggregate_us = cfg.timing.aggregate_us / cfg.param_shards as f64;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -413,7 +443,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                 }
                 clock += 1;
                 updates += 1;
-                parameter_busy += cfg.timing.aggregate_us;
+                parameter_busy += aggregate_us;
             }
         };
     }
@@ -467,7 +497,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
             }
             clock += 1;
             updates += 1;
-            parameter_busy += cfg.timing.aggregate_us;
+            parameter_busy += aggregate_us;
         }
 
         // Round boundary: quota fully sampled and (for sync) pipeline drained.
@@ -645,6 +675,40 @@ mod tests {
             assert!(w[1].invocations >= w[0].invocations);
         }
         assert_eq!(res.rows.len(), 50);
+    }
+
+    #[test]
+    fn scale_preset_runs_thousands_of_learners() {
+        let res = simulate(&SimConfig::stellaris_scale(4096));
+        assert_eq!(res.rows.len(), 3, "all rounds must complete at 4k slots");
+        assert!(res.updates > 0);
+        assert!(
+            res.invocations >= 1000,
+            "thousands of learner slots must actually be exercised: {}",
+            res.invocations
+        );
+        assert!(!res.staleness_log.is_empty());
+    }
+
+    #[test]
+    fn sharding_divides_parameter_service_time() {
+        let base = SimConfig::stellaris_scale(1024);
+        let sharded = SimConfig {
+            param_shards: 8,
+            ..base.clone()
+        };
+        let a = simulate(&base);
+        let b = simulate(&sharded);
+        // Identical event schedule (shards change only the parameter
+        // function's service-time accounting), 8x less busy time.
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.staleness_log, b.staleness_log);
+        assert!(
+            (b.parameter_busy_s - a.parameter_busy_s / 8.0).abs() < 1e-9,
+            "8 shards must cut aggregation busy time 8x: {} vs {}",
+            a.parameter_busy_s,
+            b.parameter_busy_s
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * `<base>.prom` exists and parses as Prometheus text exposition with
 //!   cumulative histogram buckets and `+Inf == _count`;
 //! * every `--expect-span NAME` occurs as an event name in the JSONL;
-//! * every `--expect-metric NAME` occurs as a sample in the exposition.
+//! * every `--expect-metric NAME` occurs as a sample in the exposition;
+//! * when the sharded parameter plane ran (the
+//!   `stellaris_core_grads_aggregated_total` counter is present), the
+//!   per-shard `stellaris_core_staleness_shard<N>_count` histogram counts
+//!   sum to it — every (gradient, shard) fold is recorded exactly once.
 //!
 //! A flight-recorder dump base (`flight-<reason>`) validates with the same
 //! invocation — its `recorder.dump` meta line additionally surfaces a LOUD
@@ -51,6 +55,13 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
         return None;
     }
     rest[..end].parse().ok()
+}
+
+/// Reads one unlabelled `name value` sample from a Prometheus exposition.
+fn prom_sample(prom: &str, name: &str) -> Option<u64> {
+    prom.lines()
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' '))
+        .and_then(|v| v.trim().parse().ok())
 }
 
 fn main() -> ExitCode {
@@ -196,6 +207,34 @@ fn main() -> ExitCode {
                 && matches!(l.as_bytes().get(name.len()), Some(b' ' | b'{' | b'_'))
         }) {
             return fail(&format!("{prom_path}: no metric named {name:?}"));
+        }
+    }
+
+    // Sharded-plane conservation: every (gradient, shard) fold increments
+    // both the `stellaris_core_grads_aggregated_total` counter and exactly
+    // one per-shard staleness histogram, so the `_count`s must sum to the
+    // counter. Vacuous when the counter is absent (plain ParameterServer
+    // runs never register it).
+    if let Some(total) = prom_sample(&prom, "stellaris_core_grads_aggregated_total") {
+        let shard_sum: u64 = prom
+            .lines()
+            .filter_map(|l| {
+                let rest = l.strip_prefix("stellaris_core_staleness_shard")?;
+                let (series, value) = rest.split_once(' ')?;
+                let (shard, suffix) = series.split_at(
+                    series
+                        .find(|c: char| !c.is_ascii_digit())
+                        .unwrap_or(series.len()),
+                );
+                (!shard.is_empty() && suffix == "_count")
+                    .then(|| value.trim().parse::<u64>().ok())?
+            })
+            .sum();
+        if shard_sum != total {
+            return fail(&format!(
+                "{prom_path}: per-shard staleness histogram counts sum to {shard_sum} \
+                 but stellaris_core_grads_aggregated_total is {total}"
+            ));
         }
     }
 

@@ -47,6 +47,23 @@ fn stellaris_ppo_improves_on_chain_mdp() {
 }
 
 #[test]
+fn sharded_plane_trains_end_to_end() {
+    // DESIGN.md §16: a sharded parameter/gradient plane must run the full
+    // async stack — shards commit independently but every gradient still
+    // lands, the policy clock advances, and evaluation stays finite.
+    let cfg = TrainConfig::test_tiny(EnvId::PointMass, 8).with_sharding(4, 4);
+    let result = train(&cfg);
+    assert_eq!(result.rows.len(), 3);
+    assert!(result.policy_updates > 0, "shards must commit updates");
+    assert!(result.grads_aggregated > 0);
+    assert!(result.final_reward.is_finite());
+    assert!(
+        !result.staleness_log.is_empty(),
+        "per-shard staleness must still be recorded"
+    );
+}
+
+#[test]
 fn impact_runs_end_to_end() {
     let cfg = TrainConfig::test_tiny(EnvId::PointMass, 3).with_impact(ImpactConfig::scaled());
     let result = train(&cfg);

@@ -229,6 +229,29 @@ fn fault_free_remote_run_matches_local_accounting() {
         local.policy_updates > 0,
         "local baseline must also have trained"
     );
+    // Delta-encoded policy pulls: every round loads the policy exactly
+    // once, by whichever encoding is smaller (a dense tiny-model update
+    // touches every block, so full pulls may win here), and a delta pull
+    // is never larger per-pull than a full snapshot.
+    assert_eq!(
+        (report.policy_full_pulls + report.policy_delta_pulls) as usize,
+        cfg.rounds,
+        "one policy load per round"
+    );
+    assert!(report.policy_full_pulls >= 1, "round 0 must pull full");
+    if let (Some(per_full), Some(per_delta)) = (
+        report
+            .policy_bytes_full
+            .checked_div(report.policy_full_pulls),
+        report
+            .policy_bytes_delta
+            .checked_div(report.policy_delta_pulls),
+    ) {
+        assert!(
+            per_delta < per_full,
+            "a shipped delta must beat a full snapshot ({per_delta} >= {per_full})"
+        );
+    }
 }
 
 /// The same fleet over unix-domain sockets.
